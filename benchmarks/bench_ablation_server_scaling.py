@@ -1,0 +1,96 @@
+"""V3 (ablation): server-size sweep — where does the crossover fall?
+
+The paper compares only 15 and 32 server nodes; this ablation sweeps the
+size to locate the saturation crossover the paper's "conservative
+estimate" advice (Sec. 5.3) implies: below ~29 nodes the server cannot
+absorb the peak 55-group data rate and group times stretch; above it,
+adding nodes buys almost nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    CampaignSimulator,
+    classical_group_time,
+    melissa_group_time_unblocked,
+    paper_campaign,
+)
+from repro.report import format_table
+
+SWEEP = (8, 12, 15, 20, 24, 28, 32, 40, 48)
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    out = {}
+    for nodes in SWEEP:
+        out[nodes] = CampaignSimulator(paper_campaign(nodes)).run()
+    return out
+
+
+def test_server_scaling_sweep(sweep_results, results_dir, benchmark):
+    benchmark.pedantic(
+        lambda: CampaignSimulator(paper_campaign(15)).run(),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for nodes in SWEEP:
+        res = sweep_results[nodes]
+        rows.append([
+            nodes,
+            round(res.wall_clock_seconds / 3600, 3),
+            round(float(res.group_exec_seconds.mean()), 1),
+            round(res.suspended_fraction, 3),
+            round(res.summary()["server_cpu_percent"], 2),
+        ])
+    table = format_table(
+        ["server nodes", "wall h", "avg group s", "suspension", "server %"],
+        rows, title="V3: server-size ablation (1000-group campaign)",
+    )
+    (results_dir / "table_server_scaling.txt").write_text(table + "\n")
+
+    walls = [sweep_results[n].wall_clock_seconds for n in SWEEP]
+    # monotone non-increasing wall clock
+    assert all(a >= b * 0.999 for a, b in zip(walls, walls[1:]))
+
+
+def test_crossover_location(sweep_results, benchmark):
+    """Find the smallest swept size with negligible suspension; it must
+    lie between the paper's two configurations (15 saturated, 32 not)."""
+    benchmark.pedantic(
+        lambda: [sweep_results[n].suspended_fraction for n in SWEEP],
+        rounds=1, iterations=1,
+    )
+    crossover = None
+    for nodes in SWEEP:
+        if sweep_results[nodes].suspended_fraction < 0.05:
+            crossover = nodes
+            break
+    assert crossover is not None
+    assert 15 < crossover <= 32
+
+    # below crossover: groups slower than classical (in-transit loses);
+    # at/above: Melissa beats classical (the paper's 32-node result)
+    below = sweep_results[15]
+    above = sweep_results[32]
+    assert below.group_exec_seconds.mean() > classical_group_time(below.params)
+    assert above.group_exec_seconds.mean() < classical_group_time(above.params)
+
+
+def test_diminishing_returns_above_crossover(sweep_results, benchmark):
+    w32 = benchmark.pedantic(
+        lambda: sweep_results[32].wall_clock_seconds, rounds=1, iterations=1
+    )
+    w48 = sweep_results[48].wall_clock_seconds
+    assert w32 / w48 < 1.05  # <5% gain for 50% more server nodes
+
+
+def test_suspension_monotone_decreasing(sweep_results, benchmark):
+    susp = benchmark.pedantic(
+        lambda: [sweep_results[n].suspended_fraction for n in SWEEP],
+        rounds=1, iterations=1,
+    )
+    assert all(a >= b - 1e-9 for a, b in zip(susp, susp[1:]))
+    assert susp[0] > 0.5  # 8 nodes: heavily saturated
+    assert susp[-1] < 0.02  # 48 nodes: free-running

@@ -1,0 +1,119 @@
+"""F6a-F6d: the two Curie campaigns (Fig. 6 of the paper).
+
+Regenerates all four panels from the calibrated performance model:
+
+* (a) running groups / cores vs time, server = 15 nodes — ramp to the
+  paper's exact peak (56 groups, 28 912 cores);
+* (b) average group execution time, 15 nodes — *saturates*: groups are
+  suspended on full ZeroMQ buffers and stretch toward ~2x;
+* (c) groups / cores vs time, server = 32 nodes — peak 55 / 28 672;
+* (d) average group execution time, 32 nodes — *below* the classical
+  line (Melissa 13% faster than classical, paper Sec. 5.3).
+
+Series are written to results/fig6_*.npz and rendered as ASCII plots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    CampaignSimulator,
+    classical_group_time,
+    melissa_group_time_unblocked,
+    no_output_group_time,
+    paper_campaign,
+)
+from repro.report import ascii_series
+
+
+@pytest.fixture(scope="module")
+def run15():
+    return CampaignSimulator(paper_campaign(15)).run()
+
+
+@pytest.fixture(scope="module")
+def run32():
+    return CampaignSimulator(paper_campaign(32)).run()
+
+
+def _save(results_dir, name, result):
+    np.savez(
+        results_dir / name,
+        times=result.times,
+        running_groups=result.running_groups,
+        cores_in_use=result.cores_in_use,
+        avg_group_seconds=result.avg_group_seconds,
+        buffer_bytes=result.buffer_bytes,
+    )
+
+
+def test_fig6a_group_timeline_15_nodes(benchmark, run15, results_dir):
+    result = benchmark.pedantic(
+        lambda: CampaignSimulator(paper_campaign(15)).run(),
+        rounds=1, iterations=1,
+    )
+    _save(results_dir, "fig6a_15nodes.npz", result)
+    (results_dir / "fig6a_15nodes.txt").write_text(
+        ascii_series(result.times, result.running_groups,
+                     title="Fig 6a: running groups (15-node server)",
+                     ylabel="groups")
+        + "\n\n"
+        + ascii_series(result.times, result.cores_in_use,
+                       title="Fig 6a: cores in use", ylabel="cores")
+    )
+    assert result.peak_running_groups == 56  # paper's exact peak
+    assert result.peak_cores == 28_912
+
+
+def test_fig6b_group_time_saturates_15_nodes(run15, results_dir, benchmark):
+    params = run15.params
+    benchmark.pedantic(run15.summary, rounds=1, iterations=1)
+    (results_dir / "fig6b_15nodes.txt").write_text(
+        ascii_series(
+            run15.times, run15.avg_group_seconds,
+            title="Fig 6b: avg group exec time (15-node server)",
+            ylabel="seconds",
+        )
+        + f"\nclassical = {classical_group_time(params):.0f}s, "
+          f"no-output = {no_output_group_time(params):.0f}s\n"
+    )
+    finite = run15.avg_group_seconds[np.isfinite(run15.avg_group_seconds)]
+    # saturated: instantaneous Melissa time rises well above classical
+    assert finite.max() > classical_group_time(params)
+    # "suspended up to doubling their execution time"
+    assert finite.max() > 1.6 * melissa_group_time_unblocked(params)
+    assert finite.max() < 2.5 * melissa_group_time_unblocked(params)
+
+
+def test_fig6c_group_timeline_32_nodes(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: CampaignSimulator(paper_campaign(32)).run(),
+        rounds=1, iterations=1,
+    )
+    _save(results_dir, "fig6c_32nodes.npz", result)
+    assert result.peak_running_groups == 55  # paper's exact peak
+    assert result.peak_cores == 28_672
+
+
+def test_fig6d_group_time_healthy_32_nodes(run32, results_dir, benchmark):
+    params = run32.params
+    benchmark.pedantic(run32.summary, rounds=1, iterations=1)
+    (results_dir / "fig6d_32nodes.txt").write_text(
+        ascii_series(
+            run32.times, run32.avg_group_seconds,
+            title="Fig 6d: avg group exec time (32-node server)",
+            ylabel="seconds",
+        )
+        + f"\nclassical = {classical_group_time(params):.0f}s, "
+          f"no-output = {no_output_group_time(params):.0f}s\n"
+    )
+    finite = run32.avg_group_seconds[np.isfinite(run32.avg_group_seconds)]
+    # healthy: Melissa sits between no-output and classical (Fig. 6d)
+    assert finite.max() < classical_group_time(params)
+    assert finite.min() > no_output_group_time(params)
+
+
+def test_fig6_speedup_15_to_32(run15, run32, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    speedup = run15.wall_clock_seconds / run32.wall_clock_seconds
+    assert 1.5 < speedup < 2.1  # paper: ~1.72

@@ -1,0 +1,76 @@
+"""F8: the output-variance map co-visualized with the Sobol' maps.
+
+The paper (Sec. 5.5, Fig. 8) recommends always reading Sobol' maps next
+to Var(Y): where the variance vanishes the indices are numerically
+meaningless (Var(Y) is the denominator of Eq. 1).  This bench regenerates
+the variance map at the same timestep as Fig. 7 and asserts its
+structure: variance concentrated along the dye paths downstream of both
+injectors, (near) zero inside tubes and in never-reached cells.
+"""
+
+import numpy as np
+import pytest
+
+from repro.report import render_field_slice
+
+STEP_FRACTION = 0.8
+
+
+def test_fig8_variance_map(tube_study, results_dir, benchmark):
+    results = tube_study.results
+    case = tube_study.case
+    step = int(STEP_FRACTION * case.ntimesteps)
+
+    var = benchmark.pedantic(
+        lambda: results.variance[step].copy(), rounds=1, iterations=1
+    )
+    np.savez(results_dir / "fig8_variance_map.npz", variance=var)
+    (results_dir / "fig8_variance_map.txt").write_text(
+        render_field_slice(
+            var, case.mesh.dims, width=64, height=16,
+            title=f"Fig 8: variance map at timestep {step}",
+        )
+    )
+
+    grid = case.mesh.to_grid(var)
+    solid = case.flow.solid
+    # solid (tube) cells never receive dye: zero variance
+    np.testing.assert_allclose(grid[solid], 0.0, atol=1e-12)
+    # meaningful variance exists in both injector channels
+    ny = case.mesh.dims[1]
+    assert grid[:, 2 * ny // 3 :].max() > 1e-3  # upper channel
+    assert grid[:, : ny // 3].max() > 1e-3  # lower channel
+    # variance is nonnegative everywhere
+    assert np.nanmin(var) >= -1e-12
+
+
+def test_variance_is_sobol_denominator_guard(tube_study, benchmark):
+    """Where Var(Y)=0, the Martinez correlation is NaN by construction —
+    no zero-divisions leak through (the reason for co-visualization)."""
+    results = tube_study.results
+    case = tube_study.case
+    step = int(STEP_FRACTION * case.ntimesteps)
+    var = results.variance[step]
+    zero_var = benchmark(lambda: var < 1e-14)
+    if zero_var.any():
+        for k in range(results.nparams):
+            s = results.first_order_map(k, step)
+            assert np.isnan(s[zero_var]).all()
+
+
+def test_variance_map_evolves_in_time(tube_study, benchmark):
+    """Early timesteps: variance confined near the inlet; later: spread
+    downstream — the ubiquitous-in-time aspect of the maps."""
+    results = tube_study.results
+    case = tube_study.case
+    nx = case.mesh.dims[0]
+
+    def downstream_mass(step):
+        grid = case.mesh.to_grid(results.variance[step])
+        return float(np.nansum(grid[nx // 2 :]))
+
+    early = benchmark.pedantic(
+        lambda: downstream_mass(0), rounds=1, iterations=1
+    )
+    late = downstream_mass(case.ntimesteps - 1)
+    assert late > early  # dye (and its variance) reached downstream

@@ -1,0 +1,90 @@
+"""V5 (extension): HTC mode — groups and server on different machines.
+
+The paper's conclusion (Sec. 7) notes Melissa "also enables executions on
+less tightly coupled infrastructures in a HTC mode ... given that the
+bandwidth to the server be sufficient not to slow down the simulations."
+This bench quantifies "sufficient": the campaign is replayed with the
+32-node server behind WAN links of decreasing aggregate bandwidth, and
+the slowdown threshold is located.
+
+The peak data rate of the healthy campaign is ~14.4 GB/s (55 groups x
+100 steps / 237 s x 614 MB), so links above that are free and links below
+throttle the whole study to the wire speed.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import CampaignSimulator, paper_campaign
+from repro.report import format_table
+
+#: aggregate group->server bandwidths swept (GB/s)
+BANDWIDTHS = (4.0, 8.0, 12.0, 16.0, 24.0, None)
+
+
+@pytest.fixture(scope="module")
+def htc_sweep():
+    out = {}
+    for bw in BANDWIDTHS:
+        params = replace(paper_campaign(32), network_bandwidth_gbps=bw)
+        out[bw] = CampaignSimulator(params).run()
+    return out
+
+
+def test_htc_bandwidth_sweep(htc_sweep, results_dir, benchmark):
+    benchmark.pedantic(
+        lambda: CampaignSimulator(
+            replace(paper_campaign(32), network_bandwidth_gbps=8.0)
+        ).run(),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for bw in BANDWIDTHS:
+        res = htc_sweep[bw]
+        rows.append([
+            "local" if bw is None else f"{bw:.0f} GB/s",
+            round(res.wall_clock_seconds / 3600, 3),
+            round(res.suspended_fraction, 3),
+        ])
+    (results_dir / "table_htc_mode.txt").write_text(
+        format_table(["link", "wall h", "suspension"], rows,
+                     title="V5: HTC-mode bandwidth sweep (32-node server)")
+        + "\n"
+    )
+    # narrower links never help
+    walls = [htc_sweep[bw].wall_clock_seconds for bw in BANDWIDTHS]
+    assert all(a >= b * 0.999 for a, b in zip(walls, walls[1:]))
+
+
+def test_htc_sufficient_bandwidth_is_free(htc_sweep, benchmark):
+    """A link above the peak production rate behaves like local."""
+    local = htc_sweep[None]
+    wide = benchmark.pedantic(lambda: htc_sweep[24.0], rounds=1, iterations=1)
+    assert wide.wall_clock_seconds == pytest.approx(
+        local.wall_clock_seconds, rel=0.02
+    )
+    assert wide.suspended_fraction < 0.05
+
+
+def test_htc_narrow_link_throttles_to_wire_speed(htc_sweep, benchmark):
+    """Well below the peak rate, the wall clock approaches
+    total_bytes / bandwidth — the wire is the study."""
+    res = htc_sweep[4.0]
+    wire_bound = benchmark.pedantic(
+        lambda: res.params.total_streamed_bytes / (4.0 * 1e9),
+        rounds=1, iterations=1,
+    )
+    assert res.wall_clock_seconds == pytest.approx(wire_bound, rel=0.15)
+    assert res.suspended_fraction > 0.5
+
+
+def test_htc_threshold_location(htc_sweep, benchmark):
+    """The sufficiency threshold sits between 12 and 16 GB/s — i.e. at
+    the campaign's ~14.4 GB/s peak production rate."""
+    frac12 = benchmark.pedantic(
+        lambda: htc_sweep[12.0].suspended_fraction, rounds=1, iterations=1
+    )
+    assert frac12 > 0.05
+    assert htc_sweep[16.0].suspended_fraction < 0.05

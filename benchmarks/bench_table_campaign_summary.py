@@ -1,0 +1,76 @@
+"""T1: the Sec. 5.3 campaign-summary numbers, paper vs model.
+
+Writes results/table_campaign_summary.txt with every quantity the paper
+reports for the two campaigns and the model's value side by side.
+"""
+
+import pytest
+
+from repro.perfmodel import CampaignSimulator, paper_campaign
+from repro.report import comparison_table
+
+#: every number Sec. 5.3 states, keyed by server size
+PAPER = {
+    15: {
+        "wall_clock_hours": 2.5,
+        "simulation_cpu_hours": 56_487,
+        "server_cpu_hours": 602,
+        "server_cpu_percent": 1.0,
+        "peak_running_groups": 56,
+        "peak_cores": 28_912,
+    },
+    32: {
+        "wall_clock_hours": 1.45,
+        "simulation_cpu_hours": 34_082,
+        "server_cpu_hours": 742,
+        "server_cpu_percent": 2.1,
+        "peak_running_groups": 55,
+        "peak_cores": 28_672,
+        "messages_per_min_per_proc": 1000.0,
+        "server_memory_gb": 491.0,
+    },
+}
+
+
+@pytest.mark.parametrize("nodes", [15, 32])
+def test_table_campaign_summary(nodes, benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: CampaignSimulator(paper_campaign(nodes)).run(),
+        rounds=1, iterations=1,
+    )
+    summary = result.summary()
+    entries = [(k, PAPER[nodes][k], summary[k]) for k in PAPER[nodes]]
+    table = comparison_table(
+        entries, title=f"T1: campaign summary, server on {nodes} nodes"
+    )
+    path = results_dir / f"table_campaign_summary_{nodes}nodes.txt"
+    path.write_text(table + "\n")
+
+    # shape assertions: every modelled quantity within 35% of the paper
+    # (concurrency and memory are matched far tighter; wall-clock differs
+    # because Curie's scheduler stalls are not modelled in detail)
+    for name, paper_value, model_value in entries:
+        ratio = model_value / paper_value
+        assert 0.65 < ratio < 1.35, f"{name}: {model_value} vs paper {paper_value}"
+
+    # exact matches the model is calibrated to reproduce
+    assert summary["peak_running_groups"] == PAPER[nodes]["peak_running_groups"]
+    assert summary["peak_cores"] == PAPER[nodes]["peak_cores"]
+
+
+def test_table_derived_quantities(benchmark, results_dir):
+    """Quantities derivable without running: memory, checkpoint sizes."""
+    params = paper_campaign(32)
+    benchmark.pedantic(lambda: params.server_memory_bytes, rounds=1, iterations=1)
+    entries = [
+        ("server_memory_gb", 491.0, params.server_memory_bytes / 1e9),
+        ("checkpoint_mb_per_proc", 959.0, params.checkpoint_bytes_per_process / 1e6),
+        ("checkpoint_s_per_proc", 2.75, params.checkpoint_seconds_per_process),
+        ("restart_read_s_per_proc", 7.24, params.restart_read_seconds_per_process),
+        ("streamed_tb", 48.0, params.total_streamed_bytes / 1e12),
+    ]
+    table = comparison_table(entries, title="T1b: derived quantities")
+    (results_dir / "table_derived_quantities.txt").write_text(table + "\n")
+    # memory model matches the paper to a few percent
+    assert abs(params.server_memory_bytes / 1e9 - 491) / 491 < 0.05
+    assert abs(params.checkpoint_bytes_per_process / 1e6 - 959) / 959 < 0.05

@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper figure/table has a bench module (see DESIGN.md Sec. 4).
+Artifacts (raw arrays, ASCII maps, comparison tables) are written to
+``results/`` so they can be inspected after a run; EXPERIMENTS.md
+summarizes paper-vs-measured for each experiment id.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import SensitivityStudy
+from repro.solver import TubeBundleCase
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+class TubeStudyBundle:
+    """Lazily-run shared tube-bundle study for the Fig. 7/8 benches."""
+
+    def __init__(self):
+        self.case = TubeBundleCase(nx=64, ny=32, ntimesteps=15, total_time=1.6)
+        self.ngroups = 64
+        self._results = None
+        self.run_seconds = None
+
+    @property
+    def results(self):
+        if self._results is None:
+            import time
+
+            study = SensitivityStudy.for_tube_bundle(
+                self.case, ngroups=self.ngroups, seed=17,
+                server_ranks=4, client_ranks=2,
+            )
+            start = time.perf_counter()
+            self._results = study.run(steps_per_tick=4)
+            self.run_seconds = time.perf_counter() - start
+        return self._results
+
+
+@pytest.fixture(scope="session")
+def tube_study() -> TubeStudyBundle:
+    return TubeStudyBundle()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Convergence-driven early stopping (paper Sec. 3.4 / 4.1.5).
+
+The server computes Fisher-z confidence intervals at every update; once
+the widest interval over all parameters (and cells, and timesteps) drops
+below a target, the launcher cancels every pending and running group —
+no more compute is burned than the accuracy target requires.
+
+This demo asks for a loose target so the 2000-group study stops early,
+then reports how many groups were actually consumed and verifies the
+final interval really is below the target.
+
+    python examples/convergence_control.py
+"""
+
+from repro.core import StudyConfig
+from repro.core.convergence import ConvergenceController
+from repro.core.group import FunctionSimulation
+from repro.runtime import SequentialRuntime
+from repro.sobol import IshigamiFunction
+
+
+def main() -> None:
+    fn = IshigamiFunction()
+    target = 0.25  # stop when every 95% CI is narrower than this
+
+    config = StudyConfig(
+        space=fn.space(), ngroups=2000, ntimesteps=1, ncells=1,
+        server_ranks=1, client_ranks=1, seed=3,
+        total_nodes=66, nodes_per_group=1, server_nodes=2,
+        convergence_threshold=target, convergence_check_interval=2.0,
+    )
+
+    def factory(params, sim_id):
+        return FunctionSimulation(fn, params, ntimesteps=1, simulation_id=sim_id)
+
+    controller = ConvergenceController(threshold=target, min_groups=30)
+    runtime = SequentialRuntime(config, factory, convergence=controller)
+    results = runtime.run()
+
+    print(f"convergence target (max CI width): {target}")
+    print(f"stopped early                    : {runtime.stopped_early}")
+    print(f"groups consumed                  : {results.groups_integrated} / 2000")
+    print(f"groups cancelled                 : "
+          f"{len(runtime.launcher.cancelled_groups)}")
+    print(f"final max CI width               : {results.max_interval_width:.4f}")
+    print("\nconvergence history (groups -> width):")
+    for groups, width in controller.history:
+        bar = "#" * int(min(width, 2.0) * 30)
+        print(f"  {groups:5d}  {width:7.4f}  {bar}")
+
+    assert results.max_interval_width <= target
+    savings = 1.0 - results.groups_integrated / 2000
+    print(f"\ncompute saved by stopping at the accuracy target: {savings:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Replay of the paper's Curie campaign through the performance model.
+
+Reproduces the two Sec. 5.3 experiments — Melissa Server on 15 nodes
+(saturated, Fig. 6a/b) and on 32 nodes (healthy, Fig. 6c/d) — with the
+calibrated discrete-event model, prints ASCII versions of the Fig. 6
+panels, and the paper-vs-model summary table.
+
+    python examples/curie_campaign.py
+"""
+
+from repro.perfmodel import (
+    CampaignSimulator,
+    classical_group_time,
+    no_output_group_time,
+    paper_campaign,
+)
+from repro.report import ascii_series, comparison_table
+
+
+PAPER = {
+    15: dict(wall_clock_hours=2.5, simulation_cpu_hours=56_487,
+             server_cpu_hours=602, server_cpu_percent=1.0,
+             peak_running_groups=56, peak_cores=28_912),
+    32: dict(wall_clock_hours=1.45, simulation_cpu_hours=34_082,
+             server_cpu_hours=742, server_cpu_percent=2.1,
+             peak_running_groups=55, peak_cores=28_672),
+}
+
+
+def main() -> None:
+    results = {}
+    for nodes in (15, 32):
+        result = CampaignSimulator(paper_campaign(nodes)).run()
+        results[nodes] = result
+        summary = result.summary()
+
+        print("=" * 72)
+        print(f"Melissa Server on {nodes} nodes "
+              f"({'Fig. 6a/b' if nodes == 15 else 'Fig. 6c/d'})")
+        print("=" * 72)
+        print(ascii_series(
+            result.times, result.running_groups,
+            title=f"\nrunning simulation groups vs time (peak "
+                  f"{summary['peak_running_groups']}, "
+                  f"{summary['peak_cores']} cores)",
+            ylabel="groups ", height=10,
+        ))
+        print(ascii_series(
+            result.times, result.avg_group_seconds,
+            title="\navg group execution time vs time "
+                  f"(classical {classical_group_time(result.params):.0f}s, "
+                  f"no-output {no_output_group_time(result.params):.0f}s)",
+            ylabel="seconds ", height=10,
+        ))
+        entries = [
+            (key, PAPER[nodes][key], summary[key]) for key in PAPER[nodes]
+        ]
+        print()
+        print(comparison_table(entries, title=f"paper vs model ({nodes} nodes)"))
+        print()
+
+    speedup = (results[15].wall_clock_seconds / results[32].wall_clock_seconds)
+    print("=" * 72)
+    print(f"15 -> 32 node speed-up: model {speedup:.2f}x, paper ~1.72x")
+    print(f"data streamed without touching disk: "
+          f"{results[32].summary()['streamed_tb']:.1f} TB (paper: 48 TB)")
+    print(f"server memory: {results[32].summary()['server_memory_gb']:.0f} GB "
+          f"(paper: ~491 GB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Fault-tolerance demo: crashes, zombies, duplicates, a server failure.
+
+Runs the same Ishigami study twice — once clean, once under an aggressive
+fault plan (two group crashes, one zombie group, duplicated messages, and
+a full Melissa Server crash recovered from checkpoint) — and shows that
+the final statistics are *identical*: the Sec. 4.2 protocols (timeout
+detection, kill-and-resubmit, discard-on-replay, checkpoint/restart) make
+failures invisible to the science.
+
+    python examples/fault_tolerant_study.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.core import StudyConfig
+from repro.core.group import FunctionSimulation
+from repro.faults import (
+    DuplicateDelivery,
+    FaultPlan,
+    GroupCrash,
+    GroupZombie,
+    ServerCrash,
+)
+from repro.runtime import SequentialRuntime
+from repro.sobol import IshigamiFunction
+
+
+def make_config(fn):
+    return StudyConfig(
+        space=fn.space(), ngroups=60, ntimesteps=8, ncells=1,
+        server_ranks=1, client_ranks=1, seed=11,
+        group_timeout=20.0, zombie_timeout=20.0, server_timeout=12.0,
+        checkpoint_interval=5.0, total_nodes=34,
+    )
+
+
+def factory_for(fn):
+    def factory(params, sim_id):
+        return FunctionSimulation(fn, params, ntimesteps=8, simulation_id=sim_id)
+    return factory
+
+
+def main() -> None:
+    fn = IshigamiFunction()
+
+    print("clean run...")
+    clean = SequentialRuntime(make_config(fn), factory_for(fn)).run()
+
+    plan = FaultPlan(
+        group_crashes=[GroupCrash(group_id=3, at_timestep=4),
+                       GroupCrash(group_id=17, at_timestep=0)],
+        group_zombies=[GroupZombie(group_id=9)],
+        duplicate_deliveries=[DuplicateDelivery(group_id=5)],
+        server_crashes=[ServerCrash(at_time=9.0)],
+    )
+    print("faulted run: 2 group crashes, 1 zombie, duplicated messages, "
+          "1 server crash...")
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        runtime = SequentialRuntime(
+            make_config(fn), factory_for(fn),
+            fault_plan=plan, checkpoint_dir=ckpt_dir,
+        )
+        faulted = runtime.run()
+
+    print("\n--- recovery report -------------------------------------")
+    print(f"groups integrated  : {faulted.groups_integrated} / 60")
+    print(f"server restarts    : {runtime.launcher.server_restarts}")
+    retried = [g for g, r in runtime.launcher.records.items() if r.retries]
+    print(f"groups restarted   : {retried}")
+    print(f"messages discarded : "
+          f"{faulted.provenance['messages_discarded']} (replay protection)")
+
+    diff = np.abs(faulted.first_order - clean.first_order).max()
+    print("\n--- statistics integrity ---------------------------------")
+    print(f"max |S_faulted - S_clean| = {diff:.2e}")
+    assert diff < 1e-12, "fault recovery must not change the statistics"
+    print("faulted and clean studies are statistically IDENTICAL.")
+    print("\nfirst-order indices:", np.round(faulted.first_order[:, 0, 0], 4))
+    print("exact              :", np.round(fn.first_order, 4))
+
+
+if __name__ == "__main__":
+    main()

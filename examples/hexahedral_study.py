@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""3-D hexahedral study: the paper's mesh dimensionality, laptop-sized.
+
+The paper computes ubiquitous Sobol' indices on 9.6M *hexahedra*; this
+example runs the extruded 3-D tube-bundle case — true (nx, ny, nz) dye
+fields, spanwise diffusion from a z-confined injector — through the same
+in-transit pipeline, then slices the 3-D Sobol' maps at mid-depth and at
+a side layer to show the spanwise structure.
+
+    python examples/hexahedral_study.py
+"""
+
+import numpy as np
+
+from repro import SensitivityStudy
+from repro.report import ascii_heatmap
+from repro.solver import TubeBundleCase3D
+
+
+def main() -> None:
+    case = TubeBundleCase3D(
+        nx=32, ny=16, nz=6, ntimesteps=6, total_time=1.2, injector_span=0.5
+    )
+    ngroups = 12
+    print(
+        f"hexahedral study: {case.mesh.dims} = {case.ncells} cells, "
+        f"{case.ntimesteps} timesteps, {ngroups} groups x 8 simulations"
+    )
+    print(f"ensemble bytes avoided: {case.study_bytes(ngroups) / 1e6:.1f} MB\n")
+
+    study = SensitivityStudy.for_tube_bundle(
+        case, ngroups=ngroups, seed=5, server_ranks=4, client_ranks=2
+    )
+    results = study.run(steps_per_tick=3)
+    print(results.summary())
+
+    step = case.ntimesteps - 1
+    nz = case.mesh.dims[2]
+    k = 0  # upper_concentration
+    s_grid = case.mesh.to_grid(np.nan_to_num(results.first_order_map(k, step)))
+    var_grid = case.mesh.to_grid(results.variance[step])
+
+    print(ascii_heatmap(
+        s_grid[:, :, nz // 2], width=32, height=12, vmin=0, vmax=1,
+        title=f"\nS({results.parameter_names[k]}) at mid-depth (z={nz // 2})",
+    ))
+    print(ascii_heatmap(
+        var_grid[:, :, nz // 2], width=32, height=12,
+        title="\nVar(Y) at mid-depth",
+    ))
+    print(ascii_heatmap(
+        var_grid[:, :, 0], width=32, height=12,
+        title="\nVar(Y) at the side wall (z=0): dye arrives only by "
+              "spanwise diffusion",
+    ))
+
+    mid = var_grid[:, :, nz // 2].max()
+    side = var_grid[:, :, 0].max()
+    print(f"\npeak variance mid-depth: {mid:.4f}, side wall: {side:.4f} "
+          f"(ratio {mid / max(side, 1e-12):.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: in-transit Sobol' indices for the Ishigami function.
+
+Runs a full Melissa-style study — launcher, batch scheduler, simulation
+groups streaming to the in-transit server — on the classic Ishigami test
+function, then compares the iteratively-computed indices against their
+closed-form values and prints the Fisher-z confidence intervals.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SensitivityStudy
+from repro.sobol import IshigamiFunction
+
+
+def main() -> None:
+    fn = IshigamiFunction()
+    ngroups = 3000  # 3000 pick-freeze rows -> 3000 x (3+2) = 15000 runs
+
+    print(f"Ishigami study: {ngroups} groups, {ngroups * 5} simulations")
+    study = SensitivityStudy.for_function(fn, ngroups=ngroups, seed=42)
+    results = study.run()
+
+    print(f"\ngroups integrated : {results.groups_integrated}")
+    print(f"messages processed: {results.provenance['messages_processed']}")
+    print(f"intermediate files: 0 (that is the point)\n")
+
+    print(f"{'parameter':<10} {'S (est)':>9} {'S (exact)':>10} "
+          f"{'95% CI':>20} {'ST (est)':>9} {'ST (exact)':>10}")
+    for k, name in enumerate(results.parameter_names):
+        s = results.first_order[k, 0, 0]
+        st = results.total_order[k, 0, 0]
+        lo, hi = results.first_order_interval(k, 0)
+        print(
+            f"{name:<10} {s:9.4f} {fn.first_order[k]:10.4f} "
+            f"[{lo.flat[0]:8.4f},{hi.flat[0]:8.4f}] "
+            f"{st:9.4f} {fn.total_order[k]:10.4f}"
+        )
+
+    err_s = np.abs(results.first_order[:, 0, 0] - fn.first_order).max()
+    err_st = np.abs(results.total_order[:, 0, 0] - fn.total_order).max()
+    print(f"\nmax |error| first-order: {err_s:.4f}, total: {err_st:.4f}")
+    interactions = results.interaction_residual_map(0)[0]
+    print(f"interaction residual 1 - sum(S_k): {interactions:.4f} "
+          f"(exact: {1.0 - fn.first_order.sum():.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The paper's use case: dye injection into a tube-bundle water channel.
+
+Runs a laptop-scale version of the Sec. 5.2 experiment — a pick-freeze
+ensemble of convection-diffusion simulations on the frozen tube-bundle
+flow, six varying injection parameters — and renders the ubiquitous
+first-order Sobol' maps (Fig. 7) and the variance map (Fig. 8) at a late
+timestep as ASCII heatmaps.
+
+    python examples/tube_bundle_study.py
+"""
+
+import numpy as np
+
+from repro import SensitivityStudy
+from repro.report import render_field_slice
+from repro.solver import TubeBundleCase
+
+
+def main() -> None:
+    case = TubeBundleCase(nx=48, ny=24, ntimesteps=10, total_time=1.5)
+    ngroups = 40
+    print(
+        f"tube bundle: {case.ncells} cells, {case.ntimesteps} timesteps, "
+        f"{ngroups} groups x 8 simulations = {ngroups * 8} runs"
+    )
+    bytes_avoided = case.study_bytes(ngroups)
+    print(f"intermediate data avoided: {bytes_avoided / 1e6:.1f} MB "
+          f"(the paper's campaign: 48 TB)\n")
+
+    study = SensitivityStudy.for_tube_bundle(
+        case, ngroups=ngroups, seed=7, server_ranks=4, client_ranks=2
+    )
+    results = study.run(steps_per_tick=2)
+    print(results.summary(), "\n")
+
+    # the paper shows timestep 80 of 100; use the same 80% mark
+    step = int(0.8 * case.ntimesteps)
+    dims = case.mesh.dims
+    for k, name in enumerate(results.parameter_names):
+        s_map = np.nan_to_num(results.first_order_map(k, step))
+        print(render_field_slice(
+            s_map, dims, width=48, height=12,
+            title=f"\nFig.7-style first-order Sobol' map: {name} (t={step})",
+        ))
+
+    print(render_field_slice(
+        results.variance[step], dims, width=48, height=12,
+        title=f"\nFig.8-style variance map (t={step})",
+    ))
+
+    resid = np.nan_to_num(results.interaction_residual_map(step))
+    var = results.variance[step]
+    meaningful = var > 0.01 * np.nanmax(var)
+    print(
+        f"\ninteraction residual 1-sum(S) over meaningful cells: "
+        f"mean {resid[meaningful].mean():.3f} "
+        f"(small => first-order indices tell the whole story, Sec. 5.5)"
+    )
+
+
+if __name__ == "__main__":
+    main()

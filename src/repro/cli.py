@@ -1,0 +1,114 @@
+"""Command-line interface: run studies and campaign replays from a shell.
+
+Three subcommands mirror the examples:
+
+``python -m repro.cli quickstart``
+    Ishigami study; prints estimates vs closed form.
+``python -m repro.cli tube --nx 48 --ny 24 --groups 40``
+    The paper's tube-bundle use case with ASCII Sobol' maps.
+``python -m repro.cli campaign --server-nodes 32``
+    The Curie campaign through the calibrated performance model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro import SensitivityStudy
+    from repro.sobol import IshigamiFunction
+
+    fn = IshigamiFunction()
+    study = SensitivityStudy.for_function(fn, ngroups=args.groups, seed=args.seed)
+    results = study.run()
+    print(f"groups integrated: {results.groups_integrated}")
+    print(f"{'parameter':<6} {'S est':>8} {'S exact':>8} {'ST est':>8} {'ST exact':>9}")
+    for k, name in enumerate(results.parameter_names):
+        print(
+            f"{name:<6} {results.first_order[k, 0, 0]:8.4f} "
+            f"{fn.first_order[k]:8.4f} {results.total_order[k, 0, 0]:8.4f} "
+            f"{fn.total_order[k]:9.4f}"
+        )
+    return 0
+
+
+def _cmd_tube(args: argparse.Namespace) -> int:
+    from repro import SensitivityStudy
+    from repro.report import render_field_slice
+    from repro.solver import TubeBundleCase
+
+    case = TubeBundleCase(
+        nx=args.nx, ny=args.ny, ntimesteps=args.timesteps, total_time=args.time
+    )
+    study = SensitivityStudy.for_tube_bundle(
+        case, ngroups=args.groups, seed=args.seed,
+        server_ranks=args.server_ranks, client_ranks=2,
+    )
+    results = study.run(steps_per_tick=4)
+    print(results.summary())
+    step = max(0, int(0.8 * case.ntimesteps))
+    for k, name in enumerate(results.parameter_names):
+        print(render_field_slice(
+            np.nan_to_num(results.first_order_map(k, step)), case.mesh.dims,
+            width=min(64, args.nx), height=min(16, args.ny),
+            title=f"\nS map: {name} (t={step})", vmin=0.0, vmax=1.0,
+        ))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.perfmodel import CampaignSimulator, paper_campaign
+    from repro.report import format_table
+
+    params = paper_campaign(args.server_nodes)
+    result = CampaignSimulator(params).run()
+    summary = result.summary()
+    rows = [[k, v] for k, v in summary.items()]
+    print(format_table(
+        ["quantity", "value"], rows,
+        title=f"Curie campaign model, server on {args.server_nodes} nodes",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Melissa (SC'17) reproduction: in-transit sensitivity analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("quickstart", help="Ishigami study vs closed form")
+    p.add_argument("--groups", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_quickstart)
+
+    p = sub.add_parser("tube", help="tube-bundle use case with ASCII maps")
+    p.add_argument("--nx", type=int, default=48)
+    p.add_argument("--ny", type=int, default=24)
+    p.add_argument("--timesteps", type=int, default=10)
+    p.add_argument("--time", type=float, default=1.5)
+    p.add_argument("--groups", type=int, default=30)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--server-ranks", type=int, default=4)
+    p.set_defaults(func=_cmd_tube)
+
+    p = sub.add_parser("campaign", help="Curie campaign performance model")
+    p.add_argument("--server-nodes", type=int, default=32)
+    p.set_defaults(func=_cmd_campaign)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Melissa core: the three-tier in-transit sensitivity-analysis framework.
+
+* :class:`MelissaServer` — the parallel in-transit server.  Each rank owns
+  a spatial partition of the statistics fields, drains its inbound
+  channel, stages partial (group, timestep) data until complete, updates
+  the iterative Sobol' estimators, and discards the data (Sec. 4.1.1).
+  It implements the paper's full fault-tolerance accounting: per-group
+  last-integrated timestep, discard-on-replay, timeout detection,
+  checkpoint/restart (Sec. 4.2).
+* :class:`SimulationGroup` / :class:`GroupExecutor` — the clients: p+2
+  synchronized ensemble members with the 3-call integration API
+  (Initialize / Process / Finalize) and the two-stage data transfer.
+* :class:`MelissaLauncher` — the front-node supervisor: parameter-set
+  generation, batch submission, heartbeats, kill-and-restart of failed
+  groups and of the server, retry budgets, zombie detection (Sec. 4.1.4,
+  4.2).
+* :class:`StudyConfig` — one declarative description of a study.
+* :mod:`repro.core.convergence` — CI-threshold loopback control
+  (Sec. 4.1.5).
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.server import MelissaServer, ServerRank
+from repro.core.group import GroupExecutor, SimulationGroup
+from repro.core.launcher import LauncherEvent, MelissaLauncher
+from repro.core.convergence import ConvergenceController
+from repro.core.results import StudyResults
+
+__all__ = [
+    "StudyConfig",
+    "MelissaServer",
+    "ServerRank",
+    "SimulationGroup",
+    "GroupExecutor",
+    "MelissaLauncher",
+    "LauncherEvent",
+    "ConvergenceController",
+    "StudyResults",
+]

@@ -1,0 +1,95 @@
+"""Declarative study configuration shared by launcher, server, and runtimes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sampling import ParameterSpace
+from repro.stats import StatisticsConfig
+
+
+@dataclass
+class StudyConfig:
+    """Everything needed to run one in-transit sensitivity study.
+
+    Attributes mirror the knobs the paper's ``options.py`` exposes
+    (Appendix A.6): server size, group count, message-buffer budget,
+    which statistics to compute, timeouts and checkpoint cadence.
+    """
+
+    # --- the study itself ------------------------------------------------
+    space: ParameterSpace
+    ngroups: int
+    ntimesteps: int
+    ncells: int
+    seed: int = 0
+    sampling_method: str = "random"
+
+    # --- server shape ----------------------------------------------------
+    server_ranks: int = 2
+    compute_general_stats: bool = True
+    stats_config: StatisticsConfig = field(default_factory=StatisticsConfig)
+
+    # --- client shape ----------------------------------------------------
+    client_ranks: int = 2  # ranks per simulation (the in-group partition)
+
+    # --- transport -------------------------------------------------------
+    channel_capacity_bytes: Optional[int] = None  # None = unbounded buffers
+    two_stage_transfer: bool = True
+
+    # --- batch resources (virtual nodes, for the scheduler) --------------
+    nodes_per_group: int = 4
+    server_nodes: int = 2
+    total_nodes: int = 64
+    group_walltime: float = 1e9
+    server_walltime: float = 1e9
+    max_pending_jobs: int = 500  # Curie's submission limit (Sec. 4.1.4)
+
+    # --- fault tolerance (virtual seconds) --------------------------------
+    group_timeout: float = 300.0  # paper's unresponsive-group timeout
+    zombie_timeout: float = 300.0  # never-sent-a-message timeout
+    server_timeout: float = 300.0  # launcher heartbeat timeout
+    checkpoint_interval: float = 600.0  # paper's checkpoint period
+    max_group_retries: int = 3
+    discard_on_replay: bool = True
+
+    # --- convergence control ----------------------------------------------
+    convergence_threshold: Optional[float] = None  # max CI width to stop at
+    convergence_check_interval: float = 60.0
+
+    def __post_init__(self):
+        if self.ngroups < 1:
+            raise ValueError("ngroups must be >= 1")
+        if self.ntimesteps < 1:
+            raise ValueError("ntimesteps must be >= 1")
+        if self.ncells < 1:
+            raise ValueError("ncells must be >= 1")
+        if self.server_ranks < 1:
+            raise ValueError("server_ranks must be >= 1")
+        if self.client_ranks < 1:
+            raise ValueError("client_ranks must be >= 1")
+        if self.server_ranks > self.ncells:
+            raise ValueError("cannot split cells over more server ranks than cells")
+        if self.client_ranks > self.ncells:
+            raise ValueError("cannot split cells over more client ranks than cells")
+        if self.max_group_retries < 0:
+            raise ValueError("max_group_retries must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nparams(self) -> int:
+        return self.space.nparams
+
+    @property
+    def group_size(self) -> int:
+        """Simulations per group: p + 2."""
+        return self.nparams + 2
+
+    @property
+    def nsimulations(self) -> int:
+        return self.ngroups * self.group_size
+
+    def ensemble_bytes(self) -> int:
+        """Bytes the classical approach would write: the 48 TB quantity."""
+        return self.nsimulations * self.ntimesteps * self.ncells * 8

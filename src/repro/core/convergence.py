@@ -1,0 +1,70 @@
+"""Convergence control / loopback (Sec. 3.4 and 4.1.5).
+
+The server computes Fisher-z confidence intervals at every Sobol' update;
+the controller reduces them to the single scalar the paper keeps ("the
+largest value over all the mesh and all the timesteps") and decides:
+
+* **stop early** — every interval is narrower than the target: remaining
+  pending jobs can be cancelled;
+* **keep going** — intervals still too wide;
+* **extend** — the study ran out of groups and is still too wide: draw
+  fresh independent rows for A and B and submit new groups (statistically
+  valid per Sec. 3.2's closing remark).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class ConvergenceDecision(enum.Enum):
+    CONTINUE = "continue"
+    STOP = "stop"
+    EXTEND = "extend"
+
+
+@dataclass
+class ConvergenceController:
+    """Threshold policy over the server's max-CI-width scalar.
+
+    Parameters
+    ----------
+    threshold:
+        Target maximum CI width; ``None`` disables early stopping.
+    min_groups:
+        Never stop before this many groups are integrated (the Fisher
+        interval is asymptotic; tiny samples can look deceptively tight).
+    extend_batch:
+        How many new groups to draw when the study ends unconverged.
+    """
+
+    threshold: Optional[float] = None
+    min_groups: int = 10
+    extend_batch: int = 0
+    history: List[tuple] = field(default_factory=list)  # (ngroups, width)
+
+    def assess(
+        self, max_interval_width: float, groups_integrated: int,
+        groups_outstanding: int,
+    ) -> ConvergenceDecision:
+        """One control decision from the current server state."""
+        self.history.append((groups_integrated, max_interval_width))
+        if self.threshold is None:
+            return ConvergenceDecision.CONTINUE
+        if (
+            groups_integrated >= self.min_groups
+            and max_interval_width <= self.threshold
+        ):
+            return ConvergenceDecision.STOP
+        if groups_outstanding == 0 and self.extend_batch > 0:
+            return ConvergenceDecision.EXTEND
+        return ConvergenceDecision.CONTINUE
+
+    @property
+    def converged(self) -> bool:
+        if self.threshold is None or not self.history:
+            return False
+        groups, width = self.history[-1]
+        return groups >= self.min_groups and width <= self.threshold

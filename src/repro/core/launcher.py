@@ -1,0 +1,308 @@
+"""Melissa Launcher: front-node supervision of the whole study (Sec. 4.1.4).
+
+Responsibilities, mirroring the paper:
+
+* draw the pick-freeze design and define every simulation-group job;
+* submit the server job, wait for it, then pace group submissions under
+  the batch scheduler's submission cap (Curie limited the authors to 500);
+* track heartbeats from the server and kill/restart it from its last
+  checkpoint on timeout (Sec. 4.2.3);
+* act on the server's unresponsive-group notifications: kill the job if
+  it is still running and resubmit a fresh instance of the *same* group
+  (discard-on-replay makes the replays harmless, Sec. 4.2.2);
+* detect zombie groups itself (job running per the scheduler, yet the
+  server never heard from it within the startup timeout);
+* count retries per group and give up past the budget (a persistently
+  failing group usually means invalid parameters; replacing it would bias
+  the statistics, so giving up is the paper's default).
+
+The launcher is intentionally pure bookkeeping over the scheduler — the
+runtime delivers it the observations (server reports, heartbeats, job
+states) and executes the restart actions it returns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.core.config import StudyConfig
+from repro.sampling.pickfreeze import PickFreezeDesign, draw_design
+from repro.scheduler import BatchScheduler, Job, JobState, SchedulerError
+
+
+class LauncherEvent(enum.Enum):
+    SERVER_SUBMITTED = "server_submitted"
+    GROUP_SUBMITTED = "group_submitted"
+    GROUP_RESTARTED = "group_restarted"
+    GROUP_ABANDONED = "group_abandoned"
+    SERVER_RESTARTED = "server_restarted"
+    STUDY_CONVERGED = "study_converged"
+
+
+@dataclass
+class _GroupRecord:
+    group_id: int
+    job_id: Optional[int] = None
+    retries: int = 0
+    abandoned: bool = False  # retry budget exhausted (Sec. 4.2.2)
+    cancelled: bool = False  # convergence reached; work no longer needed
+    finished: bool = False
+
+    @property
+    def resolved(self) -> bool:
+        return self.finished or self.abandoned or self.cancelled
+
+
+class MelissaLauncher:
+    """Bookkeeping brain of the study."""
+
+    def __init__(self, config: StudyConfig, scheduler: BatchScheduler):
+        self.config = config
+        self.scheduler = scheduler
+        self.design: PickFreezeDesign = draw_design(
+            config.space, config.ngroups, seed=config.seed,
+            method=config.sampling_method,
+        )
+        self.records: Dict[int, _GroupRecord] = {
+            g: _GroupRecord(group_id=g) for g in range(config.ngroups)
+        }
+        self._to_submit: List[int] = list(range(config.ngroups))
+        self.server_job: Optional[Job] = None
+        self.last_server_heartbeat: Optional[float] = None
+        self.server_restarts = 0
+        self.events: List[tuple] = []  # (time, LauncherEvent, detail)
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit_server(self, now: float) -> Job:
+        """First job of the study: Melissa Server itself."""
+        job = Job(
+            nodes=self.config.server_nodes,
+            walltime=self.config.server_walltime,
+            name="melissa-server",
+            payload={"kind": "server"},
+        )
+        self.scheduler.submit(job, now)
+        self.server_job = job
+        self.last_server_heartbeat = now
+        self.events.append((now, LauncherEvent.SERVER_SUBMITTED, job.job_id))
+        return job
+
+    @property
+    def server_running(self) -> bool:
+        return self.server_job is not None and self.server_job.state == JobState.RUNNING
+
+    def pump_submissions(self, now: float) -> List[int]:
+        """Submit queued group jobs while under the submission cap.
+
+        Groups are only submitted once the server job is running (the
+        launcher must first retrieve the server address, Sec. 4.1.4).
+        """
+        if not self.server_running:
+            return []
+        submitted: List[int] = []
+        while self._to_submit and self.scheduler.can_submit():
+            group_id = self._to_submit.pop(0)
+            record = self.records[group_id]
+            if record.resolved:
+                continue
+            job = Job(
+                nodes=self.config.nodes_per_group,
+                walltime=self.config.group_walltime,
+                name=f"group-{group_id}",
+                payload={"kind": "group", "group_id": group_id,
+                         "attempt": record.retries},
+            )
+            self.scheduler.submit(job, now)
+            record.job_id = job.job_id
+            submitted.append(group_id)
+            self.events.append((now, LauncherEvent.GROUP_SUBMITTED, group_id))
+        return submitted
+
+    # ------------------------------------------------------------------ #
+    # observations from the server
+    # ------------------------------------------------------------------ #
+    def record_heartbeat(self, now: float) -> None:
+        self.last_server_heartbeat = now
+
+    def server_timed_out(self, now: float) -> bool:
+        if self.last_server_heartbeat is None:
+            return False
+        return now - self.last_server_heartbeat > self.config.server_timeout
+
+    def mark_finished(self, group_ids: Set[int]) -> None:
+        """Server reported these groups fully integrated."""
+        for g in group_ids:
+            self.records[g].finished = True
+
+    # ------------------------------------------------------------------ #
+    # fault handling (Sec. 4.2.2)
+    # ------------------------------------------------------------------ #
+    def restart_group(self, group_id: int, now: float) -> Optional[Job]:
+        """Kill (if needed) and resubmit one failing group.
+
+        Returns the new job, or None when the retry budget is exhausted
+        and the group is abandoned.
+        """
+        record = self.records[group_id]
+        if record.resolved:
+            return None
+        if record.job_id is not None:
+            job = self.scheduler.jobs.get(record.job_id)
+            if job is not None and not job.state.terminal:
+                self.scheduler.cancel(record.job_id, now)
+        if record.retries >= self.config.max_group_retries:
+            record.abandoned = True
+            self.events.append((now, LauncherEvent.GROUP_ABANDONED, group_id))
+            return None
+        record.retries += 1
+        new_job = Job(
+            nodes=self.config.nodes_per_group,
+            walltime=self.config.group_walltime,
+            name=f"group-{group_id}-retry{record.retries}",
+            payload={"kind": "group", "group_id": group_id,
+                     "attempt": record.retries},
+        )
+        self.scheduler.submit(new_job, now)
+        record.job_id = new_job.job_id
+        self.events.append((now, LauncherEvent.GROUP_RESTARTED, group_id))
+        return new_job
+
+    def detect_zombies(self, started_groups: Set[int], now: float) -> List[int]:
+        """Groups the server never heard from despite their job having
+        started longer than the zombie timeout ago (Sec. 4.2.2).
+
+        Covers both cases the paper lists: a job still *running* silently,
+        and a job the scheduler already considers *finished* (completed,
+        failed, or walltime-killed) while the server received nothing —
+        e.g. a simulation that crashed before its first send.  Jobs the
+        launcher cancelled itself are excluded (that is our own restart
+        machinery at work, not a fault to detect).
+        """
+        zombies: List[int] = []
+        observable = (
+            JobState.RUNNING,
+            JobState.COMPLETED,
+            JobState.FAILED,
+            JobState.TIMEOUT,
+        )
+        for record in self.records.values():
+            if record.resolved or record.job_id is None:
+                continue
+            if record.group_id in started_groups:
+                continue
+            job = self.scheduler.jobs.get(record.job_id)
+            if job is None or job.state not in observable or job.start_time is None:
+                continue
+            if now - job.start_time > self.config.zombie_timeout:
+                zombies.append(record.group_id)
+        return zombies
+
+    def restart_server(self, finished_per_server: Set[int], now: float) -> Job:
+        """Server fault protocol (Sec. 4.2.3): kill everything, resubmit
+        the server, and requeue every group not finished at checkpoint
+        time (replays are deduplicated by discard-on-replay)."""
+        if self.server_job is not None and not self.server_job.state.terminal:
+            self.scheduler.cancel(self.server_job.job_id, now)
+        # kill all running/pending group jobs
+        for record in self.records.values():
+            if record.job_id is None:
+                continue
+            job = self.scheduler.jobs.get(record.job_id)
+            if job is not None and not job.state.terminal:
+                self.scheduler.cancel(record.job_id, now)
+            record.job_id = None
+        self.server_restarts += 1
+        new_server = Job(
+            nodes=self.config.server_nodes,
+            walltime=self.config.server_walltime,
+            name=f"melissa-server-restart{self.server_restarts}",
+            payload={"kind": "server"},
+        )
+        self.scheduler.submit(new_server, now)
+        self.server_job = new_server
+        self.last_server_heartbeat = now
+        # Roll the launcher's completion view back to the checkpoint's:
+        # groups that finished AFTER the last backup are gone from the
+        # restored statistics and must run again ("the launcher restarts
+        # ... the groups considered as finished by the launcher but not
+        # the server", Sec. 4.2.3).  Discard-on-replay dedups the rest.
+        for record in self.records.values():
+            record.finished = record.group_id in finished_per_server
+        self._to_submit = [
+            record.group_id
+            for record in self.records.values()
+            if not record.resolved
+        ]
+        self.events.append((now, LauncherEvent.SERVER_RESTARTED, new_server.job_id))
+        return new_server
+
+    # ------------------------------------------------------------------ #
+    # convergence-driven extension (Sec. 3.4 / 4.1.5)
+    # ------------------------------------------------------------------ #
+    def extend_study(self, extra_groups: int, now: float) -> List[int]:
+        """Draw fresh independent A/B rows and queue the new groups.
+
+        Statistically valid because all pick-freeze row couples are
+        i.i.d. (Sec. 3.2): when the confidence intervals are still too
+        wide after the planned groups, the launcher can keep growing the
+        study on-the-fly.  Returns the new group ids.
+        """
+        if extra_groups <= 0:
+            raise ValueError("extra_groups must be positive")
+        first_new = self.design.ngroups
+        rng = np.random.default_rng(
+            (self.config.seed, first_new)  # fresh, reproducible stream
+        )
+        self.design.extend(rng, extra_groups)
+        new_ids = list(range(first_new, first_new + extra_groups))
+        for g in new_ids:
+            self.records[g] = _GroupRecord(group_id=g)
+        self._to_submit.extend(new_ids)
+        return new_ids
+
+    @property
+    def total_groups(self) -> int:
+        """Initial groups plus any convergence-driven extensions."""
+        return len(self.records)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def abandoned_groups(self) -> List[int]:
+        return sorted(r.group_id for r in self.records.values() if r.abandoned)
+
+    def cancel_outstanding(self) -> List[int]:
+        """Convergence stop: mark every unresolved group as cancelled."""
+        cancelled = []
+        for record in self.records.values():
+            if not record.resolved:
+                record.cancelled = True
+                cancelled.append(record.group_id)
+        return sorted(cancelled)
+
+    @property
+    def cancelled_groups(self) -> List[int]:
+        return sorted(r.group_id for r in self.records.values() if r.cancelled)
+
+    @property
+    def outstanding_groups(self) -> List[int]:
+        """Groups not yet finished, abandoned, or cancelled."""
+        return sorted(
+            r.group_id for r in self.records.values() if not r.resolved
+        )
+
+    def study_complete(self) -> bool:
+        return not self.outstanding_groups
+
+    def group_for_job(self, job_id: int) -> Optional[int]:
+        job = self.scheduler.jobs.get(job_id)
+        if job is None or not isinstance(job.payload, dict):
+            return None
+        if job.payload.get("kind") != "group":
+            return None
+        return int(job.payload["group_id"])

@@ -1,0 +1,346 @@
+"""Melissa Server: parallel in-transit statistics aggregation.
+
+Each :class:`ServerRank` owns a contiguous cell partition and processes
+whatever messages arrive, in any order across groups (Sec. 4.1.1: "The
+data sent by the clients can be processed in any order"; updating is a
+purely local operation, no inter-rank communication).
+
+Message handling pipeline per rank:
+
+1. **discard-on-replay** — a message whose timestep is <= the last
+   timestep already *integrated* for its group is dropped (Sec. 4.2.1);
+2. **staging** — member slices accumulate in a per-(group, timestep)
+   buffer until every member has covered every local cell (a group's
+   members run synchronously, but slices may arrive from several client
+   ranks and interleave with other groups);
+3. **integration** — the complete (p+2)-member local fields update the
+   iterative Sobol' estimators (and optionally the general statistics on
+   the A and B members), then the buffer is discarded.  This is the
+   "update and discard" that makes server memory O(one simulation),
+   independent of the ensemble size;
+4. **accounting** — last-integrated timestep and last-reception time per
+   group feed the fault-tolerance protocol (timeout detection, restart
+   bookkeeping, final data-provenance report).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.config import StudyConfig
+from repro.mesh.partition import BlockPartition
+from repro.sobol.martinez import UbiquitousSobolField
+from repro.stats.field import FieldStatistics
+from repro.transport.message import FieldMessage, GroupFieldMessage
+
+
+@dataclass
+class _Staging:
+    """Partial (group, timestep) data for one rank's cell range."""
+
+    data: np.ndarray  # (nmembers, ncells_local)
+    received: np.ndarray  # bool, same shape
+
+    @classmethod
+    def empty(cls, nmembers: int, ncells: int) -> "_Staging":
+        return cls(
+            data=np.zeros((nmembers, ncells)),
+            received=np.zeros((nmembers, ncells), dtype=bool),
+        )
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.received.all())
+
+
+class ServerRank:
+    """One MPI-rank's worth of Melissa Server state and logic."""
+
+    def __init__(self, rank: int, config: StudyConfig, partition: BlockPartition):
+        self.rank = rank
+        self.config = config
+        self.partition = partition
+        self.cell_lo, self.cell_hi = partition.range_of(rank)
+        self.ncells_local = self.cell_hi - self.cell_lo
+        nmembers = config.group_size
+        self.nmembers = nmembers
+        self.sobol = UbiquitousSobolField(
+            nparams=config.nparams,
+            ntimesteps=config.ntimesteps,
+            ncells=self.ncells_local,
+        )
+        # general statistics on the A and B members only (their inputs are
+        # the only independent ones within a group, Sec. 4.1)
+        self.general: Optional[List[FieldStatistics]] = None
+        if config.compute_general_stats:
+            self.general = [
+                FieldStatistics((self.ncells_local,), config.stats_config)
+                for _ in range(config.ntimesteps)
+            ]
+        # fault-tolerance accounting (Sec. 4.2.1)
+        self.last_integrated: Dict[int, int] = {}
+        self.last_message_time: Dict[int, float] = {}
+        self.finished_groups: Set[int] = set()
+        self._staging: Dict[Tuple[int, int], _Staging] = {}
+        # counters for the final provenance report
+        self.messages_processed = 0
+        self.messages_discarded = 0
+        self.groups_seen: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # message handling
+    # ------------------------------------------------------------------ #
+    def handle(self, msg, now: float) -> bool:
+        """Process one inbound message; returns False if discarded."""
+        if isinstance(msg, GroupFieldMessage):
+            return self._handle_slices(
+                msg.group_id, msg.timestep, msg.cell_lo, msg.cell_hi,
+                range(msg.nmembers), msg.data, now,
+            )
+        if isinstance(msg, FieldMessage):
+            return self._handle_slices(
+                msg.group_id, msg.timestep, msg.cell_lo, msg.cell_hi,
+                [msg.member], msg.data[np.newaxis, :], now,
+            )
+        raise TypeError(f"server cannot handle message type {type(msg)!r}")
+
+    def _handle_slices(
+        self,
+        group_id: int,
+        timestep: int,
+        cell_lo: int,
+        cell_hi: int,
+        members: Sequence[int],
+        data: np.ndarray,
+        now: float,
+    ) -> bool:
+        if not (self.cell_lo <= cell_lo < cell_hi <= self.cell_hi):
+            raise ValueError(
+                f"rank {self.rank} received cells [{cell_lo}, {cell_hi}) "
+                f"outside its partition [{self.cell_lo}, {self.cell_hi})"
+            )
+        if timestep >= self.config.ntimesteps:
+            raise ValueError(f"timestep {timestep} beyond study length")
+        self.groups_seen.add(group_id)
+        self.last_message_time[group_id] = now
+        # discard on replay (Sec. 4.2.1): never integrate a timestep twice
+        if self.config.discard_on_replay and timestep <= self.last_integrated.get(
+            group_id, -1
+        ):
+            self.messages_discarded += 1
+            return False
+        key = (group_id, timestep)
+        staging = self._staging.get(key)
+        if staging is None:
+            staging = _Staging.empty(self.nmembers, self.ncells_local)
+            self._staging[key] = staging
+        lo = cell_lo - self.cell_lo
+        hi = cell_hi - self.cell_lo
+        for row, member in enumerate(members):
+            if not 0 <= member < self.nmembers:
+                raise ValueError(f"invalid member index {member}")
+            staging.data[member, lo:hi] = data[row]
+            staging.received[member, lo:hi] = True
+        self.messages_processed += 1
+        if staging.complete:
+            self._integrate(group_id, timestep, staging)
+            del self._staging[key]
+        return True
+
+    def _integrate(self, group_id: int, timestep: int, staging: _Staging) -> None:
+        """Fold a complete (group, timestep) into every statistic, then drop."""
+        y_a = staging.data[0]
+        y_b = staging.data[1]
+        y_c = [staging.data[2 + k] for k in range(self.config.nparams)]
+        self.sobol.update_group_timestep(timestep, y_a, y_b, y_c)
+        if self.general is not None:
+            self.general[timestep].update(y_a)
+            self.general[timestep].update(y_b)
+        prev = self.last_integrated.get(group_id, -1)
+        if timestep > prev:
+            self.last_integrated[group_id] = timestep
+        if timestep == self.config.ntimesteps - 1:
+            self.finished_groups.add(group_id)
+
+    # ------------------------------------------------------------------ #
+    # fault-tolerance accounting
+    # ------------------------------------------------------------------ #
+    def running_groups(self) -> Set[int]:
+        """Groups started (>= 1 message) but not finished on this rank."""
+        return self.groups_seen - self.finished_groups
+
+    def check_timeouts(self, now: float, timeout: float) -> List[int]:
+        """Groups whose inter-message gap exceeded ``timeout`` (Sec. 4.2.2)."""
+        stale = []
+        for group_id in self.running_groups():
+            last = self.last_message_time.get(group_id)
+            if last is not None and now - last > timeout:
+                stale.append(group_id)
+        return sorted(stale)
+
+    def forget_group(self, group_id: int) -> None:
+        """Drop staging and liveness for a group being restarted.
+
+        The integrated statistics and ``last_integrated`` are kept — that
+        is the whole point of discard-on-replay: the restarted instance's
+        already-seen timesteps will be dropped.
+        """
+        self._staging = {
+            key: value for key, value in self._staging.items() if key[0] != group_id
+        }
+        self.last_message_time.pop(group_id, None)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restart (Sec. 4.2.3)
+    # ------------------------------------------------------------------ #
+    def checkpoint_state(self) -> dict:
+        """Statistics + group accounting.  Staged partials are *not* saved:
+        restarted groups will resend them and replay protection keeps the
+        integrated state exact."""
+        state = {
+            "rank": self.rank,
+            "cell_lo": self.cell_lo,
+            "cell_hi": self.cell_hi,
+            "sobol": self.sobol.state_dict(),
+            "last_integrated": dict(self.last_integrated),
+            "finished_groups": sorted(self.finished_groups),
+            "groups_seen": sorted(self.groups_seen),
+            "messages_processed": self.messages_processed,
+            "messages_discarded": self.messages_discarded,
+        }
+        if self.general is not None:
+            state["general"] = [fs.state_dict() for fs in self.general]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        if state["rank"] != self.rank:
+            raise ValueError("checkpoint belongs to a different rank")
+        if (state["cell_lo"], state["cell_hi"]) != (self.cell_lo, self.cell_hi):
+            raise ValueError("checkpoint partition mismatch")
+        self.sobol = UbiquitousSobolField.from_state_dict(state["sobol"])
+        self.last_integrated = {int(k): int(v) for k, v in state["last_integrated"].items()}
+        self.finished_groups = set(state["finished_groups"])
+        self.groups_seen = set(state["groups_seen"])
+        self.messages_processed = int(state["messages_processed"])
+        self.messages_discarded = int(state["messages_discarded"])
+        if self.general is not None and "general" in state:
+            self.general = [
+                FieldStatistics.from_state_dict(s) for s in state["general"]
+            ]
+        self._staging.clear()
+        self.last_message_time.clear()
+
+    @property
+    def staged_entries(self) -> int:
+        return len(self._staging)
+
+
+class MelissaServer:
+    """The full parallel server: all ranks plus cross-rank reductions.
+
+    In-process, "parallel" means rank objects driven by whichever runtime
+    owns the study; each rank's :meth:`ServerRank.handle` is pure local
+    work, exactly as in the paper, so driving them sequentially or from
+    threads yields identical statistics.
+    """
+
+    def __init__(self, config: StudyConfig):
+        self.config = config
+        self.partition = BlockPartition(config.ncells, config.server_ranks)
+        self.ranks = [
+            ServerRank(r, config, self.partition) for r in range(config.server_ranks)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def rank_for_cell(self, cell: int) -> ServerRank:
+        return self.ranks[self.partition.owner_of(cell)]
+
+    def handle(self, msg, now: float) -> bool:
+        """Route one message to its owning rank (driver convenience)."""
+        return self.rank_for_cell(msg.cell_lo).handle(msg, now)
+
+    # ------------------------------------------------------------------ #
+    # cross-rank views
+    # ------------------------------------------------------------------ #
+    def finished_groups(self) -> Set[int]:
+        """Groups finished on *every* rank (a group is done only when all
+        partitions have integrated its final timestep)."""
+        finished = self.ranks[0].finished_groups.copy()
+        for rank in self.ranks[1:]:
+            finished &= rank.finished_groups
+        return finished
+
+    def started_groups(self) -> Set[int]:
+        started = set()
+        for rank in self.ranks:
+            started |= rank.groups_seen
+        return started
+
+    def running_groups(self) -> Set[int]:
+        return self.started_groups() - self.finished_groups()
+
+    def check_timeouts(self, now: float, timeout: float) -> List[int]:
+        """Union of per-rank timeout detections (any rank may notice)."""
+        stale: Set[int] = set()
+        for rank in self.ranks:
+            stale.update(rank.check_timeouts(now, timeout))
+        return sorted(stale)
+
+    def forget_group(self, group_id: int) -> None:
+        for rank in self.ranks:
+            rank.forget_group(group_id)
+
+    # ------------------------------------------------------------------ #
+    # results assembly
+    # ------------------------------------------------------------------ #
+    def first_order_map(self, k: int, timestep: int) -> np.ndarray:
+        """Global S_k(x) at one timestep, concatenated across ranks."""
+        return np.concatenate(
+            [r.sobol.first_order_map(k, timestep) for r in self.ranks]
+        )
+
+    def total_order_map(self, k: int, timestep: int) -> np.ndarray:
+        return np.concatenate(
+            [r.sobol.total_order_map(k, timestep) for r in self.ranks]
+        )
+
+    def variance_map(self, timestep: int) -> np.ndarray:
+        return np.concatenate([r.sobol.variance_map(timestep) for r in self.ranks])
+
+    def mean_map(self, timestep: int) -> np.ndarray:
+        return np.concatenate(
+            [r.sobol.estimators[timestep].output_mean for r in self.ranks]
+        )
+
+    def max_interval_width(self, z: float = 1.96) -> float:
+        """Convergence scalar: the largest CI width anywhere (Sec. 4.1.5).
+
+        Ranks whose partition carries no meaningful cells yet are skipped
+        (their estimators report NaN); ``inf`` while no rank has data.
+        """
+        widths = [r.sobol.max_interval_width(z) for r in self.ranks]
+        valid = [w for w in widths if not np.isnan(w)]
+        return max(valid) if valid else float("inf")
+
+    def groups_integrated(self) -> int:
+        """Number of groups whose final timestep is integrated everywhere."""
+        return len(self.finished_groups())
+
+    # ------------------------------------------------------------------ #
+    def provenance_report(self) -> dict:
+        """The "clear vision of the actual data" report (Sec. 4.2.2 end)."""
+        return {
+            "groups_started": len(self.started_groups()),
+            "groups_finished": len(self.finished_groups()),
+            "messages_processed": sum(r.messages_processed for r in self.ranks),
+            "messages_discarded": sum(r.messages_discarded for r in self.ranks),
+            "staged_entries": sum(r.staged_entries for r in self.ranks),
+        }
+
+    def memory_floats(self) -> int:
+        """Total statistics state across ranks (the 491 GB accounting)."""
+        return sum(r.sobol.memory_floats for r in self.ranks)

@@ -1,0 +1,37 @@
+"""Fault-injection plans for exercising the Sec. 4.2 protocols.
+
+A :class:`FaultPlan` is a declarative schedule of failures the runtime
+injects while a study runs:
+
+* :class:`GroupCrash` — the whole group dies at a given timestep (the
+  paper treats a group as a single failure unit);
+* :class:`GroupZombie` — the job runs but never sends a message
+  (Sec. 4.2.2's second detection case);
+* :class:`GroupStraggler` — the group computes N times slower
+  ("straggler issues" the framework must also detect);
+* :class:`ServerCrash` — Melissa Server dies at a virtual time and must
+  be restarted from its last checkpoint (Sec. 4.2.3);
+* :class:`DuplicateDelivery` — every message of a group is delivered
+  twice (exercises discard-on-replay idempotence, Sec. 4.2.1).
+
+Faults target a specific *attempt* so a restarted instance runs clean —
+matching real intermittent failures.
+"""
+
+from repro.faults.plan import (
+    DuplicateDelivery,
+    FaultPlan,
+    GroupCrash,
+    GroupStraggler,
+    GroupZombie,
+    ServerCrash,
+)
+
+__all__ = [
+    "FaultPlan",
+    "GroupCrash",
+    "GroupZombie",
+    "GroupStraggler",
+    "ServerCrash",
+    "DuplicateDelivery",
+]

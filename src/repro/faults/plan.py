@@ -1,0 +1,102 @@
+"""Fault specification dataclasses and the plan container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+
+@dataclass(frozen=True)
+class GroupCrash:
+    """Group ``group_id`` crashes when it reaches ``at_timestep`` on
+    attempt ``on_attempt`` (0 = the first run)."""
+
+    group_id: int
+    at_timestep: int
+    on_attempt: int = 0
+
+
+@dataclass(frozen=True)
+class GroupZombie:
+    """Group runs but never sends any message, on the given attempt."""
+
+    group_id: int
+    on_attempt: int = 0
+
+
+@dataclass(frozen=True)
+class GroupStraggler:
+    """Group advances only every ``factor``-th step on the given attempt."""
+
+    group_id: int
+    factor: int
+    on_attempt: int = 0
+
+    def __post_init__(self):
+        if self.factor < 2:
+            raise ValueError("a straggler needs factor >= 2")
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """Melissa Server dies at virtual time ``at_time`` (once)."""
+
+    at_time: float
+
+
+@dataclass(frozen=True)
+class DuplicateDelivery:
+    """Every delivered message of ``group_id`` is delivered twice."""
+
+    group_id: int
+
+
+@dataclass
+class FaultPlan:
+    """Schedule of failures a runtime injects during a study."""
+
+    group_crashes: List[GroupCrash] = field(default_factory=list)
+    group_zombies: List[GroupZombie] = field(default_factory=list)
+    group_stragglers: List[GroupStraggler] = field(default_factory=list)
+    server_crashes: List[ServerCrash] = field(default_factory=list)
+    duplicate_deliveries: List[DuplicateDelivery] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def crash_for(self, group_id: int, attempt: int) -> Optional[GroupCrash]:
+        for spec in self.group_crashes:
+            if spec.group_id == group_id and spec.on_attempt == attempt:
+                return spec
+        return None
+
+    def is_zombie(self, group_id: int, attempt: int) -> bool:
+        return any(
+            s.group_id == group_id and s.on_attempt == attempt
+            for s in self.group_zombies
+        )
+
+    def straggler_for(self, group_id: int, attempt: int) -> Optional[GroupStraggler]:
+        for spec in self.group_stragglers:
+            if spec.group_id == group_id and spec.on_attempt == attempt:
+                return spec
+        return None
+
+    def server_crash_due(self, now: float, already_fired: int) -> Optional[ServerCrash]:
+        """Next un-fired server crash whose time has come (sorted order)."""
+        pending = sorted(self.server_crashes, key=lambda s: s.at_time)
+        if already_fired < len(pending) and pending[already_fired].at_time <= now:
+            return pending[already_fired]
+        return None
+
+    @property
+    def duplicated_groups(self) -> Set[int]:
+        return {s.group_id for s in self.duplicate_deliveries}
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.group_crashes
+            or self.group_zombies
+            or self.group_stragglers
+            or self.server_crashes
+            or self.duplicate_deliveries
+        )

@@ -1,0 +1,15 @@
+"""Structured mesh substrate: cells, coordinates, and domain partitioning.
+
+Stands in for Code_Saturne's unstructured polyhedral mesh (paper Sec. 5.1).
+A structured grid keeps the solver vectorizable while exercising the same
+Melissa-facing surface: a global cell numbering, a client-side partition
+(how a parallel simulation splits the domain across its ranks) and a
+server-side partition (how Melissa Server splits the statistics fields
+across its ranks), which in general do not coincide — that mismatch is
+what the N x M redistribution in the transport layer resolves.
+"""
+
+from repro.mesh.structured import StructuredMesh
+from repro.mesh.partition import BlockPartition, partition_cells
+
+__all__ = ["StructuredMesh", "BlockPartition", "partition_cells"]

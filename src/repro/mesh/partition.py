@@ -1,0 +1,103 @@
+"""Domain partitioning: contiguous block decomposition of the cell range.
+
+The paper partitions the simulation domain "evenly in space among the
+different processes at starting time" (Sec. 4.1.1) — both on the client
+side (a parallel simulation's ranks) and on the server side (Melissa
+Server's ranks), with independently chosen rank counts.  We model both
+with contiguous ranges over the global C-ordered cell numbering; the
+transport layer computes range intersections to plan the N x M
+redistribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """Contiguous balanced split of ``ncells`` cells over ``nranks`` ranks.
+
+    Rank r owns the half-open range ``[offsets[r], offsets[r+1])``.  Sizes
+    differ by at most one cell (the first ``ncells % nranks`` ranks get the
+    extra cell), matching the "even" partition in the paper.
+    """
+
+    ncells: int
+    nranks: int
+
+    def __post_init__(self):
+        if self.ncells < 1:
+            raise ValueError("ncells must be >= 1")
+        if self.nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        if self.nranks > self.ncells:
+            raise ValueError("cannot have more ranks than cells")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def offsets(self) -> np.ndarray:
+        """(nranks + 1,) fencepost array of range starts."""
+        base, extra = divmod(self.ncells, self.nranks)
+        sizes = np.full(self.nranks, base, dtype=np.int64)
+        sizes[:extra] += 1
+        return np.concatenate([[0], np.cumsum(sizes)])
+
+    def range_of(self, rank: int) -> Tuple[int, int]:
+        """Half-open cell range owned by ``rank``."""
+        self._check_rank(rank)
+        off = self.offsets
+        return int(off[rank]), int(off[rank + 1])
+
+    def size_of(self, rank: int) -> int:
+        lo, hi = self.range_of(rank)
+        return hi - lo
+
+    def owner_of(self, cell: int) -> int:
+        """Rank owning global cell id ``cell``."""
+        if not 0 <= cell < self.ncells:
+            raise ValueError(f"cell {cell} out of range")
+        return int(np.searchsorted(self.offsets, cell, side="right") - 1)
+
+    def local_view(self, rank: int, global_field: np.ndarray) -> np.ndarray:
+        """Slice (view, no copy) of a global field owned by ``rank``."""
+        lo, hi = self.range_of(rank)
+        return np.asarray(global_field)[..., lo:hi]
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+
+    # ------------------------------------------------------------------ #
+    def intersections(self, other: "BlockPartition") -> List[List[Tuple[int, int, int]]]:
+        """Redistribution plan from this partition to ``other``.
+
+        Returns, for each source rank, the list of ``(dest_rank, lo, hi)``
+        global ranges it must forward — the static N x M pattern a main
+        simulation uses to push gathered data to server ranks (Sec. 4.1.2).
+        """
+        if other.ncells != self.ncells:
+            raise ValueError("partitions cover different cell counts")
+        plan: List[List[Tuple[int, int, int]]] = []
+        dst_off = other.offsets
+        for src in range(self.nranks):
+            lo, hi = self.range_of(src)
+            entries: List[Tuple[int, int, int]] = []
+            first = int(np.searchsorted(dst_off, lo, side="right") - 1)
+            d = first
+            while d < other.nranks and int(dst_off[d]) < hi:
+                seg_lo = max(lo, int(dst_off[d]))
+                seg_hi = min(hi, int(dst_off[d + 1]))
+                if seg_hi > seg_lo:
+                    entries.append((d, seg_lo, seg_hi))
+                d += 1
+            plan.append(entries)
+        return plan
+
+
+def partition_cells(ncells: int, nranks: int) -> BlockPartition:
+    """Convenience constructor mirroring the paper's even partitioning."""
+    return BlockPartition(ncells=ncells, nranks=nranks)

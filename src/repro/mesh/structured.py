@@ -1,0 +1,112 @@
+"""Structured 2-D/3-D cell-centred meshes.
+
+Cells are numbered in C order (last axis fastest).  Fields live at cell
+centres as flat ``(ncells,)`` arrays; :meth:`StructuredMesh.to_grid`
+reshapes them back to the grid for slicing and rendering (Fig. 7/8 maps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StructuredMesh:
+    """Axis-aligned structured mesh of hexahedral (or quad) cells.
+
+    Parameters
+    ----------
+    dims:
+        Cells per axis, e.g. ``(nx, ny)`` or ``(nx, ny, nz)``.
+    lengths:
+        Physical extents per axis; cell size is ``lengths[i] / dims[i]``.
+    origin:
+        Coordinates of the low corner (defaults to all zeros).
+    """
+
+    dims: Tuple[int, ...]
+    lengths: Tuple[float, ...]
+    origin: Tuple[float, ...] = ()
+
+    def __post_init__(self):
+        dims = tuple(int(d) for d in self.dims)
+        lengths = tuple(float(s) for s in self.lengths)
+        object.__setattr__(self, "dims", dims)
+        object.__setattr__(self, "lengths", lengths)
+        if len(dims) not in (2, 3):
+            raise ValueError("StructuredMesh supports 2-D and 3-D only")
+        if len(lengths) != len(dims):
+            raise ValueError("lengths must match dims")
+        if any(d < 1 for d in dims):
+            raise ValueError("all dims must be >= 1")
+        if any(s <= 0 for s in lengths):
+            raise ValueError("all lengths must be > 0")
+        origin = self.origin or tuple(0.0 for _ in dims)
+        if len(origin) != len(dims):
+            raise ValueError("origin must match dims")
+        object.__setattr__(self, "origin", tuple(float(o) for o in origin))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def ncells(self) -> int:
+        return int(np.prod(self.dims))
+
+    @property
+    def spacing(self) -> Tuple[float, ...]:
+        return tuple(s / d for s, d in zip(self.lengths, self.dims))
+
+    @property
+    def cell_volume(self) -> float:
+        return float(np.prod(self.spacing))
+
+    # ------------------------------------------------------------------ #
+    def cell_centers(self) -> np.ndarray:
+        """(ncells, ndim) array of cell-centre coordinates (C order)."""
+        axes = [
+            self.origin[i] + (np.arange(self.dims[i]) + 0.5) * self.spacing[i]
+            for i in range(self.ndim)
+        ]
+        grids = np.meshgrid(*axes, indexing="ij")
+        return np.column_stack([g.ravel() for g in grids])
+
+    def axis_coordinates(self, axis: int) -> np.ndarray:
+        """Cell-centre coordinates along one axis."""
+        return self.origin[axis] + (np.arange(self.dims[axis]) + 0.5) * self.spacing[axis]
+
+    def to_grid(self, flat: np.ndarray) -> np.ndarray:
+        """Reshape a flat cell field to the (nx, ny[, nz]) grid."""
+        flat = np.asarray(flat)
+        if flat.shape[-1] != self.ncells:
+            raise ValueError(f"field has {flat.shape[-1]} cells, mesh has {self.ncells}")
+        return flat.reshape(flat.shape[:-1] + self.dims)
+
+    def flatten(self, grid: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`to_grid`."""
+        grid = np.asarray(grid)
+        if grid.shape[-self.ndim:] != self.dims:
+            raise ValueError("grid shape does not match mesh dims")
+        return grid.reshape(grid.shape[: -self.ndim] + (self.ncells,))
+
+    def cell_index(self, *indices: int) -> int:
+        """Flat cell id from per-axis indices."""
+        if len(indices) != self.ndim:
+            raise ValueError(f"expected {self.ndim} indices")
+        for i, d in zip(indices, self.dims):
+            if not 0 <= i < d:
+                raise ValueError(f"index {i} out of bounds for dim {d}")
+        return int(np.ravel_multi_index(indices, self.dims))
+
+    def slice_plane(self, flat: np.ndarray, axis: int, index: int) -> np.ndarray:
+        """Extract the plane ``axis = index`` of a flat field (Fig. 7 slices)."""
+        grid = self.to_grid(flat)
+        return np.take(grid, index, axis=grid.ndim - self.ndim + axis)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StructuredMesh(dims={self.dims}, lengths={self.lengths})"

@@ -1,0 +1,41 @@
+"""Calibrated performance model of the paper's Curie campaign (Sec. 5.3-5.4).
+
+The paper's wall-clock results come from a 28 672-core run of a 2017
+supercomputer; they cannot be *timed* on a laptop.  What can be reproduced
+is the *mechanism* that produced them, with the paper's own constants:
+
+* 1000 groups x 8 simulations x 64 cores (512 cores per group);
+* a 10M-hexahedra mesh, 100 output timesteps per simulation, for 48 TB of
+  streamed ensemble data;
+* Melissa Server on 15 or 32 nodes (16 cores each), whose per-node
+  statistics throughput either keeps up with the peak ~56 concurrent
+  groups (32 nodes) or does not (15 nodes), in which case ZeroMQ buffers
+  fill and simulations *suspend* — stretching their execution time up to
+  ~2x, exactly Fig. 6a/b;
+* a classical baseline writing EnSight files to Lustre (35.3% slower than
+  a no-output run) and a no-output reference.
+
+:class:`CampaignSimulator` is a time-stepped discrete-event model of this
+feedback loop (scheduler -> group progress -> data rate -> server queue ->
+back-pressure -> group progress).  Its outputs regenerate the Fig. 6
+series and the summary table; EXPERIMENTS.md records paper-vs-model for
+every number.
+"""
+
+from repro.perfmodel.parameters import CampaignParameters, paper_campaign
+from repro.perfmodel.campaign import CampaignResult, CampaignSimulator
+from repro.perfmodel.baselines import (
+    classical_group_time,
+    no_output_group_time,
+    melissa_group_time_unblocked,
+)
+
+__all__ = [
+    "CampaignParameters",
+    "paper_campaign",
+    "CampaignSimulator",
+    "CampaignResult",
+    "classical_group_time",
+    "no_output_group_time",
+    "melissa_group_time_unblocked",
+]

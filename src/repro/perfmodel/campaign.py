@@ -1,0 +1,218 @@
+"""Time-stepped campaign model: the scheduler/server back-pressure loop.
+
+State advanced every ``dt`` virtual seconds:
+
+* the batch scheduler starts pending groups while cores remain, at a
+  bounded ramp rate (Fig. 6a/c show a ramp, not a step);
+* every *unblocked* running group advances its timestep counter at the
+  Melissa compute rate and deposits one group-timestep of bytes in the
+  server's inbound buffer;
+* the server drains the buffer at its aggregate throughput;
+* when the buffer is full, groups cannot deposit and are *suspended*
+  (they make no progress) — their eventual completion time stretches,
+  which is exactly what the paper's 15-node experiment shows;
+* a finished group frees its cores; pending groups take them.
+
+The model is deterministic.  It runs the 1000-group campaign in a few
+thousand iterations of trivial arithmetic — fast enough to sweep server
+sizes in the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.perfmodel.baselines import (
+    classical_group_time,
+    melissa_group_time_unblocked,
+    no_output_group_time,
+)
+from repro.perfmodel.parameters import CampaignParameters
+
+
+@dataclass
+class CampaignResult:
+    """Time series + per-group records + derived summary of one campaign."""
+
+    params: CampaignParameters
+    times: np.ndarray  # sample instants (s)
+    running_groups: np.ndarray  # concurrently running groups
+    cores_in_use: np.ndarray  # incl. server cores
+    buffer_bytes: np.ndarray  # server inbound queue depth
+    avg_group_seconds: np.ndarray  # windowed avg exec time of completions
+    group_start: np.ndarray  # (ngroups,)
+    group_end: np.ndarray  # (ngroups,)
+    wall_clock_seconds: float
+
+    # ------------------------------------------------------------------ #
+    @property
+    def group_exec_seconds(self) -> np.ndarray:
+        return self.group_end - self.group_start
+
+    @property
+    def peak_running_groups(self) -> int:
+        return int(self.running_groups.max())
+
+    @property
+    def peak_cores(self) -> int:
+        return int(self.cores_in_use.max())
+
+    @property
+    def simulation_cpu_hours(self) -> float:
+        return float(
+            (self.group_exec_seconds * self.params.cores_per_group).sum() / 3600.0
+        )
+
+    @property
+    def server_cpu_hours(self) -> float:
+        return self.wall_clock_seconds * self.params.server_cores / 3600.0
+
+    @property
+    def server_cpu_fraction(self) -> float:
+        total = self.simulation_cpu_hours + self.server_cpu_hours
+        return self.server_cpu_hours / total
+
+    @property
+    def suspended_fraction(self) -> float:
+        """Mean stretch of group exec time beyond the unblocked time."""
+        unblocked = melissa_group_time_unblocked(self.params)
+        return float((self.group_exec_seconds / unblocked - 1.0).mean())
+
+    def messages_per_minute_per_server_process(self) -> float:
+        """Average inbound message rate per server process at steady state."""
+        total_messages = (
+            self.params.ngroups
+            * self.params.ntimesteps
+            * self.params.messages_per_group_timestep
+        )
+        minutes = self.wall_clock_seconds / 60.0
+        return total_messages / (minutes * self.params.server_processes)
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, float]:
+        """The T1 table: every number Sec. 5.3 reports for one campaign."""
+        params = self.params
+        return {
+            "server_nodes": params.server_nodes,
+            "wall_clock_hours": self.wall_clock_seconds / 3600.0,
+            "simulation_cpu_hours": self.simulation_cpu_hours,
+            "server_cpu_hours": self.server_cpu_hours,
+            "server_cpu_percent": 100.0 * self.server_cpu_fraction,
+            "peak_running_groups": self.peak_running_groups,
+            "peak_cores": self.peak_cores,
+            "avg_group_seconds": float(self.group_exec_seconds.mean()),
+            "no_output_group_seconds": no_output_group_time(params),
+            "classical_group_seconds": classical_group_time(params),
+            "messages_per_min_per_proc": self.messages_per_minute_per_server_process(),
+            "server_memory_gb": params.server_memory_bytes / 1e9,
+            "streamed_tb": params.total_streamed_bytes / 1e12,
+            "suspended_fraction": self.suspended_fraction,
+        }
+
+
+class CampaignSimulator:
+    """Deterministic model of one Melissa campaign on the Curie machine."""
+
+    def __init__(self, params: CampaignParameters, dt: float = 2.0):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if params.max_concurrent_groups < 1:
+            raise ValueError("machine cannot fit a single group beside the server")
+        self.params = params
+        self.dt = dt
+
+    # ------------------------------------------------------------------ #
+    def run(self, max_time: float = 1e6) -> CampaignResult:
+        p = self.params
+        dt = self.dt
+        unblocked_time = melissa_group_time_unblocked(p)
+        step_rate = p.ntimesteps / unblocked_time  # timesteps/s when free
+        bytes_per_step = p.bytes_per_group_timestep
+        drain_rate = p.server_throughput_bytes_per_s
+        buffer_cap = p.buffer_capacity_bytes
+
+        pending = p.ngroups
+        # per running group: fractional timestep progress
+        progress: Dict[int, float] = {}
+        start = np.full(p.ngroups, np.nan)
+        end = np.full(p.ngroups, np.nan)
+        next_group = 0
+        buffer_bytes = 0.0
+        ramp_budget = 0.0
+
+        times: List[float] = []
+        running_hist: List[int] = []
+        cores_hist: List[int] = []
+        buffer_hist: List[float] = []
+        avg_exec_hist: List[float] = []
+        recently_finished: List[float] = []
+
+        t = 0.0
+        while (pending > 0 or progress) and t < max_time:
+            # --- scheduler: start groups under core and ramp limits ------
+            ramp_budget += p.starts_per_minute * dt / 60.0
+            while (
+                pending > 0
+                and len(progress) < p.max_concurrent_groups
+                and ramp_budget >= 1.0
+            ):
+                progress[next_group] = 0.0
+                start[next_group] = t
+                next_group += 1
+                pending -= 1
+                ramp_budget -= 1.0
+
+            # --- group progress + data production ------------------------
+            # groups are suspended when the buffer cannot take their data:
+            # compute how many groups can deposit this step
+            room = buffer_cap - buffer_bytes
+            produced_per_group = step_rate * dt * bytes_per_step
+            n_running = len(progress)
+            if n_running:
+                n_can_produce = min(
+                    n_running, int(room // produced_per_group) if produced_per_group
+                    else n_running,
+                )
+            else:
+                n_can_produce = 0
+            # longest-running groups get priority (FIFO fairness)
+            for idx, group in enumerate(sorted(progress)):
+                if idx >= n_can_produce:
+                    break  # the rest are suspended this interval
+                progress[group] += step_rate * dt
+                buffer_bytes += produced_per_group
+
+            # --- server drains -------------------------------------------
+            buffer_bytes = max(0.0, buffer_bytes - drain_rate * dt)
+
+            # --- completions ---------------------------------------------
+            for group in [g for g, w in progress.items() if w >= p.ntimesteps]:
+                end[group] = t + dt
+                recently_finished.append(end[group] - start[group])
+                del progress[group]
+
+            # --- sampling -------------------------------------------------
+            t += dt
+            times.append(t)
+            running_hist.append(len(progress))
+            cores_hist.append(
+                len(progress) * p.cores_per_group + p.server_cores
+            )
+            buffer_hist.append(buffer_bytes)
+            window = recently_finished[-50:]
+            avg_exec_hist.append(float(np.mean(window)) if window else np.nan)
+
+        return CampaignResult(
+            params=p,
+            times=np.asarray(times),
+            running_groups=np.asarray(running_hist),
+            cores_in_use=np.asarray(cores_hist),
+            buffer_bytes=np.asarray(buffer_hist),
+            avg_group_seconds=np.asarray(avg_exec_hist),
+            group_start=start,
+            group_end=end,
+            wall_clock_seconds=t,
+        )

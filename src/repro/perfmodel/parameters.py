@@ -1,0 +1,180 @@
+"""Campaign constants, taken from the paper wherever it states them.
+
+Quantities the paper gives directly:
+
+===============================  ==========================================
+mesh cells                       9 603 840 hexahedra (Sec. 5.2)
+timesteps per simulation         100
+groups / simulations             1000 groups x 8 sims (6 params + 2)
+cores per simulation             64 (Sec. 5.3)
+cores per group                  512 (32 nodes of 16 cores)
+server sizes studied             15 nodes (240 cores) / 32 nodes (512)
+node memory                      64 GB; Lustre bandwidth 150 GB/s
+classical vs no-output           +35.3% execution time
+Melissa(32 nodes) vs no-output   +18.5%;  vs classical: -13%
+total streamed data              48 TB
+server memory                    ~491 GB total (959 MB / process x 512)
+peak concurrency                 55-56 groups (28 672 / 28 912 cores)
+message rate at peak             ~1000 msgs/min per server process
+checkpoint / restart             2.75 s / 7.24 s per process, 600 s period
+===============================  ==========================================
+
+The two *free* constants are the no-output group execution time (the
+paper's Fig. 6 y-axis suggests ~200 s) and the server per-node processing
+throughput, calibrated so that 15 nodes saturate at peak concurrency and
+32 nodes do not — the paper's central observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: bytes per float64 cell value
+_F64 = 8
+
+
+@dataclass(frozen=True)
+class CampaignParameters:
+    """All knobs of the campaign model (defaults = the paper's campaign)."""
+
+    # study shape
+    ngroups: int = 1000
+    sims_per_group: int = 8  # p + 2 with p = 6
+    nparams: int = 6
+    ntimesteps: int = 100
+    ncells: int = 9_603_840
+
+    # machine shape
+    cores_per_sim: int = 64
+    cores_per_node: int = 16
+    available_cores: int = 29_180  # partition the batch scheduler granted
+    server_nodes: int = 32
+    node_memory_gb: float = 64.0
+    lustre_bandwidth_gbps: float = 150.0
+
+    # execution-time anchors (seconds)
+    no_output_group_seconds: float = 200.0
+    classical_slowdown: float = 1.353  # paper: +35.3% vs no output
+    melissa_send_overhead: float = 1.185  # paper: +18.5% vs no output
+
+    # server model
+    server_node_throughput_gbps: float = 0.50  # calibrated (see module doc)
+    buffer_gb_per_server_node: float = 24.0  # ZeroMQ buffer budget
+    # HTC mode (paper Sec. 7): groups and server on different machines,
+    # linked by a WAN of this aggregate bandwidth; None = same machine
+    network_bandwidth_gbps: Optional[float] = None
+
+    # transfer bookkeeping
+    main_sim_ranks: int = 64  # stage-2 senders per group
+    avg_server_fanout: float = 6.0  # server ranks each sender intersects
+
+    # fault tolerance
+    checkpoint_period_seconds: float = 600.0
+    checkpoint_write_gbps_per_proc: float = 0.35
+    checkpoint_read_gbps_per_proc: float = 0.13
+    group_timeout_seconds: float = 300.0
+
+    # scheduler ramp: groups the batch system starts per minute at most
+    starts_per_minute: float = 16.0
+
+    def __post_init__(self):
+        if self.ngroups < 1 or self.ntimesteps < 1:
+            raise ValueError("ngroups and ntimesteps must be >= 1")
+        if self.no_output_group_seconds <= 0:
+            raise ValueError("no_output_group_seconds must be positive")
+        if self.server_node_throughput_gbps <= 0:
+            raise ValueError("server throughput must be positive")
+        if self.network_bandwidth_gbps is not None and self.network_bandwidth_gbps <= 0:
+            raise ValueError("network_bandwidth_gbps must be positive or None")
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def cores_per_group(self) -> int:
+        return self.sims_per_group * self.cores_per_sim
+
+    @property
+    def server_cores(self) -> int:
+        return self.server_nodes * self.cores_per_node
+
+    @property
+    def server_processes(self) -> int:
+        """One MPI process per server core, as in the paper (512 on 32 nodes)."""
+        return self.server_cores
+
+    @property
+    def max_concurrent_groups(self) -> int:
+        return (self.available_cores - self.server_cores) // self.cores_per_group
+
+    @property
+    def bytes_per_sim_timestep(self) -> int:
+        return self.ncells * _F64
+
+    @property
+    def bytes_per_group_timestep(self) -> int:
+        return self.sims_per_group * self.bytes_per_sim_timestep
+
+    @property
+    def total_streamed_bytes(self) -> int:
+        """The 48 TB the classical study would have written."""
+        return self.ngroups * self.ntimesteps * self.bytes_per_group_timestep
+
+    @property
+    def server_throughput_bytes_per_s(self) -> float:
+        """Effective drain rate: server compute, capped by the WAN link
+        in HTC mode (whichever is scarcer bounds the in-transit rate)."""
+        compute = self.server_nodes * self.server_node_throughput_gbps * 1e9
+        if self.network_bandwidth_gbps is None:
+            return compute
+        return min(compute, self.network_bandwidth_gbps * 1e9)
+
+    @property
+    def buffer_capacity_bytes(self) -> float:
+        return self.server_nodes * self.buffer_gb_per_server_node * 1e9
+
+    @property
+    def messages_per_group_timestep(self) -> float:
+        """Stage-2 message count: main-sim ranks x their server fanout."""
+        return self.main_sim_ranks * self.avg_server_fanout
+
+    # --- server memory model (matches repro.sobol memory accounting) ---- #
+    @property
+    def statistics_floats_per_cell_timestep(self) -> int:
+        """2p covariance accumulators x 5 arrays + mean/M2 of the output."""
+        return 2 * self.nparams * 5 + 2
+
+    @property
+    def server_memory_bytes(self) -> int:
+        return (
+            self.statistics_floats_per_cell_timestep
+            * self.ncells
+            * self.ntimesteps
+            * _F64
+        )
+
+    @property
+    def checkpoint_bytes_per_process(self) -> float:
+        return self.server_memory_bytes / self.server_processes
+
+    @property
+    def checkpoint_seconds_per_process(self) -> float:
+        return self.checkpoint_bytes_per_process / (
+            self.checkpoint_write_gbps_per_proc * 1e9
+        )
+
+    @property
+    def restart_read_seconds_per_process(self) -> float:
+        return self.checkpoint_bytes_per_process / (
+            self.checkpoint_read_gbps_per_proc * 1e9
+        )
+
+    # ------------------------------------------------------------------ #
+    def with_server_nodes(self, nodes: int) -> "CampaignParameters":
+        return replace(self, server_nodes=nodes)
+
+
+def paper_campaign(server_nodes: int = 32) -> CampaignParameters:
+    """The paper's campaign with the chosen server size (15 or 32 nodes)."""
+    return CampaignParameters(server_nodes=server_nodes)

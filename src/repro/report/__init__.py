@@ -1,0 +1,19 @@
+"""Reporting: ASCII field maps, series plots, and experiment tables.
+
+The paper visualizes its ubiquitous Sobol' maps in ParaView (Fig. 7/8);
+in this repository the benchmark harness renders the same maps as ASCII
+heatmaps and writes the raw arrays to ``.npy`` so any plotting tool can
+pick them up.  The table helpers format paper-vs-measured comparisons for
+EXPERIMENTS.md.
+"""
+
+from repro.report.render import ascii_heatmap, ascii_series, render_field_slice
+from repro.report.tables import comparison_table, format_table
+
+__all__ = [
+    "ascii_heatmap",
+    "ascii_series",
+    "render_field_slice",
+    "comparison_table",
+    "format_table",
+]

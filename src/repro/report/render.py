@@ -1,0 +1,108 @@
+"""ASCII rendering of 2-D fields and 1-D series."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: dark -> bright luminance ramp (blue -> red in the paper's colormap)
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    grid: np.ndarray,
+    width: int = 72,
+    height: int = 24,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render a 2-D array as an ASCII heatmap (x horizontal, y up).
+
+    NaNs render as spaces.  The grid is average-pooled onto the requested
+    character raster, so any resolution fits a terminal.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 2:
+        raise ValueError("ascii_heatmap expects a 2-D array")
+    finite = grid[np.isfinite(grid)]
+    lo = vmin if vmin is not None else (finite.min() if finite.size else 0.0)
+    hi = vmax if vmax is not None else (finite.max() if finite.size else 1.0)
+    span = hi - lo if hi > lo else 1.0
+
+    nx, ny = grid.shape
+    width = min(width, nx)
+    height = min(height, ny)
+    # average-pool with NaN awareness
+    x_edges = np.linspace(0, nx, width + 1).astype(int)
+    y_edges = np.linspace(0, ny, height + 1).astype(int)
+    lines = []
+    for jy in reversed(range(height)):  # y axis points up
+        row = []
+        for jx in range(width):
+            block = grid[x_edges[jx]:x_edges[jx + 1], y_edges[jy]:y_edges[jy + 1]]
+            vals = block[np.isfinite(block)]
+            if vals.size == 0:
+                row.append(" ")
+                continue
+            level = (float(vals.mean()) - lo) / span
+            idx = int(np.clip(level, 0.0, 1.0) * (len(_RAMP) - 1))
+            row.append(_RAMP[idx])
+        lines.append("".join(row))
+    header = []
+    if title:
+        header.append(title)
+    header.append(f"range [{lo:.3g}, {hi:.3g}]   ramp '{_RAMP}'")
+    return "\n".join(header + lines)
+
+
+def render_field_slice(
+    flat_field: np.ndarray,
+    dims: Sequence[int],
+    title: str = "",
+    **kwargs,
+) -> str:
+    """Heatmap of a flat cell field given the mesh dims (2-D only)."""
+    dims = tuple(dims)
+    if len(dims) != 2:
+        raise ValueError("render_field_slice handles 2-D grids")
+    grid = np.asarray(flat_field).reshape(dims)
+    return ascii_heatmap(grid, title=title, **kwargs)
+
+
+def ascii_series(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Minimal ASCII line plot of y(x) (used for Fig. 6-style series)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be equal-length 1-D arrays")
+    mask = np.isfinite(x) & np.isfinite(y)
+    if not mask.any():
+        return f"{title}\n(no finite data)"
+    x, y = x[mask], y[mask]
+    lo, hi = float(y.min()), float(y.max())
+    span = hi - lo if hi > lo else 1.0
+    cols = np.clip(
+        ((x - x.min()) / (x.max() - x.min() if x.max() > x.min() else 1.0))
+        * (width - 1),
+        0, width - 1,
+    ).astype(int)
+    rows = np.clip((y - lo) / span * (height - 1), 0, height - 1).astype(int)
+    canvas = [[" "] * width for _ in range(height)]
+    for c, r in zip(cols, rows):
+        canvas[height - 1 - r][c] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylabel} max {hi:.4g}")
+    lines.extend("".join(row) for row in canvas)
+    lines.append(f"{ylabel} min {lo:.4g}   (x: {x.min():.4g} .. {x.max():.4g})")
+    return "\n".join(lines)

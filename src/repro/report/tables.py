@@ -1,0 +1,54 @@
+"""Plain-text tables for paper-vs-measured comparisons."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with a header rule (monospace-friendly)."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def comparison_table(
+    entries: Sequence[Tuple[str, Number, Number]],
+    paper_label: str = "paper",
+    measured_label: str = "model",
+    title: str = "",
+) -> str:
+    """(quantity, paper value, measured value) rows with a ratio column."""
+    rows: List[List[object]] = []
+    for name, paper, measured in entries:
+        ratio = measured / paper if paper else float("nan")
+        rows.append([name, paper, measured, f"{ratio:.2f}x"])
+    return format_table(
+        ["quantity", paper_label, measured_label, "ratio"], rows, title=title
+    )

@@ -1,0 +1,20 @@
+"""Study drivers.
+
+The Melissa logic (:mod:`repro.core`) is pure bookkeeping over message
+streams; a *runtime* supplies the execution model:
+
+* :class:`SequentialRuntime` — deterministic virtual-time driver.  All
+  components are stepped from one loop, faults are injected from a
+  :class:`repro.faults.FaultPlan`, and any run is exactly reproducible.
+  This is the workhorse for tests, examples, and the real (small-scale)
+  end-to-end benchmarks.
+* :class:`ThreadedRuntime` — concurrent driver: server ranks and groups
+  run on real threads with blocking bounded channels and wall-clock
+  heartbeats, demonstrating that the same core logic is thread-safe under
+  true asynchrony (the paper's deployment shape, scaled into a process).
+"""
+
+from repro.runtime.sequential import SequentialRuntime
+from repro.runtime.threaded import ThreadedRuntime
+
+__all__ = ["SequentialRuntime", "ThreadedRuntime"]

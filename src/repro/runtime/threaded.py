@@ -1,0 +1,167 @@
+"""Concurrent driver: real threads, blocking bounded channels, wall-clock.
+
+This runtime demonstrates the deployment shape of the paper inside one
+process: each server rank runs its own polling thread (rank state is only
+ever touched by that thread — the same share-nothing property MPI gives
+the real Melissa), and simulation groups execute on a bounded worker pool
+(the "machine" capacity).  Back-pressure is real: when the byte-bounded
+channels fill up, group workers spin-wait on their outbox exactly like
+ZeroMQ-blocked simulations.
+
+Statistics produced here are bit-identical to the sequential runtime up
+to floating-point reassociation *per rank* — and since each (cell,
+timestep) lives on exactly one rank and groups commute, results match the
+sequential driver to tight tolerance; the integration tests assert it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.core.config import StudyConfig
+from repro.core.group import GroupExecutor, GroupState, SimulationFactory, SimulationGroup
+from repro.core.results import StudyResults
+from repro.core.server import MelissaServer
+from repro.faults import FaultPlan
+from repro.sampling.pickfreeze import draw_design
+from repro.transport.channel import ChannelClosed
+from repro.transport.router import Router
+
+
+class ThreadedRuntime:
+    """Thread-parallel execution of one study.
+
+    Parameters
+    ----------
+    max_concurrent_groups:
+        Worker-pool size — the stand-in for "how many groups the machine
+        runs at once".
+    poll_interval:
+        Server-rank receive timeout (seconds); small values trade CPU for
+        latency.
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig,
+        factory: SimulationFactory,
+        max_concurrent_groups: int = 4,
+        poll_interval: float = 0.01,
+    ):
+        if max_concurrent_groups < 1:
+            raise ValueError("max_concurrent_groups must be >= 1")
+        self.config = config
+        self.factory = factory
+        self.max_concurrent_groups = max_concurrent_groups
+        self.poll_interval = poll_interval
+        self.design = draw_design(
+            config.space, config.ngroups, seed=config.seed,
+            method=config.sampling_method,
+        )
+        self.server = MelissaServer(config)
+        self.router = Router(
+            self.server.partition,
+            channel_capacity_bytes=config.channel_capacity_bytes,
+        )
+        self._stop = threading.Event()
+        self._errors: List[BaseException] = []
+        self._error_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def run(self, timeout: float = 300.0) -> StudyResults:
+        """Execute all groups; returns assembled results."""
+        server_threads = [
+            threading.Thread(
+                target=self._serve_rank, args=(rank_idx,), name=f"server-{rank_idx}"
+            )
+            for rank_idx in range(self.config.server_ranks)
+        ]
+        for t in server_threads:
+            t.start()
+
+        work: "queue.Queue[int]" = queue.Queue()
+        for group_id in range(self.config.ngroups):
+            work.put(group_id)
+        workers = [
+            threading.Thread(target=self._work_groups, args=(work,), name=f"worker-{i}")
+            for i in range(self.max_concurrent_groups)
+        ]
+        deadline = time.monotonic() + timeout
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+            if t.is_alive():
+                self._stop.set()
+                raise TimeoutError("threaded study did not finish in time")
+
+        # groups done: wait for the server to drain every channel
+        while not self._drained():
+            if time.monotonic() > deadline:
+                self._stop.set()
+                raise TimeoutError("server did not drain in time")
+            time.sleep(self.poll_interval)
+        self._stop.set()
+        for t in server_threads:
+            t.join(timeout=10.0)
+        if self._errors:
+            raise self._errors[0]
+        return StudyResults.from_server(
+            self.server, parameter_names=tuple(self.config.space.names)
+        )
+
+    # ------------------------------------------------------------------ #
+    def _serve_rank(self, rank_idx: int) -> None:
+        """One server rank's poll loop (sole owner of that rank's state)."""
+        rank = self.server.ranks[rank_idx]
+        channel = self.router.inbound[rank_idx]
+        try:
+            while not (self._stop.is_set() and channel.pending_messages == 0):
+                try:
+                    msg = channel.recv(timeout=self.poll_interval)
+                except TimeoutError:
+                    continue
+                except ChannelClosed:
+                    break
+                rank.handle(msg, time.monotonic())
+        except BaseException as exc:  # noqa: BLE001 - surface to caller
+            with self._error_lock:
+                self._errors.append(exc)
+            self._stop.set()
+
+    def _work_groups(self, work: "queue.Queue[int]") -> None:
+        """Worker: take group ids and run each to completion."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    group_id = work.get_nowait()
+                except queue.Empty:
+                    return
+                executor = GroupExecutor(
+                    SimulationGroup.from_design(self.design, group_id),
+                    self.factory,
+                    self.config,
+                    self.router,
+                )
+                executor.initialize()
+                while executor.state != GroupState.FINISHED:
+                    state = executor.process_step()
+                    if state == GroupState.BLOCKED:
+                        # ZeroMQ-style suspension: buffers full, wait
+                        time.sleep(self.poll_interval)
+                    if self._stop.is_set():
+                        return
+        except BaseException as exc:  # noqa: BLE001
+            with self._error_lock:
+                self._errors.append(exc)
+            self._stop.set()
+
+    def _drained(self) -> bool:
+        channels_empty = all(
+            ch.pending_messages == 0 for ch in self.router.inbound.values()
+        )
+        staging_empty = all(r.staged_entries == 0 for r in self.server.ranks)
+        return channels_empty and staging_empty

@@ -1,0 +1,37 @@
+"""Input-parameter sampling: distributions and pick-freeze experiment designs.
+
+The paper's launcher draws two independent ``n x p`` matrices A and B from
+the per-parameter probabilistic laws, then builds the p pick-freeze
+matrices C^k (A with column k swapped in from B).  Row i of (A, B, C^1..C^p)
+defines one *simulation group* of p+2 synchronized runs (Sec. 3.2-3.3).
+"""
+
+from repro.sampling.distributions import (
+    Distribution,
+    Uniform,
+    Normal,
+    TruncatedNormal,
+    LogUniform,
+    Triangular,
+    DiscreteUniform,
+)
+from repro.sampling.pickfreeze import (
+    PickFreezeDesign,
+    ParameterSpace,
+    draw_design,
+    latin_hypercube,
+)
+
+__all__ = [
+    "Distribution",
+    "Uniform",
+    "Normal",
+    "TruncatedNormal",
+    "LogUniform",
+    "Triangular",
+    "DiscreteUniform",
+    "ParameterSpace",
+    "PickFreezeDesign",
+    "draw_design",
+    "latin_hypercube",
+]

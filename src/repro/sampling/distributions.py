@@ -1,0 +1,210 @@
+"""Per-parameter probability laws for the study inputs.
+
+Each distribution can draw i.i.d. samples from a caller-supplied
+``numpy.random.Generator`` (so the launcher controls reproducibility) and
+map uniform-[0,1) quantiles through its inverse CDF (used by the Latin
+hypercube option).  Laws are deliberately small, immutable value objects:
+the launcher serializes them into the study configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Distribution:
+    """Abstract 1-D parameter law."""
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` i.i.d. values."""
+        return self.ppf(rng.random(size))
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        """Inverse CDF; maps u ~ U[0,1) to the law."""
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def variance(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Continuous uniform on [low, high]."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not self.high > self.low:
+            raise ValueError("Uniform requires high > low")
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        return self.low + (self.high - self.low) * np.asarray(q)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+
+@dataclass(frozen=True)
+class Normal(Distribution):
+    """Gaussian with given mean and standard deviation."""
+
+    mu: float = 0.0
+    sigma: float = 1.0
+
+    def __post_init__(self):
+        if self.sigma <= 0:
+            raise ValueError("Normal requires sigma > 0")
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        from scipy.special import ndtri
+
+        return self.mu + self.sigma * ndtri(np.asarray(q))
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.normal(self.mu, self.sigma, size)
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+    @property
+    def variance(self) -> float:
+        return self.sigma**2
+
+
+@dataclass(frozen=True)
+class TruncatedNormal(Distribution):
+    """Gaussian truncated to [low, high] (inverse-CDF sampling)."""
+
+    mu: float
+    sigma: float
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if self.sigma <= 0 or not self.high > self.low:
+            raise ValueError("TruncatedNormal requires sigma > 0 and high > low")
+
+    def _bounds(self):
+        from scipy.special import ndtr
+
+        a = ndtr((self.low - self.mu) / self.sigma)
+        b = ndtr((self.high - self.mu) / self.sigma)
+        return a, b
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        from scipy.special import ndtri
+
+        a, b = self._bounds()
+        return self.mu + self.sigma * ndtri(a + (b - a) * np.asarray(q))
+
+    @property
+    def mean(self) -> float:
+        from scipy.stats import truncnorm
+
+        a = (self.low - self.mu) / self.sigma
+        b = (self.high - self.mu) / self.sigma
+        return float(truncnorm.mean(a, b, loc=self.mu, scale=self.sigma))
+
+    @property
+    def variance(self) -> float:
+        from scipy.stats import truncnorm
+
+        a = (self.low - self.mu) / self.sigma
+        b = (self.high - self.mu) / self.sigma
+        return float(truncnorm.var(a, b, loc=self.mu, scale=self.sigma))
+
+
+@dataclass(frozen=True)
+class LogUniform(Distribution):
+    """log10-uniform between two positive bounds (scale parameters)."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not (0 < self.low < self.high):
+            raise ValueError("LogUniform requires 0 < low < high")
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        return self.low * np.power(self.high / self.low, np.asarray(q))
+
+    @property
+    def mean(self) -> float:
+        ln_ratio = math.log(self.high / self.low)
+        return (self.high - self.low) / ln_ratio
+
+    @property
+    def variance(self) -> float:
+        ln_ratio = math.log(self.high / self.low)
+        ex2 = (self.high**2 - self.low**2) / (2.0 * ln_ratio)
+        return ex2 - self.mean**2
+
+
+@dataclass(frozen=True)
+class Triangular(Distribution):
+    """Triangular law on [low, high] with mode ``mode``."""
+
+    low: float
+    mode: float
+    high: float
+
+    def __post_init__(self):
+        if not (self.low <= self.mode <= self.high and self.high > self.low):
+            raise ValueError("Triangular requires low <= mode <= high, high > low")
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q)
+        span = self.high - self.low
+        fc = (self.mode - self.low) / span
+        left = self.low + np.sqrt(q * span * (self.mode - self.low))
+        right = self.high - np.sqrt((1.0 - q) * span * (self.high - self.mode))
+        return np.where(q < fc, left, right)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.mode + self.high) / 3.0
+
+    @property
+    def variance(self) -> float:
+        a, c, b = self.low, self.mode, self.high
+        return (a * a + b * b + c * c - a * b - a * c - b * c) / 18.0
+
+
+@dataclass(frozen=True)
+class DiscreteUniform(Distribution):
+    """Uniform over the integers {low, ..., high} inclusive."""
+
+    low: int
+    high: int
+
+    def __post_init__(self):
+        if self.high < self.low:
+            raise ValueError("DiscreteUniform requires high >= low")
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        k = self.high - self.low + 1
+        return self.low + np.minimum((np.asarray(q) * k).astype(np.int64), k - 1)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def variance(self) -> float:
+        k = self.high - self.low + 1
+        return (k * k - 1) / 12.0

@@ -1,0 +1,211 @@
+"""Pick-freeze experiment design (paper Sec. 3.2).
+
+Draw two independent ``n x p`` input matrices A and B, then for each input
+``k`` build ``C^k`` = A with column k replaced by B's column k.  Row i of
+every matrix together defines simulation group i: the p+2 runs
+``f(A_i), f(B_i), f(C^1_i), ..., f(C^p_i)`` whose outputs update all p
+first-order and total Sobol' indices at once.
+
+The design object is the single source of truth for "which parameters does
+simulation (group, member) run with" — launcher, clients, and reference
+(non-iterative) estimators all read from it.  It supports *row
+regeneration*: drawing fresh independent rows either to extend a study
+whose confidence intervals have not converged, or to replace a failing
+group when discard-on-replay is disabled (Sec. 4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sampling.distributions import Distribution
+
+#: Symbolic member indices within a group: member 0 runs A_i, member 1 runs
+#: B_i, member 2+k runs C^k_i.
+MEMBER_A = 0
+MEMBER_B = 1
+
+
+def member_name(member: int, nparams: int) -> str:
+    """Human-readable label of a group member ('A', 'B', 'C1'..'Cp')."""
+    if member == MEMBER_A:
+        return "A"
+    if member == MEMBER_B:
+        return "B"
+    k = member - 2
+    if 0 <= k < nparams:
+        return f"C{k + 1}"
+    raise ValueError(f"invalid member index {member} for {nparams} parameters")
+
+
+@dataclass
+class ParameterSpace:
+    """Named, distribution-typed study inputs."""
+
+    names: Tuple[str, ...]
+    distributions: Tuple[Distribution, ...]
+
+    def __post_init__(self):
+        self.names = tuple(self.names)
+        self.distributions = tuple(self.distributions)
+        if len(self.names) != len(self.distributions):
+            raise ValueError("names and distributions must have equal length")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("duplicate parameter names")
+        if not self.names:
+            raise ValueError("parameter space must not be empty")
+
+    @property
+    def nparams(self) -> int:
+        return len(self.names)
+
+    def sample_matrix(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw an ``n x p`` matrix of independent parameter sets."""
+        cols = [d.sample(rng, n) for d in self.distributions]
+        return np.column_stack(cols)
+
+    def lhs_matrix(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Latin-hypercube-stratified ``n x p`` matrix (variance reduction)."""
+        u = latin_hypercube(rng, n, self.nparams)
+        cols = [d.ppf(u[:, j]) for j, d in enumerate(self.distributions)]
+        return np.column_stack(cols)
+
+
+def latin_hypercube(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    """Stratified uniform design: one point per row-stratum per column."""
+    if n <= 0 or p <= 0:
+        raise ValueError("latin_hypercube requires n > 0 and p > 0")
+    u = np.empty((n, p))
+    for j in range(p):
+        perm = rng.permutation(n)
+        u[:, j] = (perm + rng.random(n)) / n
+    return u
+
+
+@dataclass
+class PickFreezeDesign:
+    """Materialized A/B matrices plus lazy C^k views and row regeneration.
+
+    Attributes
+    ----------
+    space:
+        The study's parameter space (defines p and the laws).
+    a, b:
+        Independent ``n x p`` sample matrices.  Rows may be appended by
+        :meth:`extend` — statistically valid because all row couples are
+        independent (paper Sec. 3.2, final remark).
+    """
+
+    space: ParameterSpace
+    a: np.ndarray
+    b: np.ndarray
+    seed: int = 0
+
+    def __post_init__(self):
+        self.a = np.asarray(self.a, dtype=np.float64)
+        self.b = np.asarray(self.b, dtype=np.float64)
+        if self.a.shape != self.b.shape:
+            raise ValueError("A and B must have identical shapes")
+        if self.a.ndim != 2 or self.a.shape[1] != self.space.nparams:
+            raise ValueError("design matrices must be (n, p) with p = nparams")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ngroups(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def nparams(self) -> int:
+        return self.space.nparams
+
+    @property
+    def nsimulations(self) -> int:
+        """Total runs in the study: n * (p + 2)."""
+        return self.ngroups * (self.nparams + 2)
+
+    @property
+    def group_size(self) -> int:
+        return self.nparams + 2
+
+    def c_matrix(self, k: int) -> np.ndarray:
+        """C^k = A with column k (0-based) swapped in from B."""
+        if not 0 <= k < self.nparams:
+            raise ValueError(f"k must be in [0, {self.nparams}), got {k}")
+        c = self.a.copy()
+        c[:, k] = self.b[:, k]
+        return c
+
+    def member_parameters(self, group: int, member: int) -> np.ndarray:
+        """Parameter vector run by ``member`` of simulation group ``group``."""
+        if not 0 <= group < self.ngroups:
+            raise ValueError(f"group {group} out of range [0, {self.ngroups})")
+        if member == MEMBER_A:
+            return self.a[group].copy()
+        if member == MEMBER_B:
+            return self.b[group].copy()
+        k = member - 2
+        if not 0 <= k < self.nparams:
+            raise ValueError(f"invalid member {member}")
+        row = self.a[group].copy()
+        row[k] = self.b[group, k]
+        return row
+
+    def group_parameters(self, group: int) -> np.ndarray:
+        """All p+2 parameter vectors of a group, shape (p+2, p)."""
+        return np.vstack(
+            [self.member_parameters(group, m) for m in range(self.group_size)]
+        )
+
+    # ------------------------------------------------------------------ #
+    def extend(self, rng: np.random.Generator, extra_groups: int) -> None:
+        """Append fresh independent rows (convergence-driven study growth)."""
+        if extra_groups <= 0:
+            raise ValueError("extra_groups must be positive")
+        self.a = np.vstack([self.a, self.space.sample_matrix(rng, extra_groups)])
+        self.b = np.vstack([self.b, self.space.sample_matrix(rng, extra_groups)])
+
+    def regenerate_row(self, rng: np.random.Generator, group: int) -> None:
+        """Replace group ``group``'s rows with a fresh independent couple.
+
+        Used when a group fails permanently and discard-on-replay is
+        disabled: statistically valid because row couples are i.i.d.
+        """
+        self.a[group] = self.space.sample_matrix(rng, 1)[0]
+        self.b[group] = self.space.sample_matrix(rng, 1)[0]
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        return {"a": self.a, "b": self.b, "seed": self.seed}
+
+
+def draw_design(
+    space: ParameterSpace,
+    ngroups: int,
+    seed: int = 0,
+    method: str = "random",
+) -> PickFreezeDesign:
+    """Draw a pick-freeze design of ``ngroups`` rows.
+
+    Parameters
+    ----------
+    method:
+        ``"random"`` — i.i.d. Monte-Carlo rows (the paper's choice; required
+        for the Fisher-z confidence intervals to be valid).
+        ``"lhs"`` — Latin hypercube stratification of each matrix
+        independently (variance-reduction extension).
+    """
+    if ngroups <= 0:
+        raise ValueError("ngroups must be positive")
+    rng = np.random.default_rng(seed)
+    if method == "random":
+        a = space.sample_matrix(rng, ngroups)
+        b = space.sample_matrix(rng, ngroups)
+    elif method == "lhs":
+        a = space.lhs_matrix(rng, ngroups)
+        b = space.lhs_matrix(rng, ngroups)
+    else:
+        raise ValueError(f"unknown design method {method!r}")
+    return PickFreezeDesign(space=space, a=a, b=b, seed=seed)

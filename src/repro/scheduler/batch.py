@@ -1,0 +1,179 @@
+"""FIFO + backfill batch scheduler over a fixed node pool, in virtual time.
+
+The driver owns the clock: it calls :meth:`BatchScheduler.tick` with the
+current virtual time whenever it wants allocation/walltime decisions made.
+Job *completion* is reported by the code that executes the job (the
+runtime or the performance model) via :meth:`complete` / :meth:`fail` —
+the scheduler only decides who runs where and kills walltime offenders,
+exactly the division of labour of a real cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.scheduler.job import Job, JobState
+
+
+class SchedulerError(RuntimeError):
+    """Invalid scheduler operation (unknown job, bad state transition...)."""
+
+
+class BatchScheduler:
+    """Node-pool allocator with FIFO queueing and optional backfill.
+
+    Parameters
+    ----------
+    total_nodes:
+        Machine size in nodes.
+    max_pending:
+        Submission cap: ``submit`` raises once this many jobs are pending
+        (the paper's 500-simultaneous-submissions limit on Curie); the
+        launcher paces itself around it.
+    backfill:
+        If True, a job further down the queue may start when the head job
+        does not fit but the smaller one does (conservative backfill
+        without reservations — enough to reproduce the elastic ramp-up of
+        Fig. 6, where small groups fill in around the server job).
+    """
+
+    def __init__(
+        self,
+        total_nodes: int,
+        max_pending: Optional[int] = None,
+        backfill: bool = True,
+    ):
+        if total_nodes < 1:
+            raise ValueError("total_nodes must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be positive or None")
+        self.total_nodes = total_nodes
+        self.max_pending = max_pending
+        self.backfill = backfill
+        self.jobs: Dict[int, Job] = {}
+        self._queue: List[int] = []  # pending job ids, submit order
+        self._running: Dict[int, Job] = {}
+        self.nodes_in_use = 0
+        # history of (time, event, job_id) for reporting
+        self.log: List[tuple] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def free_nodes(self) -> int:
+        return self.total_nodes - self.nodes_in_use
+
+    @property
+    def pending_jobs(self) -> List[Job]:
+        return [self.jobs[j] for j in self._queue]
+
+    @property
+    def running_jobs(self) -> List[Job]:
+        return list(self._running.values())
+
+    def job(self, job_id: int) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError as exc:
+            raise SchedulerError(f"unknown job {job_id}") from exc
+
+    # ------------------------------------------------------------------ #
+    def submit(self, job: Job, now: float) -> int:
+        """Queue a job; returns its id.  Raises when the queue is full."""
+        if job.nodes > self.total_nodes:
+            raise SchedulerError(
+                f"job {job.name or job.job_id} requests {job.nodes} nodes, "
+                f"machine has {self.total_nodes}"
+            )
+        if self.max_pending is not None and len(self._queue) >= self.max_pending:
+            raise SchedulerError("submission limit reached")
+        if job.job_id in self.jobs:
+            raise SchedulerError(f"job {job.job_id} already submitted")
+        job.state = JobState.PENDING
+        job.submit_time = now
+        self.jobs[job.job_id] = job
+        self._queue.append(job.job_id)
+        self.log.append((now, "submit", job.job_id))
+        return job.job_id
+
+    def can_submit(self) -> bool:
+        return self.max_pending is None or len(self._queue) < self.max_pending
+
+    # ------------------------------------------------------------------ #
+    def tick(self, now: float) -> List[Job]:
+        """Kill walltime offenders, then start whatever fits.  Returns
+        the list of jobs started this tick (in start order)."""
+        self._enforce_walltime(now)
+        started: List[Job] = []
+        if not self._queue:
+            return started
+        remaining: List[int] = []
+        blocked_head = False
+        for job_id in self._queue:
+            job = self.jobs[job_id]
+            fits = job.nodes <= self.free_nodes
+            if fits and (not blocked_head or self.backfill):
+                self._start(job, now)
+                started.append(job)
+            else:
+                blocked_head = True
+                remaining.append(job_id)
+        self._queue = remaining
+        return started
+
+    def _start(self, job: Job, now: float) -> None:
+        job.state = JobState.RUNNING
+        job.start_time = now
+        self.nodes_in_use += job.nodes
+        self._running[job.job_id] = job
+        self.log.append((now, "start", job.job_id))
+
+    def _enforce_walltime(self, now: float) -> None:
+        for job in list(self._running.values()):
+            if now - job.start_time >= job.walltime:
+                self._finish(job, JobState.TIMEOUT, now)
+
+    # ------------------------------------------------------------------ #
+    def complete(self, job_id: int, now: float) -> None:
+        """Owner reports successful completion."""
+        self._finish(self._require_running(job_id), JobState.COMPLETED, now)
+
+    def fail(self, job_id: int, now: float) -> None:
+        """Owner reports job failure (crash, bad parameters...)."""
+        self._finish(self._require_running(job_id), JobState.FAILED, now)
+
+    def cancel(self, job_id: int, now: float) -> None:
+        """Kill a pending or running job (launcher fault handling)."""
+        job = self.job(job_id)
+        if job.state == JobState.PENDING:
+            self._queue.remove(job_id)
+            job.state = JobState.CANCELLED
+            job.end_time = now
+            self.log.append((now, "cancel", job_id))
+        elif job.state == JobState.RUNNING:
+            self._finish(job, JobState.CANCELLED, now)
+        elif job.state.terminal:
+            raise SchedulerError(f"job {job_id} already terminal ({job.state})")
+
+    def _require_running(self, job_id: int) -> Job:
+        job = self.job(job_id)
+        if job.state != JobState.RUNNING:
+            raise SchedulerError(f"job {job_id} is not running ({job.state})")
+        return job
+
+    def _finish(self, job: Job, state: JobState, now: float) -> None:
+        job.state = state
+        job.end_time = now
+        self.nodes_in_use -= job.nodes
+        del self._running[job.job_id]
+        self.log.append((now, state.value, job.job_id))
+
+    # ------------------------------------------------------------------ #
+    def utilization(self) -> float:
+        """Instantaneous fraction of nodes busy."""
+        return self.nodes_in_use / self.total_nodes
+
+    def counts(self) -> Dict[str, int]:
+        out = {state.value: 0 for state in JobState}
+        for job in self.jobs.values():
+            out[job.state.value] += 1
+        return out

@@ -1,0 +1,75 @@
+"""Job objects and lifecycle states."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class JobState(enum.Enum):
+    """SLURM-like lifecycle."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"  # killed by the scheduler at walltime
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            JobState.COMPLETED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMEOUT,
+        )
+
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One batch job: resource request + bookkeeping.
+
+    Attributes
+    ----------
+    nodes:
+        Node count requested (a simulation group = sims_per_group x
+        nodes_per_sim in the paper's campaign; the server is its own job).
+    walltime:
+        Maximum allowed run time (virtual seconds); exceeded -> TIMEOUT.
+    payload:
+        Opaque owner data (e.g. the group id the launcher attached).
+    """
+
+    nodes: int
+    walltime: float
+    name: str = ""
+    payload: Any = None
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    state: JobState = JobState.PENDING
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError("job must request at least one node")
+        if self.walltime <= 0:
+            raise ValueError("walltime must be positive")
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        if self.submit_time is None or self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time

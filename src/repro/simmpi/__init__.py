@@ -1,0 +1,24 @@
+"""In-process MPI subset (thread-backed) standing in for real MPI.
+
+The paper's server is MPI-parallel and each simulation group is an MPMD
+MPI run whose members gather per-timestep data onto a designated *main*
+simulation via ``MPI_Gather`` (Sec. 4.1.2).  mpi4py is not available in
+this environment, so this package provides the small subset those code
+paths need, with mpi4py-compatible semantics and naming:
+
+* :func:`run_mpi` launches N ranks as threads over a shared
+  :class:`Communicator` (the moral equivalent of ``mpiexec -n N``);
+* lowercase methods (``send``/``recv``/``bcast``/``gather``) move generic
+  Python objects; uppercase-style buffer variants are unnecessary here
+  because NumPy arrays are passed by reference within a process — zero
+  copies, which is *faster* than real MPI, not slower;
+* collectives: ``barrier``, ``bcast``, ``gather``, ``scatter``,
+  ``allgather``, ``reduce``, ``allreduce``.
+
+The data-path logic in :mod:`repro.core` is written against this API, so
+porting it onto real mpi4py is a rename.
+"""
+
+from repro.simmpi.comm import Communicator, MPIError, run_mpi
+
+__all__ = ["Communicator", "MPIError", "run_mpi"]

@@ -1,0 +1,202 @@
+"""Thread-backed communicator with mpi4py-like point-to-point and collectives.
+
+Each rank is one Python thread; point-to-point messages travel through
+per-(source, dest, tag) queues, and collectives are built from a shared
+reusable barrier plus a scratch exchange slot.  NumPy payloads move by
+reference — the GIL makes the data plane serialization-free.
+
+This is deliberately a *small* MPI: blocking calls only, COMM_WORLD only,
+deterministic tag matching.  It exists to execute the paper's in-group
+gather and server-side SPMD logic on a laptop, not to benchmark networks
+(wall-clock performance claims come from :mod:`repro.perfmodel` instead).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+ANY_TAG = -1
+_DEFAULT_TIMEOUT = 60.0
+
+
+class MPIError(RuntimeError):
+    """Raised on communicator misuse or on timeout (deadlock guard)."""
+
+
+class _World:
+    """Shared state of one communicator group."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.queues: Dict[Tuple[int, int], "queue.Queue[Tuple[int, Any]]"] = {
+            (src, dst): queue.Queue()
+            for src in range(size)
+            for dst in range(size)
+        }
+        self.barrier = threading.Barrier(size)
+        # collective scratch: one slot per rank, reused between barriers
+        self.slots: List[Any] = [None] * size
+        self.failures: List[BaseException] = []
+        self.failure_lock = threading.Lock()
+
+
+class Communicator:
+    """Per-rank handle onto a :class:`_World` (mpi4py-flavoured API)."""
+
+    def __init__(self, world: _World, rank: int):
+        self._world = world
+        self._rank = rank
+
+    # ------------------------------------------------------------------ #
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._world.size
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._world.size
+
+    # ------------------------------------------------------------------ #
+    # point-to-point
+    # ------------------------------------------------------------------ #
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest)
+        self._world.queues[(self._rank, dest)].put((tag, obj))
+
+    def recv(self, source: int, tag: int = ANY_TAG, timeout: float = _DEFAULT_TIMEOUT) -> Any:
+        """Blocking receive from ``source``; tag must match unless ANY_TAG.
+
+        Messages from one source are delivered in send order; a tag
+        mismatch at the queue head is an error (deterministic matching
+        keeps tests honest about protocol ordering).
+        """
+        self._check_rank(source)
+        try:
+            got_tag, obj = self._world.queues[(source, self._rank)].get(
+                timeout=timeout
+            )
+        except queue.Empty as exc:
+            raise MPIError(
+                f"rank {self._rank}: recv from {source} timed out"
+            ) from exc
+        if tag != ANY_TAG and got_tag != tag:
+            raise MPIError(
+                f"rank {self._rank}: expected tag {tag} from {source}, got {got_tag}"
+            )
+        return obj
+
+    # ------------------------------------------------------------------ #
+    # collectives
+    # ------------------------------------------------------------------ #
+    def barrier(self, timeout: float = _DEFAULT_TIMEOUT) -> None:
+        try:
+            self._world.barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError as exc:
+            raise MPIError(f"rank {self._rank}: barrier broken/timeout") from exc
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_rank(root)
+        if self._rank == root:
+            self._world.slots[root] = obj
+        self.barrier()
+        result = self._world.slots[root]
+        self.barrier()  # nobody reuses the slot before all have read
+        return result
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        self._check_rank(root)
+        self._world.slots[self._rank] = obj
+        self.barrier()
+        result = list(self._world.slots) if self._rank == root else None
+        self.barrier()
+        return result
+
+    def allgather(self, obj: Any) -> List[Any]:
+        self._world.slots[self._rank] = obj
+        self.barrier()
+        result = list(self._world.slots)
+        self.barrier()
+        return result
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        self._check_rank(root)
+        if self._rank == root:
+            if objs is None or len(objs) != self.size:
+                raise MPIError("scatter requires one object per rank at root")
+            self._world.slots[:] = list(objs)
+        self.barrier()
+        result = self._world.slots[self._rank]
+        self.barrier()
+        return result
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Any:
+        gathered = self.gather(obj, root=root)
+        if self._rank != root:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        gathered = self.allgather(obj)
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    # ------------------------------------------------------------------ #
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._world.size:
+            raise MPIError(f"rank {rank} out of range [0, {self._world.size})")
+
+
+def run_mpi(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = _DEFAULT_TIMEOUT,
+) -> List[Any]:
+    """Run ``fn(comm, *args)`` on ``nranks`` thread-ranks; return results.
+
+    The moral equivalent of ``mpiexec -n nranks``.  If any rank raises,
+    the first exception is re-raised in the caller after all threads are
+    joined (remaining ranks may observe broken barriers — that is the
+    realistic failure mode).
+    """
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    world = _World(nranks)
+    results: List[Any] = [None] * nranks
+
+    def runner(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - propagate to caller
+            with world.failure_lock:
+                world.failures.append(exc)
+            world.barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}")
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            world.barrier.abort()
+            raise MPIError("run_mpi: rank thread did not finish (deadlock?)")
+    if world.failures:
+        raise world.failures[0]
+    return results

@@ -1,0 +1,321 @@
+"""Iterative ubiquitous Sobol' indices via the Martinez estimator.
+
+:class:`IterativeSobolEstimator` tracks, per input parameter k, the two
+streaming correlations the Martinez formulas need:
+
+* ``corr(Y^B, Y^{C^k})``  -> first-order index  S_k   (Eq. 5/7)
+* ``corr(Y^A, Y^{C^k})``  -> total index        ST_k  (Eq. 6)
+
+State is elementwise over an arbitrary field shape, so one estimator per
+timestep gives the paper's *ubiquitous* indices S_k(x, t) — a value for
+every mesh cell and every timestep, with O(fields) memory independent of
+the number of simulation groups.
+
+Group-at-a-time semantics: :meth:`update_group` consumes the p+2 outputs
+``(Y^A_i, Y^B_i, Y^{C^1}_i .. Y^{C^p}_i)`` of one pick-freeze group.  All
+groups are independent so updates commute (any arrival order yields the
+same result, to FP rounding) — the property the asynchronous server relies
+on (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sobol.confidence import (
+    first_order_confidence_interval,
+    total_order_confidence_interval,
+)
+from repro.stats.covariance import IterativeCovariance
+from repro.stats.moments import IterativeMoments
+
+
+class IterativeSobolEstimator:
+    """One-pass first-order and total Sobol' indices for one output field.
+
+    Parameters
+    ----------
+    nparams:
+        Number of variable inputs p; each group supplies p+2 outputs.
+    shape:
+        Field shape of each simulation output (``()`` for scalar outputs).
+
+    Notes
+    -----
+    Memory = (2p + const) arrays of ``shape``: per parameter one
+    covariance pair vs Y^B and one vs Y^A.  The output moments (mean,
+    variance) of the A member are tracked too, because the paper recommends
+    co-visualizing Var(Y) with the index maps (Sec. 5.5) and variance is
+    the denominator sanity-check for near-constant cells.
+    """
+
+    def __init__(self, nparams: int, shape: Tuple[int, ...] = (),
+                 track_pairs: bool = False):
+        if nparams < 1:
+            raise ValueError("nparams must be >= 1")
+        self.nparams = nparams
+        self.shape = tuple(shape)
+        # corr(Y^B, Y^Ck) per k  -> S_k
+        self._first = [IterativeCovariance(self.shape) for _ in range(nparams)]
+        # corr(Y^A, Y^Ck) per k  -> ST_k
+        self._total = [IterativeCovariance(self.shape) for _ in range(nparams)]
+        # extension (zero extra simulations): corr(Y^Ci, Y^Cj) estimates
+        # the closed index of everything EXCEPT {i, j}, giving the pair's
+        # total index ST_{ij} = 1 - corr — O(p^2) memory, opt-in.
+        self.track_pairs = bool(track_pairs)
+        self._pairs: Dict[Tuple[int, int], IterativeCovariance] = {}
+        if self.track_pairs:
+            self._pairs = {
+                (i, j): IterativeCovariance(self.shape)
+                for i in range(nparams)
+                for j in range(i + 1, nparams)
+            }
+        # general output statistics on the A member (variance map, Fig. 8)
+        self.output_moments = IterativeMoments(self.shape, order=2)
+        self.ngroups = 0
+
+    # ------------------------------------------------------------------ #
+    def update_group(
+        self,
+        y_a: np.ndarray,
+        y_b: np.ndarray,
+        y_c: Sequence[np.ndarray],
+    ) -> None:
+        """Fold one simulation group's p+2 outputs into every index."""
+        if len(y_c) != self.nparams:
+            raise ValueError(
+                f"expected {self.nparams} C-member outputs, got {len(y_c)}"
+            )
+        y_a = np.asarray(y_a, dtype=np.float64)
+        y_b = np.asarray(y_b, dtype=np.float64)
+        y_c = [np.asarray(yc, dtype=np.float64) for yc in y_c]
+        for k in range(self.nparams):
+            self._first[k].update(y_b, y_c[k])
+            self._total[k].update(y_a, y_c[k])
+        for (i, j), cov in self._pairs.items():
+            cov.update(y_c[i], y_c[j])
+        self.output_moments.update(y_a)
+        self.ngroups += 1
+
+    def merge(self, other: "IterativeSobolEstimator") -> None:
+        """Combine with an estimator fed a disjoint set of groups."""
+        if other.nparams != self.nparams or other.shape != self.shape:
+            raise ValueError("incompatible estimator merge")
+        if other.track_pairs != self.track_pairs:
+            raise ValueError("incompatible pair tracking")
+        for k in range(self.nparams):
+            self._first[k].merge(other._first[k])
+            self._total[k].merge(other._total[k])
+        for key, cov in self._pairs.items():
+            cov.merge(other._pairs[key])
+        self.output_moments.merge(other.output_moments)
+        self.ngroups += other.ngroups
+
+    # ------------------------------------------------------------------ #
+    def first_order(self, k: Optional[int] = None) -> np.ndarray:
+        """S_k (or stacked (p,)+shape array if ``k`` is None)."""
+        if k is not None:
+            return self._first[k].correlation
+        return np.stack([c.correlation for c in self._first])
+
+    def total_order(self, k: Optional[int] = None) -> np.ndarray:
+        """ST_k (or stacked array if ``k`` is None)."""
+        if k is not None:
+            return 1.0 - self._total[k].correlation
+        return np.stack([1.0 - c.correlation for c in self._total])
+
+    def pair_total_order(self, i: int, j: int) -> np.ndarray:
+        """Total index ST_{ij} of the pair {i, j} (extension).
+
+        With this paper's pick-freeze convention, Y^{C^i} and Y^{C^j}
+        share every input *except* i and j, so their correlation estimates
+        the closed index of the complementary set and
+        ``ST_{ij} = 1 - corr(Y^{C^i}, Y^{C^j})`` — the overall sensitivity
+        to {X_i, X_j} including every interaction containing either, at no
+        extra simulation cost.  Requires ``track_pairs=True``.
+        """
+        if not self.track_pairs:
+            raise ValueError("estimator built without track_pairs=True")
+        if i == j:
+            raise ValueError("pair indices must differ")
+        key = (min(i, j), max(i, j))
+        if key not in self._pairs:
+            raise ValueError(f"invalid pair {key} for {self.nparams} parameters")
+        return 1.0 - self._pairs[key].correlation
+
+    def interaction_residual(self) -> np.ndarray:
+        """1 - sum_k S_k: mass attributable to parameter interactions.
+
+        Small values mean first-order indices tell the whole story and the
+        total indices are redundant (paper Sec. 5.5, point on interactions).
+        """
+        return 1.0 - np.nansum(self.first_order(), axis=0)
+
+    @property
+    def output_variance(self) -> np.ndarray:
+        """Unbiased Var(Y^A): the Fig. 8 co-visualization map."""
+        return self.output_moments.variance
+
+    @property
+    def output_mean(self) -> np.ndarray:
+        return self.output_moments.mean
+
+    # ------------------------------------------------------------------ #
+    def first_order_interval(self, k: int, z: float = 1.96):
+        """Fisher-z CI of S_k after the groups seen so far (Eq. 8)."""
+        return first_order_confidence_interval(self.first_order(k), self.ngroups, z)
+
+    def total_order_interval(self, k: int, z: float = 1.96):
+        """Fisher-z CI of ST_k (Eq. 9)."""
+        return total_order_confidence_interval(self.total_order(k), self.ngroups, z)
+
+    def max_interval_width(self, z: float = 1.96) -> float:
+        """Largest CI width over all parameters and cells.
+
+        This is the scalar the server reports for convergence control
+        (Sec. 4.1.5: "only keep the largest value over all the mesh and all
+        the timesteps").  ``inf`` until enough groups for the Fisher SE;
+        ``nan`` when no cell carries any output variance (indices are
+        meaningless there, Sec. 5.5) — aggregators skip NaN estimators.
+        """
+        if self.ngroups <= 3:
+            return float("inf")
+        widths: List[float] = []
+        for k in range(self.nparams):
+            lo, hi = self.first_order_interval(k, z)
+            w = hi - lo
+            finite = w[np.isfinite(w)]
+            if finite.size:
+                widths.append(float(finite.max()))
+            lo, hi = self.total_order_interval(k, z)
+            w = hi - lo
+            finite = w[np.isfinite(w)]
+            if finite.size:
+                widths.append(float(finite.max()))
+        return max(widths) if widths else float("nan")
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        state = {
+            "nparams": self.nparams,
+            "ngroups": self.ngroups,
+            "track_pairs": self.track_pairs,
+            "first": [c.state_dict() for c in self._first],
+            "total": [c.state_dict() for c in self._total],
+            "output_moments": self.output_moments.state_dict(),
+        }
+        if self.track_pairs:
+            state["pairs"] = {
+                f"{i},{j}": cov.state_dict() for (i, j), cov in self._pairs.items()
+            }
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "IterativeSobolEstimator":
+        moments = IterativeMoments.from_state_dict(state["output_moments"])
+        obj = cls(
+            nparams=int(state["nparams"]),
+            shape=moments.shape,
+            track_pairs=bool(state.get("track_pairs", False)),
+        )
+        obj.ngroups = int(state["ngroups"])
+        obj._first = [IterativeCovariance.from_state_dict(s) for s in state["first"]]
+        obj._total = [IterativeCovariance.from_state_dict(s) for s in state["total"]]
+        if obj.track_pairs:
+            obj._pairs = {
+                tuple(int(v) for v in key.split(",")): IterativeCovariance.from_state_dict(s)
+                for key, s in state["pairs"].items()
+            }
+        obj.output_moments = moments
+        return obj
+
+    def copy(self) -> "IterativeSobolEstimator":
+        return IterativeSobolEstimator.from_state_dict(self.state_dict())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"IterativeSobolEstimator(nparams={self.nparams}, shape={self.shape}, "
+            f"ngroups={self.ngroups})"
+        )
+
+
+class UbiquitousSobolField:
+    """Per-timestep family of :class:`IterativeSobolEstimator`.
+
+    This is the server-rank payload: for a spatial partition of
+    ``ncells_local`` cells and ``ntimesteps`` outputs, it owns one
+    estimator per timestep and dispatches group updates as (timestep,
+    member-field) messages arrive — in any order across groups.
+    """
+
+    def __init__(self, nparams: int, ntimesteps: int, ncells: int):
+        if ntimesteps < 1 or ncells < 1:
+            raise ValueError("ntimesteps and ncells must be >= 1")
+        self.nparams = nparams
+        self.ntimesteps = ntimesteps
+        self.ncells = ncells
+        self.estimators = [
+            IterativeSobolEstimator(nparams, (ncells,)) for _ in range(ntimesteps)
+        ]
+
+    def update_group_timestep(
+        self,
+        timestep: int,
+        y_a: np.ndarray,
+        y_b: np.ndarray,
+        y_c: Sequence[np.ndarray],
+    ) -> None:
+        """Fold one group's outputs for one timestep."""
+        self.estimators[timestep].update_group(y_a, y_b, y_c)
+
+    def first_order_map(self, k: int, timestep: int) -> np.ndarray:
+        return self.estimators[timestep].first_order(k)
+
+    def total_order_map(self, k: int, timestep: int) -> np.ndarray:
+        return self.estimators[timestep].total_order(k)
+
+    def variance_map(self, timestep: int) -> np.ndarray:
+        return self.estimators[timestep].output_variance
+
+    def max_interval_width(self, z: float = 1.96) -> float:
+        """Largest CI width over all timesteps (convergence scalar).
+
+        Timesteps with no meaningful cells (NaN) are skipped; ``inf`` when
+        nothing meaningful exists anywhere yet.
+        """
+        widths = [e.max_interval_width(z) for e in self.estimators]
+        finite_or_inf = [w for w in widths if not np.isnan(w)]
+        return max(finite_or_inf) if finite_or_inf else float("nan")
+
+    @property
+    def memory_floats(self) -> int:
+        """Number of float64 state entries — O(fields), not O(groups).
+
+        Per timestep: 2p covariance objects x 5 arrays + 1 moments object
+        x 2 arrays, each of ``ncells`` floats.  Used by the memory-accounting
+        benchmark (paper: 491 GB server memory for 10M cells x 100 steps).
+        """
+        per_estimator = (2 * self.nparams * 5 + 2) * self.ncells
+        return per_estimator * self.ntimesteps
+
+    def state_dict(self) -> dict:
+        return {
+            "nparams": self.nparams,
+            "ntimesteps": self.ntimesteps,
+            "ncells": self.ncells,
+            "estimators": [e.state_dict() for e in self.estimators],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "UbiquitousSobolField":
+        obj = cls(
+            nparams=int(state["nparams"]),
+            ntimesteps=int(state["ntimesteps"]),
+            ncells=int(state["ncells"]),
+        )
+        obj.estimators = [
+            IterativeSobolEstimator.from_state_dict(s) for s in state["estimators"]
+        ]
+        return obj

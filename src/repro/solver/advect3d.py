@@ -1,0 +1,161 @@
+"""3-D convection-diffusion on an extruded tube-bundle flow.
+
+The paper's mesh is 3-D (9.6M hexahedra) but its tube-bundle flow is
+essentially quasi-2-D: water moves in the channel plane, and the spanwise
+direction mixes by diffusion.  This integrator models exactly that: the
+frozen (u, v) face velocities of the 2-D streamfunction solve are
+extruded along z (w = 0, still discretely divergence-free), the dye is a
+full (nx, ny, nz) hexahedral field, and diffusion acts in all three
+directions with zero-flux side walls.
+
+The per-substep cost is a handful of fused NumPy slice operations over
+the 3-D array — the 2-D face velocities broadcast over the z axis, no
+Python loops over layers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.mesh import StructuredMesh
+from repro.solver.flow import StreamfunctionFlow
+
+
+class AdvectionDiffusion3D:
+    """Explicit upwind FV integrator for the extruded 3-D dye field.
+
+    Parameters
+    ----------
+    flow:
+        The 2-D frozen flow (provides the channel-plane face velocities
+        and the solid mask, extruded along z).
+    nz, depth:
+        Spanwise cells and physical depth.
+    diffusivity:
+        Isotropic diffusion coefficient.
+    """
+
+    def __init__(
+        self,
+        flow: StreamfunctionFlow,
+        nz: int,
+        depth: float = 1.0,
+        diffusivity: float = 1e-3,
+        cfl: float = 0.45,
+    ):
+        if nz < 1:
+            raise ValueError("nz must be >= 1")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        if diffusivity < 0:
+            raise ValueError("diffusivity must be >= 0")
+        if not 0 < cfl <= 1.0:
+            raise ValueError("cfl must be in (0, 1]")
+        self.flow = flow
+        nx, ny = flow.mesh.dims
+        self.mesh = StructuredMesh(
+            dims=(nx, ny, nz),
+            lengths=(flow.mesh.lengths[0], flow.mesh.lengths[1], depth),
+        )
+        self.diffusivity = float(diffusivity)
+        self.cfl = float(cfl)
+        self.dx, self.dy, self.dz = self.mesh.spacing
+        # extruded masks/velocities: broadcast (nx, ny) -> (nx, ny, nz)
+        self.solid = np.repeat(flow.solid[:, :, np.newaxis], nz, axis=2)
+        self.fluid = ~self.solid
+        self._ue_pos = np.maximum(flow.u_east, 0.0)[:, :, np.newaxis]
+        self._ue_neg = np.minimum(flow.u_east, 0.0)[:, :, np.newaxis]
+        self._vn_pos = np.maximum(flow.v_north, 0.0)[:, :, np.newaxis]
+        self._vn_neg = np.minimum(flow.v_north, 0.0)[:, :, np.newaxis]
+        fluid2d = ~flow.solid
+        self._diff_x = (fluid2d[:-1, :] & fluid2d[1:, :])[:, :, np.newaxis]
+        self._diff_y = (fluid2d[:, :-1] & fluid2d[:, 1:])[:, :, np.newaxis]
+        # z faces conduct wherever the column is fluid (solid is z-uniform)
+        self._diff_z = fluid2d[:, :, np.newaxis]
+        self.stable_dt = self._compute_stable_dt()
+
+    # ------------------------------------------------------------------ #
+    def _compute_stable_dt(self) -> float:
+        adv_rate = (
+            np.abs(self.flow.u_east).max() / self.dx
+            + np.abs(self.flow.v_north).max() / self.dy
+        )
+        dt_adv = self.cfl / adv_rate if adv_rate > 0 else np.inf
+        if self.diffusivity > 0:
+            dt_diff = 0.5 / (
+                2.0
+                * self.diffusivity
+                * (1.0 / self.dx**2 + 1.0 / self.dy**2 + 1.0 / self.dz**2)
+            )
+        else:
+            dt_diff = np.inf
+        dt = min(dt_adv, dt_diff)
+        if not np.isfinite(dt):
+            raise ValueError("quiescent flow with zero diffusivity: dt unbounded")
+        return float(dt)
+
+    # ------------------------------------------------------------------ #
+    def rhs_fluxes(self, c: np.ndarray, inlet_profile: np.ndarray) -> np.ndarray:
+        """dc/dt from advective + diffusive fluxes; inlet profile (ny, nz)."""
+        nx, ny, nz = self.mesh.dims
+
+        flux_x = np.empty((nx + 1, ny, nz))
+        flux_x[1:-1] = self._ue_pos[1:-1] * c[:-1] + self._ue_neg[1:-1] * c[1:]
+        flux_x[0] = self._ue_pos[0] * inlet_profile + self._ue_neg[0] * c[0]
+        flux_x[-1] = self._ue_pos[-1] * c[-1]
+
+        flux_y = np.zeros((nx, ny + 1, nz))
+        flux_y[:, 1:-1] = (
+            self._vn_pos[:, 1:-1] * c[:, :-1] + self._vn_neg[:, 1:-1] * c[:, 1:]
+        )
+
+        rate = -(
+            (flux_x[1:] - flux_x[:-1]) / self.dx
+            + (flux_y[:, 1:] - flux_y[:, :-1]) / self.dy
+        )
+
+        if self.diffusivity > 0:
+            gx = np.zeros((nx + 1, ny, nz))
+            gx[1:-1] = np.where(self._diff_x, (c[1:] - c[:-1]) / self.dx, 0.0)
+            gy = np.zeros((nx, ny + 1, nz))
+            gy[:, 1:-1] = np.where(
+                self._diff_y, (c[:, 1:] - c[:, :-1]) / self.dy, 0.0
+            )
+            gz = np.zeros((nx, ny, nz + 1))
+            gz[:, :, 1:-1] = np.where(
+                self._diff_z, (c[:, :, 1:] - c[:, :, :-1]) / self.dz, 0.0
+            )
+            rate += self.diffusivity * (
+                (gx[1:] - gx[:-1]) / self.dx
+                + (gy[:, 1:] - gy[:, :-1]) / self.dy
+                + (gz[:, :, 1:] - gz[:, :, :-1]) / self.dz
+            )
+
+        rate[self.solid] = 0.0
+        return rate
+
+    def step(
+        self,
+        c: np.ndarray,
+        dt: float,
+        inlet_profile_fn: Callable[[float], np.ndarray],
+        t: float,
+    ) -> float:
+        """Advance ``c`` in place by ``dt`` with stable substepping."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        remaining = dt
+        while remaining > 1e-15:
+            sub = min(self.stable_dt, remaining)
+            c += sub * self.rhs_fluxes(c, inlet_profile_fn(t))
+            t += sub
+            remaining -= sub
+        return t
+
+    def initial_condition(self) -> np.ndarray:
+        return np.zeros(self.mesh.dims)
+
+    def total_dye(self, c: np.ndarray) -> float:
+        return float(c[self.fluid].sum() * self.mesh.cell_volume)

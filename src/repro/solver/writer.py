@@ -1,0 +1,86 @@
+"""EnSight-Gold-like per-timestep output, for the *classical* baseline only.
+
+The paper's comparison point ("classical" in Fig. 6) runs every simulation
+with the Code_Saturne EnSight Gold writer pushing each timestep to the
+Lustre filesystem, then reads the whole ensemble back to compute the
+statistics postmortem.  This module provides the equivalent: a binary
+per-(simulation, timestep) file writer with byte accounting, and a
+postmortem reader that streams the files back for a two-pass analysis.
+
+The in-transit path never imports this module — that is the point.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+_MAGIC = b"RPRO"
+_HEADER = struct.Struct("<4sqqq")  # magic, simulation_id, timestep, ncells
+
+
+class EnsightLikeWriter:
+    """Writes one binary file per (simulation, timestep) under a case dir."""
+
+    def __init__(self, directory: os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.bytes_written = 0
+        self.files_written = 0
+
+    def path_for(self, simulation_id: int, timestep: int) -> Path:
+        return self.directory / f"sim{simulation_id:06d}_step{timestep:05d}.bin"
+
+    def write(self, simulation_id: int, timestep: int, field: np.ndarray) -> Path:
+        """Persist one field; returns the file path."""
+        field = np.ascontiguousarray(field, dtype=np.float64).ravel()
+        path = self.path_for(simulation_id, timestep)
+        with open(path, "wb") as fh:
+            fh.write(_HEADER.pack(_MAGIC, simulation_id, timestep, field.size))
+            fh.write(field.tobytes())
+        self.bytes_written += _HEADER.size + field.nbytes
+        self.files_written += 1
+        return path
+
+
+class PostmortemReader:
+    """Streams ensemble files back from disk for a two-pass analysis."""
+
+    def __init__(self, directory: os.PathLike):
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise FileNotFoundError(f"no ensemble directory {self.directory}")
+        self.bytes_read = 0
+
+    def list_files(self) -> List[Path]:
+        return sorted(self.directory.glob("sim*_step*.bin"))
+
+    def read(self, path: os.PathLike) -> Tuple[int, int, np.ndarray]:
+        """Read one file -> (simulation_id, timestep, field)."""
+        with open(path, "rb") as fh:
+            header = fh.read(_HEADER.size)
+            magic, sim_id, timestep, ncells = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                raise ValueError(f"{path} is not an ensemble file")
+            payload = fh.read(ncells * 8)
+        self.bytes_read += len(header) + len(payload)
+        return int(sim_id), int(timestep), np.frombuffer(payload, dtype=np.float64)
+
+    def read_simulation(self, simulation_id: int) -> np.ndarray:
+        """All timesteps of one simulation as an (nsteps, ncells) stack."""
+        paths = sorted(self.directory.glob(f"sim{simulation_id:06d}_step*.bin"))
+        if not paths:
+            raise FileNotFoundError(f"no files for simulation {simulation_id}")
+        fields = []
+        for p in paths:
+            _, _, field = self.read(p)
+            fields.append(field)
+        return np.vstack(fields)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, np.ndarray]]:
+        for path in self.list_files():
+            yield self.read(path)

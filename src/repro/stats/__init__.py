@@ -1,0 +1,36 @@
+"""Iterative (one-pass) statistics substrate.
+
+This package implements the numerically-stable, single-pass update formulas
+that make in-transit sensitivity analysis possible (paper Sec. 3.1).  All
+estimators accept either scalars or NumPy arrays of a fixed *field shape*;
+array updates are fully vectorized so a 10M-cell field costs one fused pass
+over the data, never a Python-level loop.
+
+The formulas follow Welford (1962) for mean/variance, Pebay (SAND2008-6212)
+for arbitrary-order central moments and co-moments, and Chan/Golub/LeVeque
+for the pairwise *merge* operations used to combine partial statistics
+computed on disjoint sample partitions (parallel reduction trees).
+
+Exactness invariant
+-------------------
+Every iterative estimator here is algebraically identical to its two-pass
+(batch) counterpart; tests assert agreement to floating-point tolerance.
+This is the property the paper relies on when it replaces postmortem
+statistics with on-the-fly updates.
+"""
+
+from repro.stats.moments import IterativeMoments, batch_central_moments
+from repro.stats.covariance import IterativeCovariance, IterativeCorrelation
+from repro.stats.extrema import IterativeExtrema, ThresholdExceedance
+from repro.stats.field import FieldStatistics, StatisticsConfig
+
+__all__ = [
+    "IterativeMoments",
+    "IterativeCovariance",
+    "IterativeCorrelation",
+    "IterativeExtrema",
+    "ThresholdExceedance",
+    "FieldStatistics",
+    "StatisticsConfig",
+    "batch_central_moments",
+]

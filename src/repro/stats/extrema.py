@@ -1,0 +1,107 @@
+"""Streaming extrema and threshold-exceedance counters.
+
+These are the auxiliary statistics Melissa computed in its earlier
+incarnation (paper ref. [44]: average, std, min, max, threshold
+exceedance) and which the server can still be configured to maintain on
+the A/B member outputs (Sec. 4.1: "beside Sobol' indices, Melissa can be
+configured to compute other iterative statistics on the same data").
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.stats.moments import _as_field
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class IterativeExtrema:
+    """Elementwise running min and max over a stream of field samples."""
+
+    __slots__ = ("shape", "count", "minimum", "maximum")
+
+    def __init__(self, shape: Tuple[int, ...] = ()):
+        self.shape = tuple(shape)
+        self.count = 0
+        self.minimum = np.full(self.shape, np.inf)
+        self.maximum = np.full(self.shape, -np.inf)
+
+    def update(self, sample: ArrayLike) -> None:
+        x = _as_field(sample, self.shape)
+        self.count += 1
+        np.minimum(self.minimum, x, out=self.minimum)
+        np.maximum(self.maximum, x, out=self.maximum)
+
+    def merge(self, other: "IterativeExtrema") -> None:
+        if other.shape != self.shape:
+            raise ValueError("cannot merge extrema with different shapes")
+        self.count += other.count
+        np.minimum(self.minimum, other.minimum, out=self.minimum)
+        np.maximum(self.maximum, other.maximum, out=self.maximum)
+
+    @property
+    def range(self) -> np.ndarray:
+        """max - min (``nan`` before any sample)."""
+        if self.count == 0:
+            return np.full(self.shape, np.nan)
+        return self.maximum - self.minimum
+
+    def state_dict(self) -> dict:
+        return {"count": self.count, "minimum": self.minimum, "maximum": self.maximum}
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "IterativeExtrema":
+        minimum = np.asarray(state["minimum"], dtype=np.float64)
+        obj = cls(shape=minimum.shape)
+        obj.count = int(state["count"])
+        obj.minimum = minimum.copy()
+        obj.maximum = np.asarray(state["maximum"], dtype=np.float64).copy()
+        return obj
+
+
+class ThresholdExceedance:
+    """Per-cell count (and probability) of samples exceeding a threshold."""
+
+    __slots__ = ("shape", "threshold", "count", "exceedances")
+
+    def __init__(self, shape: Tuple[int, ...] = (), threshold: float = 0.0):
+        self.shape = tuple(shape)
+        self.threshold = float(threshold)
+        self.count = 0
+        self.exceedances = np.zeros(self.shape, dtype=np.int64)
+
+    def update(self, sample: ArrayLike) -> None:
+        x = _as_field(sample, self.shape)
+        self.count += 1
+        self.exceedances += x > self.threshold
+
+    def merge(self, other: "ThresholdExceedance") -> None:
+        if other.shape != self.shape or other.threshold != self.threshold:
+            raise ValueError("incompatible threshold-exceedance merge")
+        self.count += other.count
+        self.exceedances += other.exceedances
+
+    @property
+    def probability(self) -> np.ndarray:
+        """Empirical exceedance probability per cell (``nan`` before data)."""
+        if self.count == 0:
+            return np.full(self.shape, np.nan)
+        return self.exceedances / self.count
+
+    def state_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "threshold": self.threshold,
+            "exceedances": self.exceedances,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "ThresholdExceedance":
+        exceedances = np.asarray(state["exceedances"], dtype=np.int64)
+        obj = cls(shape=exceedances.shape, threshold=float(state["threshold"]))
+        obj.count = int(state["count"])
+        obj.exceedances = exceedances.copy()
+        return obj

@@ -1,0 +1,134 @@
+"""Per-timestep field statistics container used by the Melissa server.
+
+Each server rank owns a spatial partition of the mesh and, for every
+timestep, a :class:`FieldStatistics` instance tracking the configured
+moments/extrema over the A- and B-member outputs of all simulation groups
+(paper Sec. 4.1: only the A and B members have independent input
+parameters, so general statistics are computed on those two streams only;
+the C^k members feed the Sobol' accumulators exclusively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.stats.extrema import IterativeExtrema, ThresholdExceedance
+from repro.stats.moments import IterativeMoments
+
+
+@dataclass(frozen=True)
+class StatisticsConfig:
+    """Which general-purpose statistics the server maintains per timestep.
+
+    Attributes
+    ----------
+    moment_order:
+        1 = mean only, 2 adds variance, 3 skewness, 4 kurtosis.
+    track_extrema:
+        Maintain per-cell running min/max.
+    thresholds:
+        Exceedance thresholds; one counter per value.
+    """
+
+    moment_order: int = 2
+    track_extrema: bool = False
+    thresholds: Tuple[float, ...] = ()
+
+    def __post_init__(self):
+        if self.moment_order not in (1, 2, 3, 4):
+            raise ValueError("moment_order must be in 1..4")
+
+
+class FieldStatistics:
+    """Aggregate of configured iterative statistics over one field partition."""
+
+    def __init__(self, shape: Tuple[int, ...], config: Optional[StatisticsConfig] = None):
+        self.shape = tuple(shape)
+        self.config = config or StatisticsConfig()
+        self.moments = IterativeMoments(self.shape, order=self.config.moment_order)
+        self.extrema = IterativeExtrema(self.shape) if self.config.track_extrema else None
+        self.exceedances = [
+            ThresholdExceedance(self.shape, threshold=t) for t in self.config.thresholds
+        ]
+
+    # ------------------------------------------------------------------ #
+    def update(self, sample: np.ndarray) -> None:
+        """Fold one field sample into every configured statistic."""
+        self.moments.update(sample)
+        if self.extrema is not None:
+            self.extrema.update(sample)
+        for exc in self.exceedances:
+            exc.update(sample)
+
+    def merge(self, other: "FieldStatistics") -> None:
+        if other.shape != self.shape or other.config != self.config:
+            raise ValueError("incompatible FieldStatistics merge")
+        self.moments.merge(other.moments)
+        if self.extrema is not None:
+            self.extrema.merge(other.extrema)
+        for mine, theirs in zip(self.exceedances, other.exceedances):
+            mine.merge(theirs)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        return self.moments.count
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self.moments.mean
+
+    @property
+    def variance(self) -> np.ndarray:
+        return self.moments.variance
+
+    def results(self) -> Dict[str, np.ndarray]:
+        """Name -> field mapping of every configured statistic."""
+        out: Dict[str, np.ndarray] = {"mean": self.moments.mean.copy()}
+        if self.config.moment_order >= 2:
+            out["variance"] = self.moments.variance
+        if self.config.moment_order >= 3:
+            out["skewness"] = self.moments.skewness
+        if self.config.moment_order >= 4:
+            out["kurtosis"] = self.moments.kurtosis
+        if self.extrema is not None:
+            out["minimum"] = self.extrema.minimum.copy()
+            out["maximum"] = self.extrema.maximum.copy()
+        for exc in self.exceedances:
+            out[f"exceedance_{exc.threshold:g}"] = exc.probability
+        return out
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        state = {
+            "config": {
+                "moment_order": self.config.moment_order,
+                "track_extrema": self.config.track_extrema,
+                "thresholds": list(self.config.thresholds),
+            },
+            "moments": self.moments.state_dict(),
+        }
+        if self.extrema is not None:
+            state["extrema"] = self.extrema.state_dict()
+        state["exceedances"] = [e.state_dict() for e in self.exceedances]
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "FieldStatistics":
+        cfg = StatisticsConfig(
+            moment_order=int(state["config"]["moment_order"]),
+            track_extrema=bool(state["config"]["track_extrema"]),
+            thresholds=tuple(state["config"]["thresholds"]),
+        )
+        moments = IterativeMoments.from_state_dict(state["moments"])
+        obj = cls(shape=moments.shape, config=cfg)
+        obj.moments = moments
+        if obj.extrema is not None:
+            obj.extrema = IterativeExtrema.from_state_dict(state["extrema"])
+        obj.exceedances = [
+            ThresholdExceedance.from_state_dict(s) for s in state["exceedances"]
+        ]
+        return obj

@@ -1,0 +1,40 @@
+"""ZeroMQ-like transport substrate: framed messages over bounded channels.
+
+The paper uses ZeroMQ push sockets between each simulation group's main
+simulation and the Melissa Server ranks (Sec. 4.1.3).  The properties the
+framework actually depends on — and which this package reproduces — are:
+
+* **framed messages** with (group, member, timestep, cell-range) headers;
+* **bounded buffers on both sides**: messages queue asynchronously until
+  client and server buffers are both full, at which point *sends block*,
+  suspending the simulation (the Fig. 6a/b saturation mechanism);
+* **dynamic connection**: a starting group contacts server rank 0, learns
+  the server-side data partition, then opens direct channels to exactly
+  the server ranks its cell ranges intersect (the N x M pattern);
+* **per-channel accounting**: message/byte counters and high-water marks
+  feed the performance model's calibration.
+"""
+
+from repro.transport.message import (
+    ConnectionReply,
+    ConnectionRequest,
+    FieldMessage,
+    GroupFieldMessage,
+    Heartbeat,
+)
+from repro.transport.channel import BoundedChannel, ChannelClosed, ChannelStats
+from repro.transport.router import Endpoint, Router, redistribution_plan
+
+__all__ = [
+    "FieldMessage",
+    "GroupFieldMessage",
+    "ConnectionRequest",
+    "ConnectionReply",
+    "Heartbeat",
+    "BoundedChannel",
+    "ChannelClosed",
+    "ChannelStats",
+    "Endpoint",
+    "Router",
+    "redistribution_plan",
+]

@@ -1,0 +1,180 @@
+"""Wire messages exchanged between simulation groups and the server.
+
+Every message knows how to serialize itself to bytes and back.  The data
+plane passes NumPy payloads by reference for speed, but ``to_bytes`` is
+exercised by tests and by the channel byte-accounting so the sizes that
+drive back-pressure are the real wire sizes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+_FIELD_HEADER = struct.Struct("<4sqqqqqq")  # magic, group, member, step, lo, hi, nbytes
+_FIELD_MAGIC = b"FLDM"
+
+
+@dataclass(frozen=True)
+class FieldMessage:
+    """One member's field slice for one timestep, addressed by cell range.
+
+    Attributes
+    ----------
+    group_id:
+        Simulation-group index (the pick-freeze row).
+    member:
+        0 = A, 1 = B, 2+k = C^k (see :mod:`repro.sampling.pickfreeze`).
+    timestep:
+        Output timestep index, strictly increasing per (group, member).
+    cell_lo, cell_hi:
+        Global half-open cell range covered by ``data``.
+    data:
+        float64 field values, ``len == cell_hi - cell_lo``.
+    """
+
+    group_id: int
+    member: int
+    timestep: int
+    cell_lo: int
+    cell_hi: int
+    data: np.ndarray
+
+    def __post_init__(self):
+        data = np.ascontiguousarray(self.data, dtype=np.float64)
+        object.__setattr__(self, "data", data)
+        if data.ndim != 1:
+            raise ValueError("FieldMessage data must be 1-D")
+        if data.size != self.cell_hi - self.cell_lo:
+            raise ValueError(
+                f"data length {data.size} != cell range "
+                f"[{self.cell_lo}, {self.cell_hi})"
+            )
+        if self.timestep < 0 or self.group_id < 0 or self.member < 0:
+            raise ValueError("ids and timestep must be non-negative")
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size: header + payload (drives buffer accounting)."""
+        return _FIELD_HEADER.size + self.data.nbytes
+
+    def to_bytes(self) -> bytes:
+        return (
+            _FIELD_HEADER.pack(
+                _FIELD_MAGIC,
+                self.group_id,
+                self.member,
+                self.timestep,
+                self.cell_lo,
+                self.cell_hi,
+                self.data.nbytes,
+            )
+            + self.data.tobytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "FieldMessage":
+        magic, group, member, step, lo, hi, nbytes = _FIELD_HEADER.unpack_from(raw)
+        if magic != _FIELD_MAGIC:
+            raise ValueError("not a FieldMessage frame")
+        data = np.frombuffer(
+            raw, dtype=np.float64, count=nbytes // 8, offset=_FIELD_HEADER.size
+        ).copy()
+        return cls(group, member, step, lo, hi, data)
+
+
+_GROUP_HEADER = struct.Struct("<4sqqqqqq")  # magic, group, step, lo, hi, nmembers, nbytes
+_GROUP_MAGIC = b"GRPM"
+
+
+@dataclass(frozen=True)
+class GroupFieldMessage:
+    """All p+2 members' field slices for one (group, timestep, cell range).
+
+    This is what the *two-stage* transfer produces (Sec. 4.1.2): the main
+    simulation's rank i gathers the slice of every member, then sends one
+    aggregate message per intersecting server rank — cutting the message
+    count by a factor of p+2 versus each member pushing its own slice.
+    The ablation benchmark compares both shapes.
+    """
+
+    group_id: int
+    timestep: int
+    cell_lo: int
+    cell_hi: int
+    data: np.ndarray  # (nmembers, cell_hi - cell_lo)
+
+    def __post_init__(self):
+        data = np.ascontiguousarray(self.data, dtype=np.float64)
+        object.__setattr__(self, "data", data)
+        if data.ndim != 2:
+            raise ValueError("GroupFieldMessage data must be 2-D (members, cells)")
+        if data.shape[1] != self.cell_hi - self.cell_lo:
+            raise ValueError("data width does not match the cell range")
+        if self.timestep < 0 or self.group_id < 0:
+            raise ValueError("ids and timestep must be non-negative")
+
+    @property
+    def nmembers(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return _GROUP_HEADER.size + self.data.nbytes
+
+    def to_bytes(self) -> bytes:
+        return (
+            _GROUP_HEADER.pack(
+                _GROUP_MAGIC,
+                self.group_id,
+                self.timestep,
+                self.cell_lo,
+                self.cell_hi,
+                self.data.shape[0],
+                self.data.nbytes,
+            )
+            + self.data.tobytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "GroupFieldMessage":
+        magic, group, step, lo, hi, nmembers, nbytes = _GROUP_HEADER.unpack_from(raw)
+        if magic != _GROUP_MAGIC:
+            raise ValueError("not a GroupFieldMessage frame")
+        data = np.frombuffer(
+            raw, dtype=np.float64, count=nbytes // 8, offset=_GROUP_HEADER.size
+        ).reshape(nmembers, hi - lo).copy()
+        return cls(group, step, lo, hi, data)
+
+
+@dataclass(frozen=True)
+class ConnectionRequest:
+    """Group -> server rank 0: announce and ask for the data partition."""
+
+    group_id: int
+    ncells: int
+    nranks_client: int
+
+
+@dataclass(frozen=True)
+class ConnectionReply:
+    """Server rank 0 -> group: server partition fenceposts and addresses."""
+
+    nranks_server: int
+    offsets: Tuple[int, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "offsets", tuple(int(o) for o in self.offsets))
+        if len(self.offsets) != self.nranks_server + 1:
+            raise ValueError("offsets must have nranks_server + 1 fenceposts")
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Liveness beacon (server -> launcher and group -> server)."""
+
+    sender: str
+    time: float

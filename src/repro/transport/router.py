@@ -1,0 +1,166 @@
+"""Dynamic connection handshake and N x M redistribution planning.
+
+Reproduces Sec. 4.1.3: when a simulation group starts, its main-simulation
+rank 0 contacts the server's rank 0, retrieves the server-side data
+partition, shares it with the other main-simulation ranks, and each of
+them opens direct channels to exactly the server ranks whose cell ranges
+intersect its own.  The :class:`Router` is the in-process stand-in for
+"the network": it owns one :class:`BoundedChannel` per (client-rank,
+server-rank) pair, created lazily at connect time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mesh.partition import BlockPartition
+from repro.transport.channel import BoundedChannel
+from repro.transport.message import ConnectionReply, ConnectionRequest, FieldMessage
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """Address of one server rank's inbound queue."""
+
+    server_rank: int
+
+
+def redistribution_plan(
+    client_partition: BlockPartition, server_partition: BlockPartition
+) -> List[List[Tuple[int, int, int]]]:
+    """Per-client-rank list of (server_rank, cell_lo, cell_hi) to forward.
+
+    Thin veneer over :meth:`BlockPartition.intersections` kept as a named
+    concept because it *is* the paper's static N x M pattern.
+    """
+    return client_partition.intersections(server_partition)
+
+
+class Router:
+    """Network fabric: connection handshake + per-pair bounded channels.
+
+    Parameters
+    ----------
+    server_partition:
+        Server-side data partition (fixed at server start).
+    channel_capacity_bytes:
+        ZeroMQ-style combined buffer budget per channel (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        server_partition: BlockPartition,
+        channel_capacity_bytes: Optional[int] = None,
+    ):
+        self.server_partition = server_partition
+        self.channel_capacity_bytes = channel_capacity_bytes
+        # inbound data channels, keyed by server rank: every connected
+        # client pushes into the owning rank's single queue (ZeroMQ PULL).
+        self.inbound: Dict[int, BoundedChannel] = {
+            rank: BoundedChannel(
+                capacity_bytes=channel_capacity_bytes,
+                name=f"server-rank-{rank}",
+            )
+            for rank in range(server_partition.nranks)
+        }
+        self.connections: Dict[int, ConnectionReply] = {}
+
+    # ------------------------------------------------------------------ #
+    def connect(self, request: ConnectionRequest) -> ConnectionReply:
+        """Handshake: group announces itself, learns the server partition."""
+        if request.ncells != self.server_partition.ncells:
+            raise ValueError(
+                f"group {request.group_id} has {request.ncells} cells, "
+                f"server partitions {self.server_partition.ncells}"
+            )
+        reply = ConnectionReply(
+            nranks_server=self.server_partition.nranks,
+            offsets=tuple(int(o) for o in self.server_partition.offsets),
+        )
+        self.connections[request.group_id] = reply
+        return reply
+
+    def is_connected(self, group_id: int) -> bool:
+        return group_id in self.connections
+
+    def disconnect(self, group_id: int) -> None:
+        self.connections.pop(group_id, None)
+
+    # ------------------------------------------------------------------ #
+    def route_field(
+        self,
+        group_id: int,
+        member: int,
+        timestep: int,
+        field_values: np.ndarray,
+        client_partition: BlockPartition,
+        blocking: bool = False,
+        timeout: Optional[float] = None,
+    ) -> List[FieldMessage]:
+        """Split a gathered field along the server partition and enqueue.
+
+        Returns the messages that could *not* be delivered (non-blocking
+        mode with full buffers); blocking mode waits and returns [].
+        The caller (the group's main simulation) retries undelivered
+        messages — that retry loop is the "suspended simulation".
+        """
+        if not self.is_connected(group_id):
+            raise RuntimeError(f"group {group_id} is not connected")
+        field_values = np.asarray(field_values, dtype=np.float64).ravel()
+        if field_values.size != self.server_partition.ncells:
+            raise ValueError("field size does not match the study mesh")
+        undelivered: List[FieldMessage] = []
+        for entries in redistribution_plan(client_partition, self.server_partition):
+            for server_rank, lo, hi in entries:
+                msg = FieldMessage(
+                    group_id=group_id,
+                    member=member,
+                    timestep=timestep,
+                    cell_lo=lo,
+                    cell_hi=hi,
+                    data=field_values[lo:hi],
+                )
+                channel = self.inbound[server_rank]
+                if blocking:
+                    channel.send(msg, timeout=timeout)
+                elif not channel.try_send(msg):
+                    undelivered.append(msg)
+        return undelivered
+
+    def deliver(self, msg: FieldMessage, blocking: bool = False) -> bool:
+        """Enqueue one pre-built message to its owning server rank."""
+        server_rank = self.server_partition.owner_of(msg.cell_lo)
+        channel = self.inbound[server_rank]
+        if blocking:
+            channel.send(msg)
+            return True
+        return channel.try_send(msg)
+
+    # ------------------------------------------------------------------ #
+    def total_stats(self) -> Dict[str, int]:
+        """Aggregate channel counters over all server ranks."""
+        agg = {
+            "messages_sent": 0,
+            "bytes_sent": 0,
+            "messages_received": 0,
+            "bytes_received": 0,
+            "send_blocks": 0,
+            "high_water_bytes": 0,
+        }
+        for ch in self.inbound.values():
+            agg["messages_sent"] += ch.stats.messages_sent
+            agg["bytes_sent"] += ch.stats.bytes_sent
+            agg["messages_received"] += ch.stats.messages_received
+            agg["bytes_received"] += ch.stats.bytes_received
+            agg["send_blocks"] += ch.stats.send_blocks
+            agg["high_water_bytes"] = max(
+                agg["high_water_bytes"], ch.stats.high_water_bytes
+            )
+        return agg
+
+    def close(self) -> None:
+        for ch in self.inbound.values():
+            ch.close()

@@ -1,0 +1,102 @@
+"""CLI smoke tests + end-to-end higher-order server statistics.
+
+The paper (Sec. 4.1) notes Melissa can be configured to compute other
+iterative statistics on the A/B members — higher-order moments
+(skewness, kurtosis), min/max, threshold exceedance.  The end-to-end test
+here validates that path against batch NumPy/SciPy computations over the
+actual member outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import StudyConfig
+from repro.core.group import FunctionSimulation
+from repro.runtime import SequentialRuntime
+from repro.sobol import IshigamiFunction
+from repro.stats import StatisticsConfig
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart", "--groups", "150", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "groups integrated: 150" in out
+        assert "x1" in out
+
+    def test_campaign_runs(self, capsys):
+        assert main(["campaign", "--server-nodes", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "peak_running_groups" in out
+        assert "56" in out
+
+    def test_tube_runs(self, capsys):
+        code = main([
+            "tube", "--nx", "16", "--ny", "8", "--timesteps", "3",
+            "--groups", "3", "--server-ranks", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S map: upper_concentration" in out
+
+
+class TestGeneralStatisticsEndToEnd:
+    def run_study(self, stats_config):
+        fn = IshigamiFunction()
+        config = StudyConfig(
+            space=fn.space(), ngroups=120, ntimesteps=1, ncells=1,
+            server_ranks=1, client_ranks=1, seed=6,
+            stats_config=stats_config,
+        )
+
+        def factory(params, sim_id):
+            return FunctionSimulation(fn, params, ntimesteps=1,
+                                      simulation_id=sim_id)
+
+        runtime = SequentialRuntime(config, factory)
+        runtime.run()
+        return runtime, fn, config
+
+    def reference_ab_outputs(self, fn, config):
+        """The A and B member outputs the server's general stats saw."""
+        from repro.sampling import draw_design
+
+        design = draw_design(config.space, config.ngroups, seed=config.seed)
+        return np.concatenate([fn(design.a), fn(design.b)])
+
+    def test_moments_match_batch(self):
+        cfg = StatisticsConfig(moment_order=4, track_extrema=True,
+                               thresholds=(5.0,))
+        runtime, fn, config = self.run_study(cfg)
+        rank = runtime.server.ranks[0]
+        stats = rank.general[0]
+        y = self.reference_ab_outputs(fn, config)
+        assert stats.count == 2 * config.ngroups
+        np.testing.assert_allclose(stats.mean, y.mean(), rtol=1e-10)
+        np.testing.assert_allclose(stats.variance, y.var(ddof=1), rtol=1e-10)
+        from scipy.stats import kurtosis, skew
+
+        out = stats.results()
+        np.testing.assert_allclose(out["skewness"], skew(y), rtol=1e-8)
+        np.testing.assert_allclose(out["kurtosis"], kurtosis(y), rtol=1e-8)
+        np.testing.assert_allclose(out["minimum"], y.min())
+        np.testing.assert_allclose(out["maximum"], y.max())
+        np.testing.assert_allclose(out["exceedance_5"], (y > 5.0).mean())
+
+    def test_general_stats_survive_checkpoint(self, tmp_path):
+        from repro.core.checkpoint import CheckpointManager
+
+        cfg = StatisticsConfig(moment_order=3, track_extrema=True)
+        runtime, fn, config = self.run_study(cfg)
+        manager = CheckpointManager(tmp_path)
+        manager.save(runtime.server)
+        restored = manager.restore(config)
+        orig = runtime.server.ranks[0].general[0].results()
+        back = restored.ranks[0].general[0].results()
+        for key in orig:
+            np.testing.assert_array_equal(orig[key], back[key])

@@ -1,0 +1,235 @@
+"""Tests for SimulationGroup / GroupExecutor / FunctionSimulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import GroupExecutor, SimulationGroup, StudyConfig
+from repro.core.group import FunctionSimulation, GroupCrashed, GroupState
+from repro.mesh.partition import BlockPartition
+from repro.sampling import ParameterSpace, Uniform, draw_design
+from repro.transport import Router
+from repro.transport.message import FieldMessage, GroupFieldMessage
+
+
+def make_space(p=2):
+    return ParameterSpace(
+        names=tuple(f"x{i}" for i in range(p)),
+        distributions=tuple(Uniform(0, 1) for _ in range(p)),
+    )
+
+
+def make_config(p=2, ncells=6, ntimesteps=3, **kw):
+    defaults = dict(server_ranks=2, client_ranks=2)
+    defaults.update(kw)
+    return StudyConfig(
+        space=make_space(p), ngroups=4, ntimesteps=ntimesteps, ncells=ncells,
+        **defaults,
+    )
+
+
+class ArraySimulation:
+    """Test member emitting params.sum() + timestep on every cell."""
+
+    def __init__(self, params, sim_id, ncells=6, ntimesteps=3):
+        self.params = np.asarray(params)
+        self.ntimesteps = ntimesteps
+        self._ncells = ncells
+        self._next = 0
+        self.simulation_id = sim_id
+
+    @property
+    def ncells(self):
+        return self._ncells
+
+    @property
+    def finished(self):
+        return self._next >= self.ntimesteps
+
+    def advance(self):
+        step = self._next
+        self._next += 1
+        return step, np.full(self._ncells, self.params.sum() + step)
+
+
+def array_factory(params, sim_id):
+    return ArraySimulation(params, sim_id)
+
+
+class TestSimulationGroup:
+    def test_from_design(self):
+        design = draw_design(make_space(3), 5, seed=0)
+        group = SimulationGroup.from_design(design, 2)
+        assert group.size == 5
+        assert group.nparams == 3
+        np.testing.assert_array_equal(group.member_parameters[0], design.a[2])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SimulationGroup(group_id=0, member_parameters=np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            SimulationGroup(group_id=-1, member_parameters=np.zeros((4, 2)))
+
+
+class TestFunctionSimulation:
+    def test_emits_constant_scalar(self):
+        sim = FunctionSimulation(lambda x: x.sum(axis=1), np.array([1.0, 2.0]),
+                                 ntimesteps=3)
+        steps = []
+        while not sim.finished:
+            step, field = sim.advance()
+            steps.append(step)
+            np.testing.assert_allclose(field, [3.0])
+        assert steps == [0, 1, 2]
+        with pytest.raises(RuntimeError):
+            sim.advance()
+
+    def test_ncells_is_one(self):
+        sim = FunctionSimulation(lambda x: x.sum(axis=1), np.array([1.0]))
+        assert sim.ncells == 1
+
+
+class TestGroupExecutorLifecycle:
+    def make_executor(self, config=None, **kw):
+        config = config or make_config()
+        router = Router(BlockPartition(config.ncells, config.server_ranks),
+                        channel_capacity_bytes=config.channel_capacity_bytes)
+        design = draw_design(config.space, config.ngroups, seed=1)
+        group = SimulationGroup.from_design(design, 0)
+        return GroupExecutor(group, array_factory, config, router, **kw), router
+
+    def test_initialize_connects(self):
+        executor, router = self.make_executor()
+        executor.initialize()
+        assert executor.state == GroupState.RUNNING
+        assert router.is_connected(0)
+        with pytest.raises(RuntimeError):
+            executor.initialize()
+
+    def test_step_before_initialize(self):
+        executor, _ = self.make_executor()
+        with pytest.raises(RuntimeError):
+            executor.process_step()
+
+    def test_full_run_disconnects_and_finishes(self):
+        executor, router = self.make_executor()
+        executor.initialize()
+        states = []
+        while executor.state != GroupState.FINISHED:
+            states.append(executor.process_step())
+        assert executor.timesteps_sent == 3
+        assert not router.is_connected(0)
+        with pytest.raises(RuntimeError):
+            executor.process_step()
+
+    def test_messages_cover_all_cells_every_step(self):
+        config = make_config(ncells=6, server_ranks=2, client_ranks=3)
+        executor, router = self.make_executor(config)
+        executor.initialize()
+        executor.process_step()
+        got = np.zeros(6, dtype=int)
+        for ch in router.inbound.values():
+            for msg in ch.drain():
+                assert isinstance(msg, GroupFieldMessage)
+                assert msg.nmembers == 4  # p + 2
+                got[msg.cell_lo:msg.cell_hi] += 1
+        assert (got == 1).all()
+
+    def test_member_field_values(self):
+        executor, router = self.make_executor()
+        executor.initialize()
+        executor.process_step()
+        group = executor.group
+        for ch in router.inbound.values():
+            for msg in ch.drain():
+                for m in range(4):
+                    expected = group.member_parameters[m].sum() + 0  # step 0
+                    np.testing.assert_allclose(msg.data[m], expected)
+
+
+class TestTwoStageAblation:
+    def test_two_stage_message_count(self):
+        config = make_config(two_stage_transfer=True, client_ranks=2, server_ranks=2)
+        executor, router = (
+            TestGroupExecutorLifecycle().make_executor(config)
+        )
+        executor.initialize()
+        executor.process_step()
+        total = sum(ch.pending_messages for ch in router.inbound.values())
+        # client partition [0,3),[3,6) vs server [0,3),[3,6): aligned -> 2
+        assert total == 2
+
+    def test_direct_mode_multiplies_messages(self):
+        config = make_config(two_stage_transfer=False, client_ranks=2, server_ranks=2)
+        executor, router = (
+            TestGroupExecutorLifecycle().make_executor(config)
+        )
+        executor.initialize()
+        executor.process_step()
+        total = sum(ch.pending_messages for ch in router.inbound.values())
+        assert total == 2 * 4  # (p+2) times more
+        for ch in router.inbound.values():
+            for msg in ch.drain():
+                assert isinstance(msg, FieldMessage)
+
+
+class TestBackpressure:
+    def test_blocked_group_does_not_advance(self):
+        # capacity: one aligned message (~3 cells * 4 members * 8B + header)
+        config = make_config(channel_capacity_bytes=200, client_ranks=1,
+                             server_ranks=1)
+        executor, router = TestGroupExecutorLifecycle().make_executor(config)
+        executor.initialize()
+        assert executor.process_step() == GroupState.RUNNING  # fits (empty)
+        state = executor.process_step()
+        assert state == GroupState.BLOCKED
+        sent_before = executor.timesteps_sent
+        assert executor.process_step() == GroupState.BLOCKED  # still stuck
+        assert executor.timesteps_sent == sent_before
+        # drain the server side; group resumes
+        router.inbound[0].drain()
+        assert executor.process_step() in (GroupState.RUNNING, GroupState.BLOCKED)
+        assert executor.timesteps_sent == sent_before + 1
+
+
+class TestFaultHooks:
+    def test_crash_at_timestep(self):
+        executor, _ = TestGroupExecutorLifecycle().make_executor(
+            fail_at_timestep=1
+        )
+        executor.initialize()
+        executor.process_step()  # timestep 0 ok
+        with pytest.raises(GroupCrashed):
+            executor.process_step()
+        assert executor.state == GroupState.CRASHED
+
+    def test_zombie_sends_nothing(self):
+        executor, router = TestGroupExecutorLifecycle().make_executor(zombie=True)
+        executor.initialize()
+        while executor.state != GroupState.FINISHED:
+            executor.process_step()
+        assert executor.messages_emitted == 0
+        assert all(ch.pending_messages == 0 for ch in router.inbound.values())
+
+    def test_straggler_advances_slower(self):
+        executor, router = TestGroupExecutorLifecycle().make_executor(
+            straggler_factor=3
+        )
+        executor.initialize()
+        for _ in range(3):
+            executor.process_step()
+        assert executor.timesteps_sent == 1  # only every 3rd call advances
+        for ch in router.inbound.values():
+            ch.drain()
+
+    def test_invalid_straggler(self):
+        with pytest.raises(ValueError):
+            TestGroupExecutorLifecycle().make_executor(straggler_factor=0)
+
+    def test_wrong_cell_count_rejected(self):
+        config = make_config(ncells=7, server_ranks=1, client_ranks=1)
+        router = Router(BlockPartition(7, 1))
+        design = draw_design(config.space, 4, seed=1)
+        group = SimulationGroup.from_design(design, 0)
+        executor = GroupExecutor(group, array_factory, config, router)
+        with pytest.raises(ValueError):
+            executor.initialize()  # ArraySimulation emits 6 cells

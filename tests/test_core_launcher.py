@@ -1,0 +1,230 @@
+"""Tests for launcher supervision, checkpointing, and convergence control."""
+
+import numpy as np
+import pytest
+
+from repro.core import MelissaLauncher, MelissaServer, StudyConfig
+from repro.core.checkpoint import CheckpointManager
+from repro.core.convergence import ConvergenceController, ConvergenceDecision
+from repro.core.launcher import LauncherEvent
+from repro.sampling import ParameterSpace, Uniform
+from repro.scheduler import BatchScheduler, JobState
+from repro.transport.message import GroupFieldMessage
+
+
+def make_config(ngroups=4, **kw):
+    space = ParameterSpace(
+        names=("a", "b"), distributions=(Uniform(0, 1), Uniform(0, 1))
+    )
+    defaults = dict(
+        ntimesteps=2, ncells=4, server_ranks=1, client_ranks=1,
+        nodes_per_group=2, server_nodes=1, total_nodes=16,
+    )
+    defaults.update(kw)
+    return StudyConfig(space=space, ngroups=ngroups, **defaults)
+
+
+def make_launcher(config=None):
+    config = config or make_config()
+    sched = BatchScheduler(config.total_nodes, max_pending=config.max_pending_jobs)
+    return MelissaLauncher(config, sched), sched
+
+
+class TestSubmission:
+    def test_server_first(self):
+        launcher, sched = make_launcher()
+        assert launcher.pump_submissions(0.0) == []  # server not running yet
+        launcher.submit_server(0.0)
+        assert launcher.pump_submissions(0.0) == []  # still pending
+        sched.tick(0.0)
+        assert launcher.server_running
+        submitted = launcher.pump_submissions(1.0)
+        assert submitted == [0, 1, 2, 3]
+
+    def test_submission_pacing(self):
+        config = make_config(ngroups=10, max_pending_jobs=3)
+        launcher, sched = make_launcher(config)
+        launcher.submit_server(0.0)
+        sched.tick(0.0)
+        first = launcher.pump_submissions(1.0)
+        assert len(first) == 3  # capped
+        sched.tick(1.0)  # starts them, queue drains
+        second = launcher.pump_submissions(2.0)
+        assert len(second) == 3
+
+    def test_design_reproducible(self):
+        l1, _ = make_launcher()
+        l2, _ = make_launcher()
+        np.testing.assert_array_equal(l1.design.a, l2.design.a)
+
+
+class TestGroupRestart:
+    def start_all(self, launcher, sched):
+        launcher.submit_server(0.0)
+        sched.tick(0.0)
+        launcher.pump_submissions(0.0)
+        sched.tick(0.0)
+
+    def test_restart_increments_attempt(self):
+        launcher, sched = make_launcher()
+        self.start_all(launcher, sched)
+        old_job = launcher.records[1].job_id
+        new_job = launcher.restart_group(1, 10.0)
+        assert new_job is not None
+        assert new_job.payload["attempt"] == 1
+        assert sched.jobs[old_job].state == JobState.CANCELLED
+        assert launcher.records[1].retries == 1
+
+    def test_retry_budget_abandons(self):
+        config = make_config(max_group_retries=2)
+        launcher, sched = make_launcher(config)
+        self.start_all(launcher, sched)
+        assert launcher.restart_group(0, 1.0) is not None
+        sched.tick(1.0)
+        assert launcher.restart_group(0, 2.0) is not None
+        sched.tick(2.0)
+        assert launcher.restart_group(0, 3.0) is None  # budget exhausted
+        assert launcher.records[0].abandoned
+        assert launcher.abandoned_groups == [0]
+        events = [e[1] for e in launcher.events]
+        assert LauncherEvent.GROUP_ABANDONED in events
+
+    def test_restart_finished_group_is_noop(self):
+        launcher, sched = make_launcher()
+        self.start_all(launcher, sched)
+        launcher.mark_finished({2})
+        assert launcher.restart_group(2, 5.0) is None
+        assert launcher.records[2].retries == 0
+
+    def test_study_complete(self):
+        launcher, sched = make_launcher()
+        assert not launcher.study_complete()
+        launcher.mark_finished({0, 1, 2, 3})
+        assert launcher.study_complete()
+
+
+class TestZombieDetection:
+    def test_zombie_flagged_after_timeout(self):
+        config = make_config(zombie_timeout=100.0)
+        launcher, sched = make_launcher(config)
+        launcher.submit_server(0.0)
+        sched.tick(0.0)
+        launcher.pump_submissions(0.0)
+        sched.tick(0.0)
+        # nobody has sent anything yet
+        assert launcher.detect_zombies(set(), now=50.0) == []
+        zombies = launcher.detect_zombies(set(), now=101.0)
+        assert zombies == [0, 1, 2, 3]
+        # groups the server heard from are not zombies
+        assert launcher.detect_zombies({0, 1, 2}, now=101.0) == [3]
+
+    def test_pending_jobs_not_zombies(self):
+        config = make_config(zombie_timeout=10.0, total_nodes=3)
+        launcher, sched = make_launcher(config)  # room for 1 group only
+        launcher.submit_server(0.0)
+        sched.tick(0.0)
+        launcher.pump_submissions(0.0)
+        sched.tick(0.0)
+        running = [j for j in sched.running_jobs if j.name.startswith("group")]
+        assert len(running) == 1
+        zombies = launcher.detect_zombies(set(), now=100.0)
+        assert len(zombies) == 1  # only the running one
+
+
+class TestServerSupervision:
+    def test_heartbeat_timeout(self):
+        config = make_config(server_timeout=60.0)
+        launcher, sched = make_launcher(config)
+        launcher.submit_server(0.0)
+        launcher.record_heartbeat(100.0)
+        assert not launcher.server_timed_out(150.0)
+        assert launcher.server_timed_out(161.0)
+
+    def test_server_restart_requeues_unfinished(self):
+        launcher, sched = make_launcher()
+        launcher.submit_server(0.0)
+        sched.tick(0.0)
+        launcher.pump_submissions(0.0)
+        sched.tick(0.0)
+        new_server = launcher.restart_server(finished_per_server={1, 3}, now=50.0)
+        assert new_server.state == JobState.PENDING
+        assert launcher.server_restarts == 1
+        # old group jobs cancelled
+        for record in launcher.records.values():
+            assert record.job_id is None
+        # groups 1 and 3 finished per checkpoint; 0 and 2 requeued
+        assert launcher.records[1].finished and launcher.records[3].finished
+        sched.tick(50.0)  # starts new server
+        resubmitted = launcher.pump_submissions(51.0)
+        assert resubmitted == [0, 2]
+
+
+class TestCheckpointManager:
+    def make_server_with_data(self, config):
+        server = MelissaServer(config)
+        rng = np.random.default_rng(0)
+        for g in range(6):
+            msg = GroupFieldMessage(g, 0, 0, 4, rng.normal(size=(4, 4)))
+            server.handle(msg, 1.0)
+        return server
+
+    def test_save_restore_roundtrip(self, tmp_path):
+        config = make_config()
+        server = self.make_server_with_data(config)
+        manager = CheckpointManager(tmp_path)
+        paths = manager.save(server)
+        assert len(paths) == config.server_ranks
+        assert manager.exists()
+        restored = manager.restore(config)
+        np.testing.assert_array_equal(
+            restored.first_order_map(0, 0), server.first_order_map(0, 0)
+        )
+        assert restored.started_groups() == server.started_groups()
+
+    def test_restore_missing(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        assert not manager.exists()
+        with pytest.raises(FileNotFoundError):
+            manager.restore(make_config())
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        config = make_config()
+        manager = CheckpointManager(tmp_path)
+        manager.save(self.make_server_with_data(config))
+        other = make_config(ntimesteps=5)
+        with pytest.raises(ValueError):
+            manager.restore(other)
+
+    def test_bytes_on_disk(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(self.make_server_with_data(make_config()))
+        assert manager.bytes_on_disk() > 0
+
+
+class TestConvergenceController:
+    def test_disabled_never_stops(self):
+        ctrl = ConvergenceController(threshold=None)
+        assert ctrl.assess(0.0001, 1000, 0) == ConvergenceDecision.CONTINUE
+        assert not ctrl.converged
+
+    def test_stop_when_tight(self):
+        ctrl = ConvergenceController(threshold=0.1, min_groups=10)
+        assert ctrl.assess(0.5, 50, 10) == ConvergenceDecision.CONTINUE
+        assert ctrl.assess(0.05, 50, 10) == ConvergenceDecision.STOP
+        assert ctrl.converged
+
+    def test_min_groups_guard(self):
+        ctrl = ConvergenceController(threshold=0.1, min_groups=100)
+        assert ctrl.assess(0.01, 50, 10) == ConvergenceDecision.CONTINUE
+
+    def test_extend_when_exhausted_and_wide(self):
+        ctrl = ConvergenceController(threshold=0.01, extend_batch=50)
+        assert ctrl.assess(0.5, 200, 0) == ConvergenceDecision.EXTEND
+        ctrl2 = ConvergenceController(threshold=0.01, extend_batch=0)
+        assert ctrl2.assess(0.5, 200, 0) == ConvergenceDecision.CONTINUE
+
+    def test_history_recorded(self):
+        ctrl = ConvergenceController(threshold=0.1)
+        ctrl.assess(0.4, 10, 5)
+        ctrl.assess(0.2, 20, 3)
+        assert ctrl.history == [(10, 0.4), (20, 0.2)]

@@ -1,0 +1,255 @@
+"""Tests for ServerRank / MelissaServer: staging, replay, timeouts, state."""
+
+import numpy as np
+import pytest
+
+from repro.core import MelissaServer, StudyConfig
+from repro.sampling import ParameterSpace, Uniform
+from repro.transport.message import FieldMessage, GroupFieldMessage
+
+
+def make_config(ncells=10, ntimesteps=3, nparams=2, server_ranks=2, **kw):
+    space = ParameterSpace(
+        names=tuple(f"x{i}" for i in range(nparams)),
+        distributions=tuple(Uniform(0, 1) for _ in range(nparams)),
+    )
+    return StudyConfig(
+        space=space, ngroups=5, ntimesteps=ntimesteps, ncells=ncells,
+        server_ranks=server_ranks, **kw,
+    )
+
+
+def group_message(group, step, lo, hi, nmembers=4, value=1.0):
+    data = np.full((nmembers, hi - lo), value) + np.arange(nmembers)[:, None]
+    return GroupFieldMessage(group_id=group, timestep=step, cell_lo=lo,
+                             cell_hi=hi, data=data)
+
+
+class TestStagingAndIntegration:
+    def test_complete_message_integrates_immediately(self):
+        server = MelissaServer(make_config())
+        rank = server.ranks[0]  # owns cells [0, 5)
+        assert rank.handle(group_message(0, 0, 0, 5), now=1.0)
+        assert rank.sobol.estimators[0].ngroups == 1
+        assert rank.staged_entries == 0
+        assert rank.last_integrated[0] == 0
+
+    def test_partial_coverage_stages(self):
+        server = MelissaServer(make_config())
+        rank = server.ranks[0]
+        rank.handle(group_message(0, 0, 0, 3), now=1.0)
+        assert rank.staged_entries == 1
+        assert rank.sobol.estimators[0].ngroups == 0
+        rank.handle(group_message(0, 0, 3, 5), now=2.0)
+        assert rank.staged_entries == 0
+        assert rank.sobol.estimators[0].ngroups == 1
+
+    def test_single_member_messages_assemble(self):
+        """Direct (non-two-stage) mode: p+2 FieldMessages per timestep."""
+        server = MelissaServer(make_config())
+        rank = server.ranks[0]
+        for member in range(4):
+            msg = FieldMessage(group_id=0, member=member, timestep=0,
+                               cell_lo=0, cell_hi=5,
+                               data=np.full(5, float(member)))
+            rank.handle(msg, now=1.0)
+        assert rank.sobol.estimators[0].ngroups == 1
+
+    def test_interleaved_groups(self):
+        server = MelissaServer(make_config())
+        rank = server.ranks[0]
+        rank.handle(group_message(0, 0, 0, 3), 1.0)
+        rank.handle(group_message(1, 0, 0, 5), 1.0)
+        rank.handle(group_message(0, 0, 3, 5), 2.0)
+        assert rank.sobol.estimators[0].ngroups == 2
+
+    def test_out_of_partition_cells_rejected(self):
+        server = MelissaServer(make_config())
+        with pytest.raises(ValueError):
+            server.ranks[0].handle(group_message(0, 0, 3, 7), 1.0)
+
+    def test_bad_timestep_rejected(self):
+        server = MelissaServer(make_config(ntimesteps=3))
+        with pytest.raises(ValueError):
+            server.ranks[0].handle(group_message(0, 9, 0, 5), 1.0)
+
+    def test_bad_member_rejected(self):
+        server = MelissaServer(make_config())
+        msg = FieldMessage(0, 11, 0, 0, 5, np.zeros(5))
+        with pytest.raises(ValueError):
+            server.ranks[0].handle(msg, 1.0)
+
+    def test_unknown_message_type(self):
+        server = MelissaServer(make_config())
+        with pytest.raises(TypeError):
+            server.ranks[0].handle("junk", 1.0)
+
+    def test_general_stats_on_a_and_b(self):
+        server = MelissaServer(make_config())
+        rank = server.ranks[0]
+        rank.handle(group_message(0, 0, 0, 5, value=2.0), 1.0)
+        # A member value 2.0, B member 3.0 -> mean 2.5 after one group
+        np.testing.assert_allclose(rank.general[0].mean, 2.5)
+        assert rank.general[0].count == 2
+
+    def test_general_stats_disabled(self):
+        server = MelissaServer(make_config(compute_general_stats=False))
+        assert server.ranks[0].general is None
+        server.ranks[0].handle(group_message(0, 0, 0, 5), 1.0)
+
+
+class TestDiscardOnReplay:
+    def test_replayed_timestep_discarded(self):
+        server = MelissaServer(make_config())
+        rank = server.ranks[0]
+        rank.handle(group_message(0, 0, 0, 5), 1.0)
+        assert not rank.handle(group_message(0, 0, 0, 5), 2.0)  # replay
+        assert rank.messages_discarded == 1
+        assert rank.sobol.estimators[0].ngroups == 1
+
+    def test_restarted_group_skips_seen_steps(self):
+        server = MelissaServer(make_config(ntimesteps=3))
+        rank = server.ranks[0]
+        rank.handle(group_message(0, 0, 0, 5), 1.0)
+        rank.handle(group_message(0, 1, 0, 5), 2.0)
+        # group restarts and resends from timestep 0
+        assert not rank.handle(group_message(0, 0, 0, 5), 10.0)
+        assert not rank.handle(group_message(0, 1, 0, 5), 11.0)
+        assert rank.handle(group_message(0, 2, 0, 5), 12.0)
+        assert 0 in rank.finished_groups
+        for step in range(3):
+            assert rank.sobol.estimators[step].ngroups == 1
+
+    def test_replay_disabled_mode(self):
+        server = MelissaServer(make_config(discard_on_replay=False))
+        rank = server.ranks[0]
+        rank.handle(group_message(0, 0, 0, 5), 1.0)
+        assert rank.handle(group_message(0, 0, 0, 5), 2.0)  # double count!
+        assert rank.sobol.estimators[0].ngroups == 2
+
+
+class TestAccounting:
+    def test_finished_requires_final_timestep(self):
+        cfg = make_config(ntimesteps=2)
+        server = MelissaServer(cfg)
+        rank = server.ranks[0]
+        rank.handle(group_message(0, 0, 0, 5), 1.0)
+        assert 0 in rank.running_groups()
+        rank.handle(group_message(0, 1, 0, 5), 2.0)
+        assert 0 in rank.finished_groups
+        assert 0 not in rank.running_groups()
+
+    def test_global_finished_needs_all_ranks(self):
+        cfg = make_config(ntimesteps=1)
+        server = MelissaServer(cfg)
+        server.ranks[0].handle(group_message(0, 0, 0, 5), 1.0)
+        assert server.finished_groups() == set()  # rank 1 has nothing
+        server.ranks[1].handle(group_message(0, 0, 5, 10), 1.0)
+        assert server.finished_groups() == {0}
+
+    def test_timeout_detection(self):
+        server = MelissaServer(make_config())
+        rank = server.ranks[0]
+        rank.handle(group_message(0, 0, 0, 5), now=10.0)
+        assert rank.check_timeouts(now=100.0, timeout=300.0) == []
+        assert rank.check_timeouts(now=311.0, timeout=300.0) == [0]
+
+    def test_finished_group_never_times_out(self):
+        server = MelissaServer(make_config(ntimesteps=1))
+        rank = server.ranks[0]
+        rank.handle(group_message(0, 0, 0, 5), now=10.0)
+        assert rank.check_timeouts(now=1e6, timeout=300.0) == []
+
+    def test_forget_group_clears_liveness_keeps_stats(self):
+        server = MelissaServer(make_config(ntimesteps=3))
+        rank = server.ranks[0]
+        rank.handle(group_message(0, 0, 0, 5), 1.0)
+        rank.handle(group_message(0, 1, 0, 3), 2.0)  # staged partial
+        assert rank.staged_entries == 1
+        server.forget_group(0)
+        assert rank.staged_entries == 0
+        assert rank.last_integrated[0] == 0  # stats retained
+        assert rank.check_timeouts(1e6, 300.0) == []  # liveness reset
+
+    def test_provenance_report(self):
+        server = MelissaServer(make_config(ntimesteps=1))
+        server.handle(group_message(0, 0, 0, 5), 1.0)
+        server.handle(group_message(0, 0, 5, 10), 1.0)
+        report = server.provenance_report()
+        assert report["groups_started"] == 1
+        assert report["groups_finished"] == 1
+        assert report["messages_processed"] == 2
+        assert report["messages_discarded"] == 0
+
+    def test_memory_accounting(self):
+        cfg = make_config(ncells=10, ntimesteps=3, nparams=2)
+        server = MelissaServer(cfg)
+        # (2p*5 + 2) arrays * cells * steps, summed over ranks = global
+        assert server.memory_floats() == (2 * 2 * 5 + 2) * 10 * 3
+
+
+class TestResultAssembly:
+    def test_maps_concatenate_across_ranks(self):
+        cfg = make_config(ncells=10, ntimesteps=1, server_ranks=2)
+        server = MelissaServer(cfg)
+        rng = np.random.default_rng(0)
+        for g in range(20):
+            data = rng.normal(size=(4, 10))
+            server.handle(GroupFieldMessage(g, 0, 0, 5, data[:, :5]), 1.0)
+            server.handle(GroupFieldMessage(g, 0, 5, 10, data[:, 5:]), 1.0)
+        s_map = server.first_order_map(0, 0)
+        assert s_map.shape == (10,)
+        assert np.isfinite(s_map).all()
+        assert server.variance_map(0).shape == (10,)
+        assert np.isfinite(server.max_interval_width())
+
+    def test_split_equals_single_rank(self):
+        """Partitioned server must produce identical statistics to a
+        single-rank server fed the same groups."""
+        rng = np.random.default_rng(1)
+        fields = rng.normal(size=(15, 4, 10))
+        cfg2 = make_config(ncells=10, ntimesteps=1, server_ranks=2)
+        cfg1 = make_config(ncells=10, ntimesteps=1, server_ranks=1)
+        split = MelissaServer(cfg2)
+        single = MelissaServer(cfg1)
+        for g in range(15):
+            split.handle(GroupFieldMessage(g, 0, 0, 5, fields[g][:, :5]), 1.0)
+            split.handle(GroupFieldMessage(g, 0, 5, 10, fields[g][:, 5:]), 1.0)
+            single.handle(GroupFieldMessage(g, 0, 0, 10, fields[g]), 1.0)
+        for k in range(2):
+            np.testing.assert_allclose(
+                split.first_order_map(k, 0), single.first_order_map(k, 0),
+                rtol=1e-12,
+            )
+        np.testing.assert_allclose(
+            split.variance_map(0), single.variance_map(0), rtol=1e-12
+        )
+
+
+class TestCheckpointState:
+    def test_rank_state_roundtrip(self):
+        server = MelissaServer(make_config(ntimesteps=2))
+        rank = server.ranks[0]
+        rank.handle(group_message(0, 0, 0, 5), 1.0)
+        rank.handle(group_message(1, 0, 0, 5), 1.5)
+        state = rank.checkpoint_state()
+
+        fresh = MelissaServer(make_config(ntimesteps=2)).ranks[0]
+        fresh.restore_state(state)
+        assert fresh.last_integrated == rank.last_integrated
+        assert fresh.groups_seen == rank.groups_seen
+        np.testing.assert_array_equal(
+            fresh.sobol.first_order_map(0, 0), rank.sobol.first_order_map(0, 0)
+        )
+        # continuing both produces identical results
+        fresh.handle(group_message(2, 0, 0, 5), 3.0)
+        rank.handle(group_message(2, 0, 0, 5), 3.0)
+        np.testing.assert_array_equal(
+            fresh.sobol.first_order_map(1, 0), rank.sobol.first_order_map(1, 0)
+        )
+
+    def test_restore_wrong_rank_rejected(self):
+        server = MelissaServer(make_config())
+        state = server.ranks[0].checkpoint_state()
+        with pytest.raises(ValueError):
+            server.ranks[1].restore_state(state)

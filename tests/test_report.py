@@ -1,0 +1,90 @@
+"""Tests for ASCII rendering and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.report import (
+    ascii_heatmap,
+    ascii_series,
+    comparison_table,
+    format_table,
+    render_field_slice,
+)
+
+
+class TestHeatmap:
+    def test_basic_render(self):
+        grid = np.linspace(0, 1, 48).reshape(8, 6)
+        out = ascii_heatmap(grid, width=8, height=6, title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "range [0, 1]" in lines[1]
+        assert len(lines) == 2 + 6
+
+    def test_constant_field(self):
+        out = ascii_heatmap(np.ones((4, 4)))
+        assert "range [1, 1]" in out
+
+    def test_nan_renders_blank(self):
+        grid = np.ones((4, 4))
+        grid[1, 1] = np.nan
+        out = ascii_heatmap(grid, width=4, height=4)
+        body = out.splitlines()[1:]
+        assert any(" " in line for line in body)
+
+    def test_vmin_vmax_clipping(self):
+        grid = np.array([[0.0, 10.0]])
+        out = ascii_heatmap(grid, vmin=0.0, vmax=1.0, width=2, height=1)
+        assert "range [0, 1]" in out
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(5))
+
+    def test_gradient_orientation(self):
+        """y increases upward: a y-gradient must be brightest on top row."""
+        grid = np.tile(np.linspace(0, 1, 10), (5, 1))  # bright at high y
+        out = ascii_heatmap(grid, width=5, height=10)
+        body = out.splitlines()[1:]
+        assert body[0].count("@") > 0  # top row brightest
+        assert body[-1].count("@") == 0
+
+    def test_render_field_slice(self):
+        flat = np.arange(12.0)
+        out = render_field_slice(flat, (3, 4), title="field")
+        assert out.startswith("field")
+        with pytest.raises(ValueError):
+            render_field_slice(flat, (12,))
+
+
+class TestSeries:
+    def test_basic_plot(self):
+        x = np.linspace(0, 10, 50)
+        out = ascii_series(x, np.sin(x), title="sine", ylabel="y")
+        assert out.startswith("sine")
+        assert "*" in out
+
+    def test_empty_data(self):
+        out = ascii_series(np.array([np.nan]), np.array([np.nan]), title="t")
+        assert "no finite data" in out
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ascii_series(np.zeros(3), np.zeros(4))
+
+
+class TestTables:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [300, 0.001]], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 2 + 1 + 2
+
+    def test_comparison_table_ratio(self):
+        out = comparison_table([("wall hours", 1.45, 1.27)])
+        assert "0.88x" in out
+
+    def test_comparison_zero_paper_value(self):
+        out = comparison_table([("thing", 0, 5)])
+        assert "nan" in out

@@ -1,0 +1,150 @@
+"""Integration tests: the threaded driver under real concurrency."""
+
+import numpy as np
+import pytest
+
+from repro import SensitivityStudy
+from repro.core import StudyConfig
+from repro.core.group import FunctionSimulation
+from repro.runtime import SequentialRuntime, ThreadedRuntime
+from repro.sobol import IshigamiFunction
+
+
+def make_config(ngroups=40, ncells=1, server_ranks=1, **kw):
+    fn = IshigamiFunction()
+    kw.setdefault("client_ranks", 1)
+    config = StudyConfig(
+        space=fn.space(), ngroups=ngroups, ntimesteps=2, ncells=ncells,
+        server_ranks=server_ranks, seed=9, **kw,
+    )
+    return fn, config
+
+
+def make_factory(fn):
+    def factory(params, sim_id):
+        return FunctionSimulation(fn, params, ntimesteps=2, simulation_id=sim_id)
+    return factory
+
+
+class TestThreadedRuntime:
+    def test_matches_sequential(self):
+        fn, config = make_config(40)
+        threaded = ThreadedRuntime(config, make_factory(fn),
+                                   max_concurrent_groups=6).run(timeout=120.0)
+        _, config2 = make_config(40)
+        sequential = SequentialRuntime(config2, make_factory(fn)).run()
+        assert threaded.groups_integrated == 40
+        np.testing.assert_allclose(
+            threaded.first_order, sequential.first_order, rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            threaded.variance, sequential.variance, rtol=1e-9
+        )
+
+    def test_multi_rank_server_threads(self):
+        """Several server ranks, several workers, multi-cell field."""
+        fn, config = make_config(
+            25, ncells=8, server_ranks=4, client_ranks=2,
+        )
+
+        class VectorSim(FunctionSimulation):
+            def __init__(self, inner_fn, params, **kw):
+                super().__init__(inner_fn, params, **kw)
+
+            @property
+            def ncells(self):
+                return 8
+
+            def advance(self):
+                step, field = super().advance()
+                return step, np.repeat(field, 8) + np.arange(8) * 0.01
+
+        def factory(params, sim_id):
+            return VectorSim(fn, params, ntimesteps=2, simulation_id=sim_id)
+
+        results = ThreadedRuntime(config, factory,
+                                  max_concurrent_groups=5).run(timeout=120.0)
+        assert results.groups_integrated == 25
+        assert results.first_order.shape == (3, 2, 8)
+        assert np.isfinite(results.first_order).all()
+
+    def test_backpressure_under_threads(self):
+        """Tiny channel budget: groups must suspend, study must still finish
+        with exact statistics."""
+        fn, config = make_config(20, channel_capacity_bytes=300)
+        threaded = ThreadedRuntime(config, make_factory(fn),
+                                   max_concurrent_groups=8).run(timeout=120.0)
+        _, config2 = make_config(20)
+        sequential = SequentialRuntime(config2, make_factory(fn)).run()
+        np.testing.assert_allclose(
+            threaded.first_order, sequential.first_order, rtol=1e-9
+        )
+
+    def test_single_worker(self):
+        fn, config = make_config(6)
+        results = ThreadedRuntime(config, make_factory(fn),
+                                  max_concurrent_groups=1).run(timeout=60.0)
+        assert results.groups_integrated == 6
+
+    def test_invalid_workers(self):
+        fn, config = make_config(4)
+        with pytest.raises(ValueError):
+            ThreadedRuntime(config, make_factory(fn), max_concurrent_groups=0)
+
+
+class TestStudyFacade:
+    def test_for_function_runs(self):
+        fn = IshigamiFunction()
+        study = SensitivityStudy.for_function(fn, ngroups=100, seed=3)
+        results = study.run()
+        assert results.groups_integrated == 100
+        assert study.results is results
+
+    def test_for_function_requires_space(self):
+        with pytest.raises(ValueError):
+            SensitivityStudy.for_function(lambda x: x.sum(axis=1), ngroups=5)
+
+    def test_for_function_explicit_space(self):
+        from repro.sampling import ParameterSpace, Uniform
+
+        space = ParameterSpace(names=("a", "b"),
+                               distributions=(Uniform(0, 1), Uniform(0, 1)))
+        study = SensitivityStudy.for_function(
+            lambda x: x[:, 0] + 2 * x[:, 1], ngroups=200, space=space, seed=0
+        )
+        results = study.run()
+        # additive model: S2/S1 ~ 4
+        s = results.first_order[:, 0, 0]
+        assert s[1] > s[0]
+
+    def test_threaded_runtime_via_facade(self):
+        fn = IshigamiFunction()
+        study = SensitivityStudy.for_function(fn, ngroups=30, seed=3)
+        results = study.run(runtime="threaded", max_concurrent_groups=4)
+        assert results.groups_integrated == 30
+
+    def test_unknown_runtime(self):
+        fn = IshigamiFunction()
+        study = SensitivityStudy.for_function(fn, ngroups=5)
+        with pytest.raises(ValueError):
+            study.run(runtime="quantum")
+
+    def test_threaded_rejects_faults(self):
+        from repro.faults import FaultPlan, GroupZombie
+
+        fn = IshigamiFunction()
+        study = SensitivityStudy.for_function(fn, ngroups=5)
+        with pytest.raises(ValueError):
+            study.run(runtime="threaded",
+                      fault_plan=FaultPlan(group_zombies=[GroupZombie(0)]))
+
+    def test_tube_bundle_facade(self):
+        from repro.solver import TubeBundleCase
+
+        case = TubeBundleCase(nx=16, ny=8, ntimesteps=3, total_time=0.5)
+        study = SensitivityStudy.for_tube_bundle(
+            case, ngroups=3, server_ranks=2, client_ranks=2
+        )
+        results = study.run()
+        assert results.groups_integrated == 3
+        assert results.first_order.shape == (6, 3, 128)

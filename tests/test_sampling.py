@@ -1,0 +1,225 @@
+"""Tests for parameter distributions and the pick-freeze design."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import (
+    DiscreteUniform,
+    LogUniform,
+    Normal,
+    ParameterSpace,
+    PickFreezeDesign,
+    Triangular,
+    TruncatedNormal,
+    Uniform,
+    draw_design,
+    latin_hypercube,
+)
+from repro.sampling.pickfreeze import MEMBER_A, MEMBER_B, member_name
+
+RNG = np.random.default_rng(2024)
+
+
+class TestDistributions:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Uniform(-2.0, 5.0),
+            Normal(1.0, 2.0),
+            TruncatedNormal(0.0, 1.0, -1.0, 2.0),
+            LogUniform(0.1, 10.0),
+            Triangular(0.0, 1.0, 4.0),
+            DiscreteUniform(2, 9),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_sample_moments_match_theory(self, dist):
+        rng = np.random.default_rng(5)
+        x = dist.sample(rng, 200_000)
+        assert x.mean() == pytest.approx(dist.mean, abs=4 * np.sqrt(dist.variance / 200_000) + 1e-9)
+        assert x.var() == pytest.approx(dist.variance, rel=0.05)
+
+    def test_uniform_ppf_bounds(self):
+        d = Uniform(0.0, 1.0)
+        assert d.ppf(np.array(0.0)) == pytest.approx(0.0)
+        assert d.ppf(np.array(0.999999)) == pytest.approx(1.0, abs=1e-5)
+
+    def test_truncated_normal_respects_bounds(self):
+        d = TruncatedNormal(0.0, 5.0, -1.0, 1.0)
+        x = d.sample(np.random.default_rng(0), 10_000)
+        assert x.min() >= -1.0 and x.max() <= 1.0
+
+    def test_loguniform_positive(self):
+        x = LogUniform(1e-3, 1e3).sample(np.random.default_rng(0), 1000)
+        assert (x > 0).all()
+
+    def test_discrete_uniform_integer_support(self):
+        x = DiscreteUniform(1, 3).sample(np.random.default_rng(0), 5000)
+        assert set(np.unique(x)) == {1, 2, 3}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: Uniform(1.0, 1.0),
+            lambda: Normal(0.0, 0.0),
+            lambda: LogUniform(-1.0, 2.0),
+            lambda: Triangular(0.0, 5.0, 4.0),
+            lambda: DiscreteUniform(4, 2),
+            lambda: TruncatedNormal(0, -1, 0, 1),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, bad):
+        with pytest.raises(ValueError):
+            bad()
+
+
+class TestLatinHypercube:
+    def test_stratification(self):
+        u = latin_hypercube(np.random.default_rng(3), 16, 4)
+        assert u.shape == (16, 4)
+        # exactly one sample per stratum per column
+        for j in range(4):
+            strata = np.floor(u[:, j] * 16).astype(int)
+            assert sorted(strata) == list(range(16))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            latin_hypercube(RNG, 0, 3)
+
+
+class TestParameterSpace:
+    def make_space(self):
+        return ParameterSpace(
+            names=("a", "b", "c"),
+            distributions=(Uniform(0, 1), Normal(0, 1), Uniform(-1, 1)),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterSpace(names=("a",), distributions=())
+        with pytest.raises(ValueError):
+            ParameterSpace(names=("a", "a"), distributions=(Uniform(0, 1), Uniform(0, 1)))
+        with pytest.raises(ValueError):
+            ParameterSpace(names=(), distributions=())
+
+    def test_sample_matrix_shape(self):
+        sp = self.make_space()
+        m = sp.sample_matrix(np.random.default_rng(0), 20)
+        assert m.shape == (20, 3)
+        assert (m[:, 0] >= 0).all() and (m[:, 0] <= 1).all()
+
+
+class TestPickFreezeDesign:
+    def make_design(self, n=10):
+        sp = ParameterSpace(
+            names=("p1", "p2", "p3"),
+            distributions=(Uniform(0, 1), Uniform(2, 3), Uniform(-1, 0)),
+        )
+        return draw_design(sp, n, seed=42)
+
+    def test_shapes_and_counts(self):
+        d = self.make_design(10)
+        assert d.ngroups == 10
+        assert d.nparams == 3
+        assert d.group_size == 5  # p + 2
+        assert d.nsimulations == 50
+
+    def test_c_matrix_definition(self):
+        d = self.make_design()
+        for k in range(3):
+            ck = d.c_matrix(k)
+            np.testing.assert_array_equal(ck[:, k], d.b[:, k])
+            mask = np.ones(3, dtype=bool)
+            mask[k] = False
+            np.testing.assert_array_equal(ck[:, mask], d.a[:, mask])
+
+    def test_c_matrix_bounds(self):
+        d = self.make_design()
+        with pytest.raises(ValueError):
+            d.c_matrix(3)
+        with pytest.raises(ValueError):
+            d.c_matrix(-1)
+
+    def test_member_parameters(self):
+        d = self.make_design()
+        np.testing.assert_array_equal(d.member_parameters(4, MEMBER_A), d.a[4])
+        np.testing.assert_array_equal(d.member_parameters(4, MEMBER_B), d.b[4])
+        c2 = d.member_parameters(4, 2 + 1)  # C^2 (k=1)
+        assert c2[1] == d.b[4, 1]
+        assert c2[0] == d.a[4, 0]
+        with pytest.raises(ValueError):
+            d.member_parameters(99, MEMBER_A)
+        with pytest.raises(ValueError):
+            d.member_parameters(0, 17)
+
+    def test_group_parameters_stack(self):
+        d = self.make_design()
+        g = d.group_parameters(2)
+        assert g.shape == (5, 3)
+        np.testing.assert_array_equal(g[0], d.a[2])
+        np.testing.assert_array_equal(g[1], d.b[2])
+
+    def test_member_names(self):
+        assert member_name(MEMBER_A, 3) == "A"
+        assert member_name(MEMBER_B, 3) == "B"
+        assert member_name(2, 3) == "C1"
+        assert member_name(4, 3) == "C3"
+        with pytest.raises(ValueError):
+            member_name(5, 3)
+
+    def test_a_b_independent(self):
+        d = self.make_design(500)
+        # correlation between A and B columns should be small
+        for j in range(3):
+            r = np.corrcoef(d.a[:, j], d.b[:, j])[0, 1]
+            assert abs(r) < 0.15
+
+    def test_extend(self):
+        d = self.make_design(5)
+        d.extend(np.random.default_rng(1), 7)
+        assert d.ngroups == 12
+        with pytest.raises(ValueError):
+            d.extend(RNG, 0)
+
+    def test_regenerate_row_changes_only_that_row(self):
+        d = self.make_design(6)
+        a_before = d.a.copy()
+        d.regenerate_row(np.random.default_rng(9), 3)
+        assert not np.allclose(d.a[3], a_before[3])
+        np.testing.assert_array_equal(d.a[[0, 1, 2, 4, 5]], a_before[[0, 1, 2, 4, 5]])
+
+    def test_lhs_method(self):
+        sp = ParameterSpace(names=("x", "y"), distributions=(Uniform(0, 1), Uniform(0, 1)))
+        d = draw_design(sp, 8, seed=0, method="lhs")
+        strata = np.floor(d.a[:, 0] * 8).astype(int)
+        assert sorted(strata) == list(range(8))
+
+    def test_unknown_method(self):
+        sp = ParameterSpace(names=("x",), distributions=(Uniform(0, 1),))
+        with pytest.raises(ValueError):
+            draw_design(sp, 4, method="sobolseq")
+        with pytest.raises(ValueError):
+            draw_design(sp, 0)
+
+    def test_reproducible_by_seed(self):
+        d1 = self.make_design()
+        d2 = self.make_design()
+        np.testing.assert_array_equal(d1.a, d2.a)
+        np.testing.assert_array_equal(d1.b, d2.b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=2, max_value=30))
+def test_property_design_consistency(p, n):
+    sp = ParameterSpace(
+        names=tuple(f"x{i}" for i in range(p)),
+        distributions=tuple(Uniform(0, 1) for _ in range(p)),
+    )
+    d = draw_design(sp, n, seed=1)
+    assert d.nsimulations == n * (p + 2)
+    # every member's parameters are drawn from A except column k from B
+    for k in range(p):
+        row = d.member_parameters(0, 2 + k)
+        assert row[k] == d.b[0, k]

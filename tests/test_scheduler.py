@@ -1,0 +1,212 @@
+"""Tests for the batch-scheduler substrate."""
+
+import pytest
+
+from repro.scheduler import BatchScheduler, Job, JobState, SchedulerError
+
+
+def make_job(nodes=2, walltime=100.0, name=""):
+    return Job(nodes=nodes, walltime=walltime, name=name)
+
+
+class TestJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job(nodes=0, walltime=10)
+        with pytest.raises(ValueError):
+            Job(nodes=1, walltime=0)
+
+    def test_unique_ids(self):
+        assert make_job().job_id != make_job().job_id
+
+    def test_timing_properties(self):
+        j = make_job()
+        assert j.queue_wait is None and j.run_time is None
+        j.submit_time, j.start_time, j.end_time = 0.0, 5.0, 25.0
+        assert j.queue_wait == 5.0
+        assert j.run_time == 20.0
+
+    def test_terminal_states(self):
+        assert JobState.COMPLETED.terminal
+        assert JobState.TIMEOUT.terminal
+        assert not JobState.RUNNING.terminal
+
+
+class TestSubmission:
+    def test_submit_and_start(self):
+        sched = BatchScheduler(total_nodes=10)
+        j = make_job(nodes=4)
+        sched.submit(j, now=0.0)
+        assert j.state == JobState.PENDING
+        started = sched.tick(now=1.0)
+        assert started == [j]
+        assert j.state == JobState.RUNNING
+        assert sched.nodes_in_use == 4
+        assert j.queue_wait == 1.0
+
+    def test_oversized_job_rejected(self):
+        sched = BatchScheduler(total_nodes=4)
+        with pytest.raises(SchedulerError):
+            sched.submit(make_job(nodes=5), now=0.0)
+
+    def test_double_submit_rejected(self):
+        sched = BatchScheduler(total_nodes=4)
+        j = make_job()
+        sched.submit(j, 0.0)
+        with pytest.raises(SchedulerError):
+            sched.submit(j, 0.0)
+
+    def test_submission_cap(self):
+        sched = BatchScheduler(total_nodes=100, max_pending=2)
+        sched.submit(make_job(), 0.0)
+        assert sched.can_submit()
+        sched.submit(make_job(), 0.0)
+        assert not sched.can_submit()
+        with pytest.raises(SchedulerError):
+            sched.submit(make_job(), 0.0)
+        sched.tick(0.0)  # drains the queue
+        assert sched.can_submit()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(total_nodes=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(total_nodes=5, max_pending=0)
+
+
+class TestAllocation:
+    def test_fifo_order(self):
+        sched = BatchScheduler(total_nodes=4, backfill=False)
+        j1, j2 = make_job(nodes=3, name="a"), make_job(nodes=3, name="b")
+        sched.submit(j1, 0.0)
+        sched.submit(j2, 0.0)
+        started = sched.tick(0.0)
+        assert started == [j1]
+        assert j2.state == JobState.PENDING
+        sched.complete(j1.job_id, 10.0)
+        assert sched.tick(10.0) == [j2]
+
+    def test_no_backfill_blocks_queue(self):
+        sched = BatchScheduler(total_nodes=4, backfill=False)
+        big, small = make_job(nodes=4), make_job(nodes=1)
+        blocker = make_job(nodes=2)
+        sched.submit(blocker, 0.0)
+        sched.tick(0.0)
+        sched.submit(big, 1.0)  # cannot fit while blocker runs
+        sched.submit(small, 1.0)  # could fit, but FIFO forbids
+        assert sched.tick(1.0) == []
+        assert small.state == JobState.PENDING
+
+    def test_backfill_lets_small_jobs_through(self):
+        sched = BatchScheduler(total_nodes=4, backfill=True)
+        blocker, big, small = make_job(nodes=2), make_job(nodes=4), make_job(nodes=1)
+        sched.submit(blocker, 0.0)
+        sched.tick(0.0)
+        sched.submit(big, 1.0)
+        sched.submit(small, 1.0)
+        started = sched.tick(1.0)
+        assert started == [small]
+        assert big.state == JobState.PENDING
+
+    def test_free_nodes_accounting(self):
+        sched = BatchScheduler(total_nodes=10)
+        jobs = [make_job(nodes=3) for _ in range(3)]
+        for j in jobs:
+            sched.submit(j, 0.0)
+        sched.tick(0.0)
+        assert sched.free_nodes == 1
+        assert sched.utilization() == pytest.approx(0.9)
+        sched.complete(jobs[0].job_id, 5.0)
+        assert sched.free_nodes == 4
+
+
+class TestLifecycle:
+    def test_complete(self):
+        sched = BatchScheduler(total_nodes=4)
+        j = make_job()
+        sched.submit(j, 0.0)
+        sched.tick(0.0)
+        sched.complete(j.job_id, 42.0)
+        assert j.state == JobState.COMPLETED
+        assert j.run_time == 42.0
+        assert sched.nodes_in_use == 0
+
+    def test_fail(self):
+        sched = BatchScheduler(total_nodes=4)
+        j = make_job()
+        sched.submit(j, 0.0)
+        sched.tick(0.0)
+        sched.fail(j.job_id, 1.0)
+        assert j.state == JobState.FAILED
+
+    def test_complete_requires_running(self):
+        sched = BatchScheduler(total_nodes=4)
+        j = make_job()
+        sched.submit(j, 0.0)
+        with pytest.raises(SchedulerError):
+            sched.complete(j.job_id, 0.0)
+        with pytest.raises(SchedulerError):
+            sched.complete(9999, 0.0)
+
+    def test_walltime_kill(self):
+        sched = BatchScheduler(total_nodes=4)
+        j = make_job(walltime=50.0)
+        sched.submit(j, 0.0)
+        sched.tick(0.0)
+        sched.tick(49.0)
+        assert j.state == JobState.RUNNING
+        sched.tick(50.0)
+        assert j.state == JobState.TIMEOUT
+        assert sched.nodes_in_use == 0
+
+    def test_cancel_pending(self):
+        sched = BatchScheduler(total_nodes=1)
+        blocker, j = make_job(nodes=1), make_job(nodes=1)
+        sched.submit(blocker, 0.0)
+        sched.tick(0.0)
+        sched.submit(j, 0.0)
+        sched.cancel(j.job_id, 1.0)
+        assert j.state == JobState.CANCELLED
+        assert sched.pending_jobs == []
+
+    def test_cancel_running(self):
+        sched = BatchScheduler(total_nodes=4)
+        j = make_job()
+        sched.submit(j, 0.0)
+        sched.tick(0.0)
+        sched.cancel(j.job_id, 2.0)
+        assert j.state == JobState.CANCELLED
+        assert sched.nodes_in_use == 0
+
+    def test_cancel_terminal_rejected(self):
+        sched = BatchScheduler(total_nodes=4)
+        j = make_job()
+        sched.submit(j, 0.0)
+        sched.tick(0.0)
+        sched.complete(j.job_id, 1.0)
+        with pytest.raises(SchedulerError):
+            sched.cancel(j.job_id, 2.0)
+
+
+class TestElasticCampaign:
+    def test_staggered_groups_like_fig6(self):
+        """Many group-sized jobs + one server job: ramp-up, steady peak,
+        drain — the qualitative shape of Fig. 6a/6c."""
+        sched = BatchScheduler(total_nodes=100, max_pending=500)
+        server = make_job(nodes=10, walltime=1e6, name="server")
+        sched.submit(server, 0.0)
+        sched.tick(0.0)
+        groups = [make_job(nodes=8, walltime=1e6, name=f"g{i}") for i in range(30)]
+        for g in groups:
+            sched.submit(g, 0.0)
+        sched.tick(0.0)
+        running = [j for j in sched.running_jobs if j.name.startswith("g")]
+        assert len(running) == 11  # (100-10) // 8
+        # complete a wave, next wave starts
+        for j in running[:5]:
+            sched.complete(j.job_id, 100.0)
+        started = sched.tick(100.0)
+        assert len(started) == 5
+        counts = sched.counts()
+        assert counts["running"] == 12  # 11 groups + server
+        assert counts["pending"] == 30 - 16

@@ -1,0 +1,176 @@
+"""Tests for the thread-backed MPI subset."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import Communicator, MPIError, run_mpi
+
+
+class TestPointToPoint:
+    def test_send_recv_pair(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"v": 42}, dest=1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        results = run_mpi(2, prog)
+        assert results[1] == {"v": 42}
+
+    def test_numpy_payload_by_reference(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(5), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = run_mpi(2, prog)
+        np.testing.assert_array_equal(results[1], np.arange(5))
+
+    def test_messages_ordered_per_source(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, dest=1, tag=i)
+                return None
+            return [comm.recv(source=0, tag=i) for i in range(10)]
+
+        assert run_mpi(2, prog)[1] == list(range(10))
+
+    def test_tag_mismatch_raises(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=1)
+                return None
+            return comm.recv(source=0, tag=2)
+
+        with pytest.raises(MPIError):
+            run_mpi(2, prog)
+
+    def test_recv_timeout(self):
+        def prog(comm):
+            if comm.rank == 1:
+                return comm.recv(source=0, timeout=0.05)
+            return None
+
+        with pytest.raises(MPIError):
+            run_mpi(2, prog)
+
+    def test_invalid_rank(self):
+        def prog(comm):
+            comm.send("x", dest=5)
+
+        with pytest.raises(MPIError):
+            run_mpi(2, prog)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def prog(comm):
+            data = comm.rank * 10 if comm.rank == 2 else None
+            return comm.bcast(data, root=2)
+
+        assert run_mpi(4, prog) == [20, 20, 20, 20]
+
+    def test_gather(self):
+        def prog(comm):
+            return comm.gather(comm.rank**2, root=0)
+
+        results = run_mpi(4, prog)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(comm.rank)
+
+        assert run_mpi(3, prog) == [[0, 1, 2]] * 3
+
+    def test_scatter(self):
+        def prog(comm):
+            objs = [f"item{r}" for r in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert run_mpi(3, prog) == ["item0", "item1", "item2"]
+
+    def test_scatter_wrong_length(self):
+        def prog(comm):
+            objs = [1] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        with pytest.raises(MPIError):
+            run_mpi(2, prog)
+
+    def test_reduce_sum(self):
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, op=lambda a, b: a + b, root=0)
+
+        results = run_mpi(4, prog)
+        assert results[0] == 10
+        assert results[2] is None
+
+    def test_allreduce_max(self):
+        def prog(comm):
+            return comm.allreduce(comm.rank * 3, op=max)
+
+        assert run_mpi(5, prog) == [12] * 5
+
+    def test_repeated_collectives_no_interference(self):
+        """Back-to-back collectives must not read each other's slots."""
+
+        def prog(comm):
+            out = []
+            for round_ in range(5):
+                out.append(comm.allreduce(comm.rank + round_, op=lambda a, b: a + b))
+            return out
+
+        results = run_mpi(3, prog)
+        # sum of (rank + round) over ranks 0..2 = 3 + 3*round
+        assert results[0] == [3, 6, 9, 12, 15]
+        assert results[0] == results[1] == results[2]
+
+    def test_barrier_and_gather_numpy_reduction_tree(self):
+        """Parallel statistics pattern: per-rank partial -> rank-0 merge."""
+        from repro.stats import IterativeMoments
+
+        rng_data = np.random.default_rng(3).normal(size=(4, 50))
+
+        def prog(comm):
+            local = IterativeMoments()
+            for v in rng_data[comm.rank]:
+                local.update(v)
+            states = comm.gather(local.state_dict(), root=0)
+            if comm.rank != 0:
+                return None
+            merged = IterativeMoments.from_state_dict(states[0])
+            for s in states[1:]:
+                merged.merge(IterativeMoments.from_state_dict(s))
+            return merged
+
+        merged = run_mpi(4, prog)[0]
+        assert merged.count == 200
+        np.testing.assert_allclose(merged.mean, rng_data.mean(), rtol=1e-9)
+        np.testing.assert_allclose(
+            merged.variance, rng_data.ravel().var(ddof=1), rtol=1e-9
+        )
+
+
+class TestRunMpi:
+    def test_single_rank(self):
+        assert run_mpi(1, lambda comm: comm.size) == [1]
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            run_mpi(0, lambda comm: None)
+
+    def test_exception_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            comm.barrier()
+
+        with pytest.raises((RuntimeError, MPIError)):
+            run_mpi(2, prog)
+
+    def test_results_in_rank_order(self):
+        assert run_mpi(6, lambda comm: comm.rank) == list(range(6))

@@ -1,0 +1,269 @@
+"""Validation of the iterative Martinez estimator and the reference paths.
+
+Covers exactness (iterative == two-pass Martinez), convergence to analytic
+indices (Ishigami, g-function, linear), order-independence of updates,
+merge correctness, and confidence-interval behaviour.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import draw_design
+from repro.sobol import (
+    GFunction,
+    IshigamiFunction,
+    IterativeSobolEstimator,
+    LinearFunction,
+    UbiquitousSobolField,
+    first_order_confidence_interval,
+    jansen_indices,
+    martinez_indices,
+    saltelli_indices,
+    sobol_indices,
+    total_order_confidence_interval,
+)
+from repro.sobol.reference import all_estimators
+
+
+def evaluate_design(fn, design):
+    """Return (y_a, y_b, y_c) scalar output stacks for a design."""
+    y_a = fn(design.a)
+    y_b = fn(design.b)
+    y_c = np.stack([fn(design.c_matrix(k)) for k in range(design.nparams)])
+    return y_a, y_b, y_c
+
+
+def run_iterative(fn, design):
+    est = IterativeSobolEstimator(design.nparams, shape=())
+    y_a, y_b, y_c = evaluate_design(fn, design)
+    for i in range(design.ngroups):
+        est.update_group(y_a[i], y_b[i], [y_c[k][i] for k in range(design.nparams)])
+    return est, (y_a, y_b, y_c)
+
+
+class TestIterativeEqualsTwoPass:
+    """The paper's exactness claim: iterative formulas match batch exactly."""
+
+    @pytest.mark.parametrize("fn", [IshigamiFunction(), GFunction((0.0, 1.0, 9.0)), LinearFunction()])
+    def test_matches_reference_martinez(self, fn):
+        design = draw_design(fn.space(), 128, seed=3)
+        est, (y_a, y_b, y_c) = run_iterative(fn, design)
+        s_ref, st_ref = martinez_indices(y_a, y_b, y_c)
+        np.testing.assert_allclose(est.first_order(), s_ref, rtol=1e-10)
+        np.testing.assert_allclose(est.total_order(), st_ref, rtol=1e-10)
+
+    def test_update_order_invariance(self):
+        fn = IshigamiFunction()
+        design = draw_design(fn.space(), 64, seed=11)
+        y_a, y_b, y_c = evaluate_design(fn, design)
+        order = np.random.default_rng(0).permutation(64)
+        est1 = IterativeSobolEstimator(3)
+        est2 = IterativeSobolEstimator(3)
+        for i in range(64):
+            est1.update_group(y_a[i], y_b[i], [y_c[k][i] for k in range(3)])
+        for i in order:
+            est2.update_group(y_a[i], y_b[i], [y_c[k][i] for k in range(3)])
+        np.testing.assert_allclose(est1.first_order(), est2.first_order(), rtol=1e-9)
+        np.testing.assert_allclose(est1.total_order(), est2.total_order(), rtol=1e-9)
+
+    def test_merge_equals_single_stream(self):
+        fn = GFunction((0.5, 2.0, 9.0, 99.0))
+        design = draw_design(fn.space(), 100, seed=5)
+        y_a, y_b, y_c = evaluate_design(fn, design)
+        full = IterativeSobolEstimator(4)
+        part1 = IterativeSobolEstimator(4)
+        part2 = IterativeSobolEstimator(4)
+        for i in range(100):
+            yc = [y_c[k][i] for k in range(4)]
+            full.update_group(y_a[i], y_b[i], yc)
+            (part1 if i < 40 else part2).update_group(y_a[i], y_b[i], yc)
+        part1.merge(part2)
+        assert part1.ngroups == 100
+        np.testing.assert_allclose(part1.first_order(), full.first_order(), rtol=1e-9)
+        np.testing.assert_allclose(part1.total_order(), full.total_order(), rtol=1e-9)
+
+
+class TestConvergenceToAnalytic:
+    def test_ishigami_first_order(self):
+        fn = IshigamiFunction()
+        design = draw_design(fn.space(), 6000, seed=7)
+        est, _ = run_iterative(fn, design)
+        np.testing.assert_allclose(est.first_order(), fn.first_order, atol=0.03)
+
+    def test_ishigami_total_order(self):
+        fn = IshigamiFunction()
+        design = draw_design(fn.space(), 6000, seed=8)
+        est, _ = run_iterative(fn, design)
+        np.testing.assert_allclose(est.total_order(), fn.total_order, atol=0.04)
+
+    def test_gfunction_ranking(self):
+        fn = GFunction((0.0, 1.0, 4.5, 9.0))
+        design = draw_design(fn.space(), 4000, seed=9)
+        est, _ = run_iterative(fn, design)
+        s = est.first_order()
+        # importance ordering must match the analytic profile (a ascending)
+        assert s[0] > s[1] > s[2] > s[3]
+        np.testing.assert_allclose(s, fn.first_order, atol=0.05)
+
+    def test_linear_function_exact_shares(self):
+        fn = LinearFunction(coefficients=(1.0, 2.0, 4.0))
+        design = draw_design(fn.space(), 8000, seed=10)
+        est, _ = run_iterative(fn, design)
+        np.testing.assert_allclose(est.first_order(), fn.first_order, atol=0.03)
+        # additive model: interactions vanish
+        assert abs(float(est.interaction_residual())) < 0.06
+
+    def test_output_variance_tracks_truth(self):
+        fn = IshigamiFunction()
+        design = draw_design(fn.space(), 5000, seed=12)
+        est, _ = run_iterative(fn, design)
+        assert float(est.output_variance) == pytest.approx(fn.total_variance, rel=0.1)
+
+
+class TestReferenceEstimators:
+    def test_all_estimators_agree_at_large_n(self):
+        fn = IshigamiFunction()
+        design = draw_design(fn.space(), 8000, seed=13)
+        y = evaluate_design(fn, design)
+        results = all_estimators(*y)
+        for name, (s, st_) in results.items():
+            np.testing.assert_allclose(s, fn.first_order, atol=0.06, err_msg=name)
+            np.testing.assert_allclose(st_, fn.total_order, atol=0.06, err_msg=name)
+
+    def test_jansen_saltelli_sobol_shapes(self):
+        fn = GFunction((1.0, 2.0))
+        design = draw_design(fn.space(), 50, seed=1)
+        y = evaluate_design(fn, design)
+        for est_fn in (jansen_indices, saltelli_indices, sobol_indices):
+            s, st_ = est_fn(*y)
+            assert s.shape == (2,)
+            assert st_.shape == (2,)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            martinez_indices(np.zeros(5), np.zeros(4), np.zeros((2, 5)))
+        with pytest.raises(ValueError):
+            martinez_indices(np.zeros(5), np.zeros(5), np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            martinez_indices(np.zeros(1), np.zeros(1), np.zeros((2, 1)))
+
+
+class TestConfidenceIntervals:
+    def test_insufficient_groups_gives_nan(self):
+        lo, hi = first_order_confidence_interval(0.5, 3)
+        assert np.isnan(lo) and np.isnan(hi)
+
+    def test_interval_contains_estimate(self):
+        lo, hi = first_order_confidence_interval(0.4, 100)
+        assert lo < 0.4 < hi
+
+    def test_interval_shrinks_with_n(self):
+        w_small = np.ptp(first_order_confidence_interval(0.3, 20))
+        w_large = np.ptp(first_order_confidence_interval(0.3, 2000))
+        assert w_large < w_small
+
+    def test_total_interval_orientation(self):
+        lo, hi = total_order_confidence_interval(0.6, 50)
+        assert lo < 0.6 < hi
+
+    def test_extreme_estimates_finite(self):
+        lo, hi = first_order_confidence_interval(1.0, 30)
+        assert np.isfinite(lo) and np.isfinite(hi)
+        lo, hi = total_order_confidence_interval(0.0, 30)
+        assert np.isfinite(lo) and np.isfinite(hi)
+
+    def test_coverage_monte_carlo(self):
+        """~95% of Fisher CIs should contain the true Ishigami S1."""
+        fn = IshigamiFunction()
+        hits = 0
+        trials = 60
+        n = 300
+        for t in range(trials):
+            design = draw_design(fn.space(), n, seed=1000 + t)
+            est, _ = run_iterative(fn, design)
+            lo, hi = est.first_order_interval(0)
+            if lo <= fn.first_order[0] <= hi:
+                hits += 1
+        # generous band: asymptotic interval, finite trials
+        assert hits / trials >= 0.82
+
+    def test_max_interval_width_decreases(self):
+        fn = IshigamiFunction()
+        design = draw_design(fn.space(), 800, seed=77)
+        y_a, y_b, y_c = evaluate_design(fn, design)
+        est = IterativeSobolEstimator(3)
+        for i in range(10):
+            est.update_group(y_a[i], y_b[i], [y_c[k][i] for k in range(3)])
+        w10 = est.max_interval_width()
+        for i in range(10, 800):
+            est.update_group(y_a[i], y_b[i], [y_c[k][i] for k in range(3)])
+        assert est.max_interval_width() < w10
+
+    def test_max_interval_width_inf_early(self):
+        est = IterativeSobolEstimator(2)
+        assert est.max_interval_width() == float("inf")
+
+
+class TestUbiquitousField:
+    def test_field_updates_per_timestep(self):
+        rng = np.random.default_rng(0)
+        fld = UbiquitousSobolField(nparams=2, ntimesteps=3, ncells=5)
+        for g in range(40):
+            for t in range(3):
+                ya = rng.normal(size=5)
+                yb = rng.normal(size=5)
+                yc = [rng.normal(size=5), rng.normal(size=5)]
+                fld.update_group_timestep(t, ya, yb, yc)
+        assert fld.estimators[0].ngroups == 40
+        assert fld.first_order_map(0, 1).shape == (5,)
+        assert fld.variance_map(2).shape == (5,)
+        assert np.isfinite(fld.max_interval_width())
+
+    def test_memory_is_group_independent(self):
+        fld = UbiquitousSobolField(nparams=6, ntimesteps=10, ncells=100)
+        m = fld.memory_floats
+        # memory formula: (2p*5 + 2) * cells * steps
+        assert m == (2 * 6 * 5 + 2) * 100 * 10
+
+    def test_state_roundtrip(self):
+        rng = np.random.default_rng(1)
+        fld = UbiquitousSobolField(nparams=2, ntimesteps=2, ncells=4)
+        for g in range(10):
+            for t in range(2):
+                fld.update_group_timestep(
+                    t, rng.normal(size=4), rng.normal(size=4),
+                    [rng.normal(size=4), rng.normal(size=4)],
+                )
+        fld2 = UbiquitousSobolField.from_state_dict(fld.state_dict())
+        np.testing.assert_allclose(
+            fld2.first_order_map(1, 1), fld.first_order_map(1, 1)
+        )
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            UbiquitousSobolField(2, 0, 5)
+        with pytest.raises(ValueError):
+            IterativeSobolEstimator(0)
+
+    def test_wrong_member_count_rejected(self):
+        est = IterativeSobolEstimator(3)
+        with pytest.raises(ValueError):
+            est.update_group(0.0, 0.0, [0.0, 0.0])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=8, max_value=40))
+def test_property_indices_bounded_for_random_models(p, n):
+    """Martinez estimates are correlations, hence always within [-1, 1]."""
+    rng = np.random.default_rng(p * 100 + n)
+    est = IterativeSobolEstimator(p)
+    for _ in range(n):
+        est.update_group(
+            rng.normal(), rng.normal(), [rng.normal() for _ in range(p)]
+        )
+    s = est.first_order()
+    assert np.all(s <= 1.0 + 1e-9) and np.all(s >= -1.0 - 1e-9)
+    st_ = est.total_order()
+    assert np.all(st_ >= -1e-9 - 1.0) and np.all(st_ <= 2.0 + 1e-9)

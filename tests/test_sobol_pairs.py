@@ -1,0 +1,99 @@
+"""Tests for the pairwise total-index extension (ST_{ij} at no extra cost).
+
+Ishigami provides exact targets: with V3 = 0 and only the {1,3}
+interaction present,
+
+    ST_{12} = 1 - V_3 / V        = 1            (complement {3} has V3=0)
+    ST_{13} = 1 - V_2 / V        = (V1+V13)/V   = ST_1
+    ST_{23} = 1 - V_1 / V        = (V2+V13)/V
+"""
+
+import numpy as np
+import pytest
+
+from repro.sampling import draw_design
+from repro.sobol import IshigamiFunction, IterativeSobolEstimator
+
+
+@pytest.fixture(scope="module")
+def trained():
+    fn = IshigamiFunction()
+    design = draw_design(fn.space(), 5000, seed=21)
+    est = IterativeSobolEstimator(3, track_pairs=True)
+    y_a, y_b = fn(design.a), fn(design.b)
+    y_c = [fn(design.c_matrix(k)) for k in range(3)]
+    for i in range(design.ngroups):
+        est.update_group(y_a[i], y_b[i], [y_c[k][i] for k in range(3)])
+    return fn, est
+
+
+class TestPairTotals:
+    def test_analytic_values(self, trained):
+        fn, est = trained
+        v1, v2, v13, v = fn.variance_terms()
+        assert float(est.pair_total_order(0, 1)) == pytest.approx(1.0, abs=0.03)
+        assert float(est.pair_total_order(0, 2)) == pytest.approx(
+            (v1 + v13) / v, abs=0.04
+        )
+        assert float(est.pair_total_order(1, 2)) == pytest.approx(
+            (v2 + v13) / v, abs=0.04
+        )
+
+    def test_symmetry(self, trained):
+        _, est = trained
+        np.testing.assert_allclose(
+            est.pair_total_order(0, 2), est.pair_total_order(2, 0)
+        )
+
+    def test_pair_dominates_singles(self, trained):
+        """ST_{ij} >= max(ST_i, ST_j): the pair's total effect includes
+        each member's total effect (up to estimator noise)."""
+        _, est = trained
+        for i in range(3):
+            for j in range(i + 1, 3):
+                pair = float(est.pair_total_order(i, j))
+                singles = max(float(est.total_order(i)), float(est.total_order(j)))
+                assert pair >= singles - 0.05
+
+    def test_requires_opt_in(self):
+        est = IterativeSobolEstimator(3)
+        with pytest.raises(ValueError):
+            est.pair_total_order(0, 1)
+
+    def test_invalid_pairs(self, trained):
+        _, est = trained
+        with pytest.raises(ValueError):
+            est.pair_total_order(1, 1)
+        with pytest.raises(ValueError):
+            est.pair_total_order(0, 7)
+
+    def test_state_roundtrip(self, trained):
+        _, est = trained
+        back = IterativeSobolEstimator.from_state_dict(est.state_dict())
+        assert back.track_pairs
+        np.testing.assert_allclose(
+            back.pair_total_order(0, 2), est.pair_total_order(0, 2)
+        )
+
+    def test_merge_with_pairs(self):
+        fn = IshigamiFunction()
+        design = draw_design(fn.space(), 100, seed=2)
+        y_a, y_b = fn(design.a), fn(design.b)
+        y_c = [fn(design.c_matrix(k)) for k in range(3)]
+        full = IterativeSobolEstimator(3, track_pairs=True)
+        p1 = IterativeSobolEstimator(3, track_pairs=True)
+        p2 = IterativeSobolEstimator(3, track_pairs=True)
+        for i in range(100):
+            yc = [y_c[k][i] for k in range(3)]
+            full.update_group(y_a[i], y_b[i], yc)
+            (p1 if i < 40 else p2).update_group(y_a[i], y_b[i], yc)
+        p1.merge(p2)
+        np.testing.assert_allclose(
+            p1.pair_total_order(0, 1), full.pair_total_order(0, 1), rtol=1e-9
+        )
+
+    def test_merge_mismatched_tracking(self):
+        a = IterativeSobolEstimator(2, track_pairs=True)
+        b = IterativeSobolEstimator(2, track_pairs=False)
+        with pytest.raises(ValueError):
+            a.merge(b)

@@ -1,0 +1,259 @@
+"""Tests for the convection-diffusion integrator, the tube-bundle case,
+and the classical-output writer/reader."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import StructuredMesh
+from repro.solver import (
+    AdvectionDiffusion,
+    EnsightLikeWriter,
+    InjectionParameters,
+    PostmortemReader,
+    ScalarSimulation,
+    TubeBundleCase,
+    tube_bundle_parameter_space,
+)
+from repro.solver.flow import Obstacle, solve_streamfunction
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    """Coarse but geometrically faithful tube-bundle case for tests."""
+    return TubeBundleCase(nx=32, ny=16, ntimesteps=10, total_time=1.0)
+
+
+def mid_params(**overrides):
+    base = dict(
+        upper_concentration=1.0,
+        lower_concentration=1.0,
+        upper_width=0.2,
+        lower_width=0.2,
+        upper_duration=1.0,
+        lower_duration=1.0,
+    )
+    base.update(overrides)
+    return InjectionParameters(**base)
+
+
+def vector(p: InjectionParameters):
+    return np.array(
+        [
+            p.upper_concentration,
+            p.lower_concentration,
+            p.upper_width,
+            p.lower_width,
+            p.upper_duration,
+            p.lower_duration,
+        ]
+    )
+
+
+class TestAdvectionDiffusion:
+    def test_stable_dt_positive(self, small_case):
+        assert small_case.integrator.stable_dt > 0
+
+    def test_validation(self, small_case):
+        with pytest.raises(ValueError):
+            AdvectionDiffusion(small_case.flow, diffusivity=-1.0)
+        with pytest.raises(ValueError):
+            AdvectionDiffusion(small_case.flow, cfl=0.0)
+
+    def test_zero_inlet_stays_zero(self, small_case):
+        integ = small_case.integrator
+        c = integ.initial_condition()
+        t = integ.step(c, 0.3, lambda t: np.zeros(16), 0.0)
+        assert t == pytest.approx(0.3)
+        np.testing.assert_allclose(c, 0.0, atol=1e-14)
+
+    def test_dye_enters_and_advects_downstream(self, small_case):
+        integ = small_case.integrator
+        params = mid_params()
+        c = integ.initial_condition()
+        integ.step(c, 0.2, lambda t: small_case.inlet_profile(params, t), 0.0)
+        # dye present near inlet, not yet at outlet
+        assert c[0, :].max() > 0.05
+        assert c[-1, :].max() < 1e-6
+
+    def test_maximum_principle(self, small_case):
+        """Upwind + explicit Euler at CFL<1 is monotone: c stays in [0, cmax]."""
+        integ = small_case.integrator
+        params = mid_params()
+        c = integ.initial_condition()
+        integ.step(c, 1.0, lambda t: small_case.inlet_profile(params, t), 0.0)
+        assert c.min() >= -1e-12
+        assert c.max() <= 1.0 + 1e-9
+
+    def test_solid_cells_stay_clean(self, small_case):
+        integ = small_case.integrator
+        params = mid_params()
+        c = integ.initial_condition()
+        integ.step(c, 1.0, lambda t: small_case.inlet_profile(params, t), 0.0)
+        np.testing.assert_allclose(c[integ.solid], 0.0, atol=1e-14)
+
+    def test_step_rejects_nonpositive_dt(self, small_case):
+        c = small_case.integrator.initial_condition()
+        with pytest.raises(ValueError):
+            small_case.integrator.step(c, 0.0, lambda t: np.zeros(16), 0.0)
+
+    def test_pure_advection_conserves_dye_while_inside(self):
+        """With injection off and dye mid-channel, total dye is conserved
+        until it reaches the outlet (zero diffusion, no obstacles)."""
+        mesh = StructuredMesh(dims=(40, 10), lengths=(4.0, 1.0))
+        flow = solve_streamfunction(mesh, (), inflow_speed=1.0)
+        integ = AdvectionDiffusion(flow, diffusivity=0.0)
+        c = integ.initial_condition()
+        c[5:10, :] = 1.0  # blob far from the outlet
+        total0 = integ.total_dye(c)
+        integ.step(c, 0.5, lambda t: np.zeros(10), 0.0)
+        assert integ.total_dye(c) == pytest.approx(total0, rel=1e-9)
+
+    def test_quiescent_zero_diffusion_rejected(self):
+        mesh = StructuredMesh(dims=(4, 4), lengths=(1.0, 1.0))
+        flow = solve_streamfunction(mesh, (), inflow_speed=0.0)
+        with pytest.raises(ValueError):
+            AdvectionDiffusion(flow, diffusivity=0.0)
+
+
+class TestTubeBundleCase:
+    def test_geometry(self, small_case):
+        assert small_case.ncells == 512
+        assert len(small_case.obstacles) > 0
+        assert small_case.flow.solid.sum() > 0
+
+    def test_parameter_space_matches_paper(self):
+        sp = tube_bundle_parameter_space()
+        assert sp.nparams == 6
+        assert sp.names[0] == "upper_concentration"
+
+    def test_inlet_profile_bands(self, small_case):
+        p = mid_params(lower_concentration=0.0)
+        prof = small_case.inlet_profile(p, 0.0)
+        y = small_case.mesh.axis_coordinates(1)
+        upper = np.abs(y - 0.75) <= 0.1
+        np.testing.assert_allclose(prof[upper], 1.0)
+        np.testing.assert_allclose(prof[~upper], 0.0)
+
+    def test_duration_switches_off(self, small_case):
+        p = mid_params(upper_duration=0.5, lower_duration=0.5)
+        assert small_case.inlet_profile(p, 0.0).max() > 0
+        assert small_case.inlet_profile(p, 0.51 * small_case.total_time).max() == 0.0
+
+    def test_invalid_parameter_vector(self, small_case):
+        with pytest.raises(ValueError):
+            small_case.simulation(np.zeros(5))
+
+    def test_bytes_accounting(self, small_case):
+        per_step = small_case.bytes_per_timestep()
+        assert per_step == 512 * 8
+        # 8 members per group (p=6), 10 steps
+        assert small_case.study_bytes(3) == 3 * 8 * 10 * per_step
+
+    def test_invalid_ntimesteps(self):
+        with pytest.raises(ValueError):
+            TubeBundleCase(nx=8, ny=8, ntimesteps=0)
+
+
+class TestScalarSimulation:
+    def test_iteration_protocol(self, small_case):
+        sim = small_case.simulation(vector(mid_params()), simulation_id=3)
+        steps = list(sim)
+        assert [s for s, _ in steps] == list(range(10))
+        assert sim.finished
+        assert steps[0][1].shape == (512,)
+        with pytest.raises(RuntimeError):
+            sim.advance()
+
+    def test_timesteps_in_increasing_order_with_growing_dye(self, small_case):
+        sim = small_case.simulation(vector(mid_params()))
+        last_total = -1.0
+        for step, field in sim:
+            if step < 5:  # while injecting, dye accumulates
+                total = field.sum()
+                assert total > last_total
+                last_total = total
+
+    def test_run_to_completion_matches_stepwise(self, small_case):
+        v = vector(mid_params(upper_concentration=0.7))
+        stack = small_case.simulation(v).run_to_completion()
+        sim2 = small_case.simulation(v)
+        for step, field in sim2:
+            np.testing.assert_array_equal(stack[step], field)
+
+    def test_deterministic_across_instances(self, small_case):
+        v = vector(mid_params())
+        a = small_case.simulation(v).run_to_completion()
+        b = small_case.simulation(v).run_to_completion()
+        np.testing.assert_array_equal(a, b)
+
+    def test_parameters_change_output(self, small_case):
+        a = small_case.simulation(vector(mid_params())).run_to_completion()
+        b = small_case.simulation(
+            vector(mid_params(upper_concentration=0.3))
+        ).run_to_completion()
+        assert not np.allclose(a, b)
+
+    def test_upper_parameters_do_not_touch_lower_half(self, small_case):
+        """The paper's headline interpretation (Sec. 5.5, point 1): upper
+        injector parameters have no influence on the bottom half."""
+        base = vector(mid_params())
+        changed = vector(mid_params(upper_concentration=0.25, upper_width=0.3))
+        fa = small_case.simulation(base).run_to_completion()
+        fb = small_case.simulation(changed).run_to_completion()
+        grid_a = small_case.mesh.to_grid(fa[-1])
+        grid_b = small_case.mesh.to_grid(fb[-1])
+        ny = small_case.mesh.dims[1]
+        lower_a, lower_b = grid_a[:, : ny // 3], grid_b[:, : ny // 3]
+        # weak cross-channel diffusion allows a tiny residual coupling;
+        # the advective influence is orders of magnitude larger above
+        np.testing.assert_allclose(lower_a, lower_b, atol=1e-4)
+        assert np.abs(grid_a[:, 2 * ny // 3 :] - grid_b[:, 2 * ny // 3 :]).max() > 1e-2
+        # but the upper half must differ
+        assert not np.allclose(grid_a[:, 2 * ny // 3 :], grid_b[:, 2 * ny // 3 :])
+
+
+class TestWriterReader:
+    def test_roundtrip(self, tmp_path):
+        writer = EnsightLikeWriter(tmp_path / "ens")
+        field = np.linspace(0, 1, 50)
+        writer.write(7, 3, field)
+        assert writer.files_written == 1
+        assert writer.bytes_written >= field.nbytes
+        reader = PostmortemReader(tmp_path / "ens")
+        sim_id, step, back = reader.read(writer.path_for(7, 3))
+        assert (sim_id, step) == (7, 3)
+        np.testing.assert_array_equal(back, field)
+        assert reader.bytes_read == writer.bytes_written
+
+    def test_read_simulation_stack(self, tmp_path):
+        writer = EnsightLikeWriter(tmp_path)
+        for step in range(4):
+            writer.write(1, step, np.full(10, float(step)))
+        reader = PostmortemReader(tmp_path)
+        stack = reader.read_simulation(1)
+        assert stack.shape == (4, 10)
+        np.testing.assert_array_equal(stack[2], 2.0)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            PostmortemReader(tmp_path / "nope")
+
+    def test_missing_simulation(self, tmp_path):
+        EnsightLikeWriter(tmp_path)  # creates dir
+        with pytest.raises(FileNotFoundError):
+            PostmortemReader(tmp_path).read_simulation(42)
+
+    def test_bad_magic(self, tmp_path):
+        EnsightLikeWriter(tmp_path)
+        bad = tmp_path / "sim000000_step00000.bin"
+        bad.write_bytes(b"XXXX" + b"\x00" * 60)
+        with pytest.raises(ValueError):
+            PostmortemReader(tmp_path).read(bad)
+
+    def test_iterates_all_files(self, tmp_path):
+        writer = EnsightLikeWriter(tmp_path)
+        for sim in range(2):
+            for step in range(3):
+                writer.write(sim, step, np.zeros(5))
+        reader = PostmortemReader(tmp_path)
+        assert len(list(reader)) == 6

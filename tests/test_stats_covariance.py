@@ -1,0 +1,154 @@
+"""Tests for one-pass covariance/correlation (the Martinez building block)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats import IterativeCovariance, IterativeCorrelation
+
+RNG = np.random.default_rng(99)
+
+
+def feed(xs, ys, shape=()):
+    c = IterativeCovariance(shape=shape)
+    for x, y in zip(xs, ys):
+        c.update(x, y)
+    return c
+
+
+class TestCovariance:
+    def test_empty_and_single(self):
+        c = IterativeCovariance()
+        assert np.isnan(c.covariance)
+        c.update(1.0, 2.0)
+        assert np.isnan(c.covariance)
+        assert c.mean_x == pytest.approx(1.0)
+        assert c.mean_y == pytest.approx(2.0)
+
+    def test_matches_numpy_cov(self):
+        x = RNG.normal(size=400)
+        y = 0.3 * x + RNG.normal(size=400)
+        c = feed(x, y)
+        ref = np.cov(x, y, ddof=1)
+        assert c.covariance == pytest.approx(ref[0, 1])
+        assert c.variance_x == pytest.approx(ref[0, 0])
+        assert c.variance_y == pytest.approx(ref[1, 1])
+
+    def test_correlation_matches_numpy(self):
+        x = RNG.normal(size=300)
+        y = -0.7 * x + 0.2 * RNG.normal(size=300)
+        c = feed(x, y)
+        assert float(c.correlation) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_perfect_correlation(self):
+        x = np.arange(50.0)
+        c = feed(x, 2.0 * x + 1.0)
+        assert float(c.correlation) == pytest.approx(1.0)
+        c2 = feed(x, -x)
+        assert float(c2.correlation) == pytest.approx(-1.0)
+
+    def test_zero_variance_gives_nan_correlation(self):
+        c = feed([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+        assert np.isnan(c.correlation)
+
+    def test_field_shape(self):
+        xs = RNG.normal(size=(60, 8))
+        ys = RNG.normal(size=(60, 8)) + 0.5 * xs
+        c = feed(xs, ys, shape=(8,))
+        for j in range(8):
+            ref = np.cov(xs[:, j], ys[:, j], ddof=1)[0, 1]
+            assert c.covariance[j] == pytest.approx(ref)
+
+    def test_numerical_stability_large_offset(self):
+        x = 1e8 + RNG.normal(size=500)
+        y = -1e8 + 0.5 * (x - 1e8) + RNG.normal(size=500)
+        c = feed(x, y)
+        ref = np.cov(x, y, ddof=1)[0, 1]
+        assert c.covariance == pytest.approx(ref, rel=1e-6)
+
+    def test_shape_mismatch(self):
+        c = IterativeCovariance(shape=(3,))
+        with pytest.raises(ValueError):
+            c.update(np.zeros(3), np.zeros(4))
+
+
+class TestCovarianceMerge:
+    def test_merge_equals_full_stream(self):
+        x = RNG.normal(size=200)
+        y = RNG.normal(size=200) + 0.4 * x
+        a = feed(x[:77], y[:77])
+        b = feed(x[77:], y[77:])
+        a.merge(b)
+        ref = feed(x, y)
+        np.testing.assert_allclose(a.cxy, ref.cxy, rtol=1e-9)
+        np.testing.assert_allclose(a.m2_x, ref.m2_x, rtol=1e-9)
+        np.testing.assert_allclose(a.mean_y, ref.mean_y)
+        assert a.count == 200
+
+    def test_merge_into_empty_and_noop(self):
+        x, y = RNG.normal(size=30), RNG.normal(size=30)
+        a = IterativeCovariance()
+        a.merge(feed(x, y))
+        assert a.count == 30
+        a.merge(IterativeCovariance())
+        assert a.count == 30
+
+    def test_merge_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            IterativeCovariance(shape=(2,)).merge(IterativeCovariance(shape=(3,)))
+
+
+class TestStateDict:
+    def test_roundtrip_continues_identically(self):
+        x, y = RNG.normal(size=40), RNG.normal(size=40)
+        c = feed(x, y)
+        c2 = IterativeCovariance.from_state_dict(c.state_dict())
+        for xv, yv in zip(RNG.normal(size=5), RNG.normal(size=5)):
+            c.update(xv, yv)
+            c2.update(xv, yv)
+        np.testing.assert_array_equal(c.cxy, c2.cxy)
+
+    def test_correlation_alias(self):
+        x = RNG.normal(size=20)
+        y = x + RNG.normal(size=20)
+        c = IterativeCorrelation()
+        for xv, yv in zip(x, y):
+            c.update(xv, yv)
+        np.testing.assert_allclose(c.value, c.correlation)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.integers(min_value=2, max_value=40),
+        elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    ),
+    st.floats(min_value=-3, max_value=3, allow_nan=False),
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+)
+def test_property_cov_matches_two_pass(xs, slope, noise_scale):
+    ys = slope * xs + noise_scale * np.sin(xs)
+    c = feed(xs, ys)
+    mx, my = xs.mean(), ys.mean()
+    two_pass = ((xs - mx) * (ys - my)).sum()
+    scale = max(1.0, abs(two_pass))
+    assert abs(c.cxy - two_pass) <= 1e-6 * scale
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.integers(min_value=3, max_value=40),
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+)
+def test_property_correlation_bounded(xs):
+    ys = np.cos(xs) + 0.1 * xs
+    c = feed(xs, ys)
+    r = float(c.correlation)
+    if not np.isnan(r):
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9

@@ -1,0 +1,249 @@
+"""Tests for messages, bounded channels, and the router/handshake."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.mesh.partition import BlockPartition
+from repro.transport import (
+    BoundedChannel,
+    ChannelClosed,
+    ConnectionReply,
+    ConnectionRequest,
+    FieldMessage,
+    Router,
+    redistribution_plan,
+)
+
+
+class TestFieldMessage:
+    def make(self, **kw):
+        args = dict(
+            group_id=3, member=1, timestep=5, cell_lo=10, cell_hi=14,
+            data=np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        args.update(kw)
+        return FieldMessage(**args)
+
+    def test_roundtrip_bytes(self):
+        msg = self.make()
+        back = FieldMessage.from_bytes(msg.to_bytes())
+        assert back.group_id == 3 and back.member == 1 and back.timestep == 5
+        assert (back.cell_lo, back.cell_hi) == (10, 14)
+        np.testing.assert_array_equal(back.data, msg.data)
+
+    def test_nbytes_matches_wire(self):
+        msg = self.make()
+        assert msg.nbytes == len(msg.to_bytes())
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            self.make(data=np.zeros(3))
+
+    def test_negative_ids(self):
+        with pytest.raises(ValueError):
+            self.make(timestep=-1)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            FieldMessage.from_bytes(b"\x00" * 100)
+
+    def test_2d_data_rejected(self):
+        with pytest.raises(ValueError):
+            FieldMessage(0, 0, 0, 0, 4, np.zeros((2, 2)))
+
+
+class TestConnectionReply:
+    def test_fencepost_validation(self):
+        ConnectionReply(nranks_server=2, offsets=(0, 5, 10))
+        with pytest.raises(ValueError):
+            ConnectionReply(nranks_server=2, offsets=(0, 10))
+
+
+class TestBoundedChannel:
+    def msg(self, n=8):
+        return FieldMessage(0, 0, 0, 0, n, np.zeros(n))
+
+    def test_fifo_order(self):
+        ch = BoundedChannel()
+        for i in range(5):
+            ch.try_send(("m", i))
+        assert [m[1] for m in ch.drain()] == list(range(5))
+
+    def test_try_send_respects_capacity(self):
+        m = self.msg()
+        ch = BoundedChannel(capacity_bytes=2 * m.nbytes)
+        assert ch.try_send(m)
+        assert ch.try_send(m)
+        assert not ch.try_send(m)  # full
+        assert ch.stats.send_blocks == 1
+        ch.try_recv()
+        assert ch.try_send(m)  # space freed
+
+    def test_oversized_message_admitted_when_empty(self):
+        big = FieldMessage(0, 0, 0, 0, 100, np.zeros(100))
+        ch = BoundedChannel(capacity_bytes=8)
+        assert ch.try_send(big)  # would deadlock forever otherwise
+        assert not ch.try_send(big)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedChannel(capacity_bytes=0)
+
+    def test_try_recv_empty(self):
+        assert BoundedChannel().try_recv() is None
+
+    def test_stats_accounting(self):
+        m = self.msg()
+        ch = BoundedChannel()
+        ch.try_send(m)
+        ch.try_send(m)
+        assert ch.stats.messages_sent == 2
+        assert ch.stats.bytes_sent == 2 * m.nbytes
+        assert ch.stats.high_water_bytes == 2 * m.nbytes
+        ch.drain()
+        assert ch.stats.messages_received == 2
+        assert ch.pending_bytes == 0
+
+    def test_close_semantics(self):
+        ch = BoundedChannel()
+        ch.try_send("x")
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            ch.try_send("y")
+        assert ch.try_recv() == "x"  # drain allowed
+        with pytest.raises(ChannelClosed):
+            ch.try_recv()
+
+    def test_blocking_send_wakes_on_recv(self):
+        m = self.msg()
+        ch = BoundedChannel(capacity_bytes=m.nbytes)
+        ch.send(m)
+        done = threading.Event()
+
+        def sender():
+            ch.send(m, timeout=5.0)  # blocks until reader drains
+            done.set()
+
+        t = threading.Thread(target=sender)
+        t.start()
+        time.sleep(0.05)
+        assert not done.is_set()
+        ch.recv()
+        t.join(timeout=5.0)
+        assert done.is_set()
+        assert ch.stats.blocked_seconds > 0
+
+    def test_blocking_send_timeout(self):
+        m = self.msg()
+        ch = BoundedChannel(capacity_bytes=m.nbytes)
+        ch.send(m)
+        with pytest.raises(TimeoutError):
+            ch.send(m, timeout=0.05)
+
+    def test_blocking_recv_timeout(self):
+        with pytest.raises(TimeoutError):
+            BoundedChannel().recv(timeout=0.05)
+
+    def test_recv_wakes_on_send(self):
+        ch = BoundedChannel()
+        result = []
+
+        def receiver():
+            result.append(ch.recv(timeout=5.0))
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        time.sleep(0.05)
+        ch.send("hello")
+        t.join(timeout=5.0)
+        assert result == ["hello"]
+
+    def test_control_messages_use_default_size(self):
+        ch = BoundedChannel(capacity_bytes=100)
+        assert ch.try_send("tiny")
+        assert ch.pending_bytes == 64
+
+
+class TestRouter:
+    def make_router(self, ncells=20, nserver=3, capacity=None):
+        return Router(BlockPartition(ncells, nserver), channel_capacity_bytes=capacity)
+
+    def test_handshake(self):
+        router = self.make_router()
+        reply = router.connect(ConnectionRequest(group_id=1, ncells=20, nranks_client=2))
+        assert reply.nranks_server == 3
+        assert reply.offsets[0] == 0 and reply.offsets[-1] == 20
+        assert router.is_connected(1)
+        router.disconnect(1)
+        assert not router.is_connected(1)
+
+    def test_handshake_cell_mismatch(self):
+        router = self.make_router()
+        with pytest.raises(ValueError):
+            router.connect(ConnectionRequest(group_id=1, ncells=99, nranks_client=2))
+
+    def test_route_field_full_coverage(self):
+        router = self.make_router(ncells=20, nserver=3)
+        router.connect(ConnectionRequest(group_id=0, ncells=20, nranks_client=4))
+        field = np.arange(20.0)
+        undelivered = router.route_field(
+            0, member=1, timestep=2, field_values=field,
+            client_partition=BlockPartition(20, 4),
+        )
+        assert undelivered == []
+        # reassemble from all server queues: must equal the original field
+        rebuilt = np.full(20, np.nan)
+        for rank, ch in router.inbound.items():
+            for msg in ch.drain():
+                assert router.server_partition.owner_of(msg.cell_lo) == rank
+                rebuilt[msg.cell_lo : msg.cell_hi] = msg.data
+        np.testing.assert_array_equal(rebuilt, field)
+
+    def test_route_requires_connection(self):
+        router = self.make_router()
+        with pytest.raises(RuntimeError):
+            router.route_field(5, 0, 0, np.zeros(20), BlockPartition(20, 2))
+
+    def test_route_wrong_field_size(self):
+        router = self.make_router()
+        router.connect(ConnectionRequest(0, 20, 1))
+        with pytest.raises(ValueError):
+            router.route_field(0, 0, 0, np.zeros(7), BlockPartition(20, 1))
+
+    def test_backpressure_returns_undelivered(self):
+        router = self.make_router(ncells=20, nserver=1, capacity=100)
+        router.connect(ConnectionRequest(0, 20, 1))
+        part = BlockPartition(20, 1)
+        field = np.zeros(20)
+        assert router.route_field(0, 0, 0, field, part) == []  # fits (oversized-empty rule)
+        undelivered = router.route_field(0, 0, 1, field, part)
+        assert len(undelivered) == 1
+        assert undelivered[0].timestep == 1
+        # drain, then retry succeeds
+        router.inbound[0].drain()
+        assert router.deliver(undelivered[0])
+
+    def test_total_stats(self):
+        router = self.make_router(ncells=20, nserver=2)
+        router.connect(ConnectionRequest(0, 20, 1))
+        router.route_field(0, 0, 0, np.zeros(20), BlockPartition(20, 1))
+        stats = router.total_stats()
+        assert stats["messages_sent"] == 2  # split across 2 server ranks
+        assert stats["bytes_sent"] > 0
+
+    def test_close(self):
+        router = self.make_router()
+        router.close()
+        with pytest.raises(ChannelClosed):
+            router.inbound[0].try_send("x")
+
+
+class TestRedistributionPlan:
+    def test_plan_alias(self):
+        plan = redistribution_plan(BlockPartition(10, 2), BlockPartition(10, 5))
+        assert len(plan) == 2
+        # client rank 0 owns [0,5) -> server ranks 0,1,2 ([0,2),[2,4),[4,5))
+        assert plan[0] == [(0, 0, 2), (1, 2, 4), (2, 4, 5)]
