@@ -25,7 +25,7 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
 
     fn = IshigamiFunction()
     study = SensitivityStudy.for_function(fn, ngroups=args.groups, seed=args.seed)
-    results = study.run()
+    results = study.run(runtime=args.runtime)
     print(f"groups integrated: {results.groups_integrated}")
     print(f"{'parameter':<6} {'S est':>8} {'S exact':>8} {'ST est':>8} {'ST exact':>9}")
     for k, name in enumerate(results.parameter_names):
@@ -49,7 +49,8 @@ def _cmd_tube(args: argparse.Namespace) -> int:
         case, ngroups=args.groups, seed=args.seed,
         server_ranks=args.server_ranks, client_ranks=2,
     )
-    results = study.run(steps_per_tick=4)
+    kwargs = {"steps_per_tick": 4} if args.runtime == "sequential" else {}
+    results = study.run(runtime=args.runtime, **kwargs)
     print(results.summary())
     step = max(0, int(0.8 * case.ntimesteps))
     for k, name in enumerate(results.parameter_names):
@@ -83,9 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    runtime_choices = ("sequential", "threaded", "process")
+
     p = sub.add_parser("quickstart", help="Ishigami study vs closed form")
     p.add_argument("--groups", type=int, default=2000)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--runtime", choices=runtime_choices, default="sequential",
+                   help="execution driver (process = multi-core workers)")
     p.set_defaults(func=_cmd_quickstart)
 
     p = sub.add_parser("tube", help="tube-bundle use case with ASCII maps")
@@ -96,6 +101,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--groups", type=int, default=30)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--server-ranks", type=int, default=4)
+    p.add_argument("--runtime", choices=runtime_choices, default="sequential",
+                   help="execution driver (process = multi-core workers)")
     p.set_defaults(func=_cmd_tube)
 
     p = sub.add_parser("campaign", help="Curie campaign performance model")

@@ -18,18 +18,43 @@ from typing import List, Optional
 from repro.core.config import StudyConfig
 from repro.core.server import MelissaServer
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def _fingerprint(config: StudyConfig) -> dict:
-    """The configuration facts a checkpoint must agree on to be loadable."""
+    """The configuration facts a checkpoint must agree on to be loadable.
+
+    ``compute_general_stats`` is part of the fingerprint (format 2):
+    restoring a stats-enabled study from a stats-disabled checkpoint used
+    to silently zero the A/B-member general statistics because
+    ``restore_state`` only loads what is present.
+    """
     return {
         "version": _FORMAT_VERSION,
         "ncells": config.ncells,
         "ntimesteps": config.ntimesteps,
         "nparams": config.nparams,
         "server_ranks": config.server_ranks,
+        "compute_general_stats": bool(config.compute_general_stats),
     }
+
+
+def migrate_payload(payload: dict) -> dict:
+    """Upgrade a rank checkpoint payload written by an older format.
+
+    Format 1 -> 2: the fingerprint gains ``compute_general_stats``,
+    inferred from whether the rank state carries general statistics (the
+    only way a v1 file could have them).  The per-rank Sobol' state keeps
+    its legacy per-timestep estimator list; the stacked engine migrates
+    it transparently in
+    :meth:`repro.sobol.martinez.UbiquitousSobolField.from_state_dict`.
+    """
+    fp = dict(payload["fingerprint"])
+    if fp.get("version", 1) == 1:
+        fp["version"] = 2
+        fp["compute_general_stats"] = "general" in payload["state"]
+        payload = {**payload, "fingerprint": fp}
+    return payload
 
 
 class CheckpointManager:
@@ -72,10 +97,17 @@ class CheckpointManager:
                 raise FileNotFoundError(f"missing checkpoint for rank {rank.rank}")
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
-            if payload["fingerprint"] != expected:
+            payload = migrate_payload(payload)
+            found = payload["fingerprint"]
+            if found != expected:
+                differing = sorted(
+                    key
+                    for key in set(found) | set(expected)
+                    if found.get(key) != expected.get(key)
+                )
                 raise ValueError(
-                    f"checkpoint {path} was written by an incompatible study: "
-                    f"{payload['fingerprint']} != {expected}"
+                    f"checkpoint {path} was written by an incompatible study "
+                    f"(mismatched: {', '.join(differing)}): {found} != {expected}"
                 )
             rank.restore_state(payload["state"])
         return server

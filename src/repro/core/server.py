@@ -35,7 +35,7 @@ from repro.core.config import StudyConfig
 from repro.mesh.partition import BlockPartition
 from repro.sobol.martinez import UbiquitousSobolField
 from repro.stats.field import FieldStatistics
-from repro.transport.message import FieldMessage, GroupFieldMessage
+from repro.transport.message import FieldMessage, GroupFieldMessage, split_by_partition
 
 
 @dataclass
@@ -153,13 +153,13 @@ class ServerRank:
 
     def _integrate(self, group_id: int, timestep: int, staging: _Staging) -> None:
         """Fold a complete (group, timestep) into every statistic, then drop."""
-        y_a = staging.data[0]
-        y_b = staging.data[1]
-        y_c = [staging.data[2 + k] for k in range(self.config.nparams)]
-        self.sobol.update_group_timestep(timestep, y_a, y_b, y_c)
+        # the staging buffer is already the (p+2, ncells) member stack the
+        # batched engine consumes; hand it over by reference (it is about
+        # to be discarded) instead of re-slicing it into per-member views
+        self.sobol.update_group_buffer(timestep, staging.data)
         if self.general is not None:
-            self.general[timestep].update(y_a)
-            self.general[timestep].update(y_b)
+            self.general[timestep].update(staging.data[0])
+            self.general[timestep].update(staging.data[1])
         prev = self.last_integrated.get(group_id, -1)
         if timestep > prev:
             self.last_integrated[group_id] = timestep
@@ -227,7 +227,16 @@ class ServerRank:
         self.groups_seen = set(state["groups_seen"])
         self.messages_processed = int(state["messages_processed"])
         self.messages_discarded = int(state["messages_discarded"])
-        if self.general is not None and "general" in state:
+        if self.general is not None:
+            if "general" not in state:
+                # restoring a stats-enabled config from a stats-disabled
+                # checkpoint used to silently zero the A/B-member general
+                # statistics; fail loudly instead (see also the checkpoint
+                # fingerprint, which rejects this earlier with context)
+                raise ValueError(
+                    "checkpoint contains no general statistics but "
+                    "compute_general_stats is enabled for this study"
+                )
             self.general = [
                 FieldStatistics.from_state_dict(s) for s in state["general"]
             ]
@@ -260,8 +269,18 @@ class MelissaServer:
         return self.ranks[self.partition.owner_of(cell)]
 
     def handle(self, msg, now: float) -> bool:
-        """Route one message to its owning rank (driver convenience)."""
-        return self.rank_for_cell(msg.cell_lo).handle(msg, now)
+        """Route one message to its owning rank(s) (driver convenience).
+
+        Messages straddling a partition boundary are split along the
+        fenceposts; returns True only if every chunk was integrated
+        (a chunk discarded by replay protection returns False).
+        """
+        return all(
+            [
+                self.ranks[rank].handle(chunk, now)
+                for rank, chunk in split_by_partition(msg, self.partition)
+            ]
+        )
 
     # ------------------------------------------------------------------ #
     # cross-rank views
@@ -312,9 +331,7 @@ class MelissaServer:
         return np.concatenate([r.sobol.variance_map(timestep) for r in self.ranks])
 
     def mean_map(self, timestep: int) -> np.ndarray:
-        return np.concatenate(
-            [r.sobol.estimators[timestep].output_mean for r in self.ranks]
-        )
+        return np.concatenate([r.sobol.mean_map(timestep) for r in self.ranks])
 
     def max_interval_width(self, z: float = 1.96) -> float:
         """Convergence scalar: the largest CI width anywhere (Sec. 4.1.5).

@@ -71,6 +71,31 @@ class BlockPartition:
         if not 0 <= rank < self.nranks:
             raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
 
+    def spans(self, lo: int, hi: int) -> List[Tuple[int, int, int]]:
+        """Chunks of the half-open range ``[lo, hi)`` along rank boundaries.
+
+        Returns ``(rank, seg_lo, seg_hi)`` entries in ascending cell
+        order; a range contained in one rank yields a single entry.  Used
+        by the transport layer to split messages that straddle a
+        server-partition boundary instead of mis-routing them by their
+        first cell.
+        """
+        if not 0 <= lo < hi <= self.ncells:
+            raise ValueError(
+                f"cell range [{lo}, {hi}) outside the mesh [0, {self.ncells})"
+            )
+        off = self.offsets
+        first = int(np.searchsorted(off, lo, side="right") - 1)
+        out: List[Tuple[int, int, int]] = []
+        rank = first
+        while rank < self.nranks and int(off[rank]) < hi:
+            seg_lo = max(lo, int(off[rank]))
+            seg_hi = min(hi, int(off[rank + 1]))
+            if seg_hi > seg_lo:
+                out.append((rank, seg_lo, seg_hi))
+            rank += 1
+        return out
+
     # ------------------------------------------------------------------ #
     def intersections(self, other: "BlockPartition") -> List[List[Tuple[int, int, int]]]:
         """Redistribution plan from this partition to ``other``.

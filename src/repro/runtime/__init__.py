@@ -12,9 +12,14 @@ streams; a *runtime* supplies the execution model:
   run on real threads with blocking bounded channels and wall-clock
   heartbeats, demonstrating that the same core logic is thread-safe under
   true asynchrony (the paper's deployment shape, scaled into a process).
+* :class:`ProcessRuntime` — multi-core driver: every server rank lives in
+  its own ``multiprocessing`` worker fed by a per-rank queue and groups
+  run on a process pool — the share-nothing layout the paper gets from
+  MPI, without the GIL ceiling of the threaded driver.
 """
 
+from repro.runtime.process import ProcessRuntime
 from repro.runtime.sequential import SequentialRuntime
 from repro.runtime.threaded import ThreadedRuntime
 
-__all__ = ["SequentialRuntime", "ThreadedRuntime"]
+__all__ = ["ProcessRuntime", "SequentialRuntime", "ThreadedRuntime"]

@@ -50,7 +50,12 @@ def first_order_confidence_interval(
         return nan, nan
     half_width = z / np.sqrt(ngroups - 3.0)
     zr = _atanh_clipped(s)
-    return np.tanh(zr - half_width), np.tanh(zr + half_width)
+    # a Sobol' index lives in [0, 1]; the raw Fisher bounds can stray
+    # outside (the correlation lives in [-1, 1]) and would inflate the
+    # Sec. 4.1.5 convergence scalar with mass the index cannot carry
+    lower = np.clip(np.tanh(zr - half_width), 0.0, 1.0)
+    upper = np.clip(np.tanh(zr + half_width), 0.0, 1.0)
+    return lower, upper
 
 
 def total_order_confidence_interval(
@@ -68,8 +73,11 @@ def total_order_confidence_interval(
         return nan, nan
     half_width = z / np.sqrt(ngroups - 3.0)
     zr = _atanh_clipped(1.0 - st)
-    lower = 1.0 - np.tanh(zr + half_width)
-    upper = 1.0 - np.tanh(zr - half_width)
+    # clip to the index's valid range [0, 1]: the reflected Fisher bound
+    # can exceed 1 (e.g. ST=0.5 at n=10 gives an upper of ~1.19), which
+    # inflated max_interval_width and stalled convergence control
+    lower = np.clip(1.0 - np.tanh(zr + half_width), 0.0, 1.0)
+    upper = np.clip(1.0 - np.tanh(zr - half_width), 0.0, 1.0)
     return lower, upper
 
 

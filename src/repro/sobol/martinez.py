@@ -1,17 +1,29 @@
 """Iterative ubiquitous Sobol' indices via the Martinez estimator.
 
-:class:`IterativeSobolEstimator` tracks, per input parameter k, the two
-streaming correlations the Martinez formulas need:
+Two implementations of the same statistics:
 
-* ``corr(Y^B, Y^{C^k})``  -> first-order index  S_k   (Eq. 5/7)
-* ``corr(Y^A, Y^{C^k})``  -> total index        ST_k  (Eq. 6)
+* :class:`IterativeSobolEstimator` — the scalar-loop reference: per input
+  parameter k it tracks the two streaming correlations the Martinez
+  formulas need,
 
-State is elementwise over an arbitrary field shape, so one estimator per
-timestep gives the paper's *ubiquitous* indices S_k(x, t) — a value for
-every mesh cell and every timestep, with O(fields) memory independent of
-the number of simulation groups.
+  - ``corr(Y^B, Y^{C^k})``  -> first-order index  S_k   (Eq. 5/7)
+  - ``corr(Y^A, Y^{C^k})``  -> total index        ST_k  (Eq. 6)
 
-Group-at-a-time semantics: :meth:`update_group` consumes the p+2 outputs
+  as 2p separate :class:`~repro.stats.covariance.IterativeCovariance`
+  objects.  Kept as the readable specification, for scalar studies, and
+  for the opt-in pairwise extension (``track_pairs``).
+
+* :class:`UbiquitousSobolField` — the production path: the whole
+  per-timestep estimator forest as stacked dense arrays with micro-batched
+  vectorized folds (see its docstring).  This is what server ranks hold;
+  the equivalence suite pins it to the reference at rtol 1e-10.
+
+State is elementwise over the field, so per-timestep state gives the
+paper's *ubiquitous* indices S_k(x, t) — a value for every mesh cell and
+every timestep, with O(fields) memory independent of the number of
+simulation groups.
+
+Group-at-a-time semantics: updates consume the p+2 outputs
 ``(Y^A_i, Y^B_i, Y^{C^1}_i .. Y^{C^p}_i)`` of one pick-freeze group.  All
 groups are independent so updates commute (any arrival order yields the
 same result, to FP rounding) — the property the asynchronous server relies
@@ -241,24 +253,151 @@ class IterativeSobolEstimator:
         )
 
 
-class UbiquitousSobolField:
-    """Per-timestep family of :class:`IterativeSobolEstimator`.
+class _TimestepEstimator:
+    """Read-only per-timestep facade over :class:`UbiquitousSobolField`.
 
-    This is the server-rank payload: for a spatial partition of
-    ``ncells_local`` cells and ``ntimesteps`` outputs, it owns one
-    estimator per timestep and dispatches group updates as (timestep,
-    member-field) messages arrive — in any order across groups.
+    Mimics the parts of the old per-timestep ``IterativeSobolEstimator``
+    API that callers relied on (``ngroups``, output moments, index maps)
+    while the actual state lives in the field's stacked arrays.
     """
 
-    def __init__(self, nparams: int, ntimesteps: int, ncells: int):
+    __slots__ = ("_field", "_t")
+
+    def __init__(self, field: "UbiquitousSobolField", timestep: int):
+        self._field = field
+        self._t = timestep
+
+    @property
+    def ngroups(self) -> int:
+        self._field.flush(self._t)
+        return int(self._field._counts[self._t])
+
+    @property
+    def output_mean(self) -> np.ndarray:
+        return self._field.mean_map(self._t)
+
+    @property
+    def output_variance(self) -> np.ndarray:
+        return self._field.variance_map(self._t)
+
+    def first_order(self, k: Optional[int] = None) -> np.ndarray:
+        if k is not None:
+            return self._field.first_order_map(k, self._t)
+        return self._field.first_order_all(self._t)
+
+    def total_order(self, k: Optional[int] = None) -> np.ndarray:
+        if k is not None:
+            return self._field.total_order_map(k, self._t)
+        return self._field.total_order_all(self._t)
+
+    def max_interval_width(self, z: float = 1.96) -> float:
+        return self._field._timestep_interval_width(self._t, z)
+
+
+class UbiquitousSobolField:
+    """Vectorized batched Martinez estimator over every (timestep, cell).
+
+    This is the server-rank payload.  It replaces the old per-parameter /
+    per-timestep forest of ``IterativeCovariance`` objects (2p objects x 5
+    arrays x T timesteps) with stacked dense state:
+
+    * ``_mean``  — ``(T, p+2, ncells)`` running means of every member
+      stream, rows ordered ``[Y^A, Y^B, Y^{C^1} .. Y^{C^p}]``;
+    * ``_m2``    — same shape, centered second-moment sums per stream;
+    * ``_cxy``   — ``(T, 2, p, ncells)`` co-moments: row 0 pairs
+      ``<Y^A, Y^{C^k}>`` (total index), row 1 ``<Y^B, Y^{C^k}>`` (first
+      order);
+    * ``_counts``— ``(T,)`` groups folded per timestep.
+
+    Because the A/B streams are shared by all p correlations and the C^k
+    stream is shared by the first/total pair, this layout stores
+    ``(4p+4) x ncells`` floats per timestep versus ``(10p+2)`` for the
+    object forest — a >2x memory reduction at the paper's p=6.
+
+    Hot path: :meth:`update_group_buffer` *adopts* one staged
+    ``(p+2, ncells)`` buffer per call (by reference — the caller
+    relinquishes it) and folds a micro-batch of ``batch_size`` buffers at
+    a time in blocked, fused NumPy ops: residuals are taken against the
+    first buffer of the batch (an exact shift, so the contraction stays
+    numerically stable like Pebay's one-pass formulas), two einsum
+    contractions produce every co-moment of the batch, and one exact
+    pairwise combination (Pebay, SAND2008-6212) merges the batch into the
+    running state.  Any read (maps, intervals, checkpoints) flushes
+    pending buffers first, so results never lag the data.
+
+    Updates remain commutative across groups up to FP rounding — the
+    property the asynchronous server relies on (Sec. 3.1) — and a fold of
+    B=1 reduces to the classical iterative update, so arrival order only
+    perturbs results at the reassociation level (~1e-13 relative).
+    """
+
+    #: staged buffers per timestep before a fold is triggered
+    DEFAULT_BATCH = 16
+    #: cells per fold block (keeps scratch in cache)
+    DEFAULT_BLOCK = 8192
+
+    def __init__(
+        self,
+        nparams: int,
+        ntimesteps: int,
+        ncells: int,
+        batch_size: int = DEFAULT_BATCH,
+        block_cells: int = DEFAULT_BLOCK,
+        max_staged: Optional[int] = None,
+    ):
+        if nparams < 1:
+            raise ValueError("nparams must be >= 1")
         if ntimesteps < 1 or ncells < 1:
             raise ValueError("ntimesteps and ncells must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.nparams = nparams
         self.ntimesteps = ntimesteps
         self.ncells = ncells
-        self.estimators = [
-            IterativeSobolEstimator(nparams, (ncells,)) for _ in range(ntimesteps)
-        ]
+        self.batch_size = int(batch_size)
+        self.block_cells = max(1, int(block_cells))
+        #: global bound on adopted-but-unfolded buffers (memory control)
+        self.max_staged = int(max_staged) if max_staged is not None else 4 * self.batch_size
+        m = nparams + 2
+        self._m = m
+        self._counts = np.zeros(ntimesteps, dtype=np.int64)
+        self._mean = np.zeros((ntimesteps, m, ncells))
+        self._m2 = np.zeros((ntimesteps, m, ncells))
+        self._cxy = np.zeros((ntimesteps, 2, nparams, ncells))
+        self._staged: List[List[np.ndarray]] = [[] for _ in range(ntimesteps)]
+        self._staged_total = 0
+        blk = min(self.block_cells, ncells)
+        self._zx = np.empty((self.batch_size - 1, 2, blk))
+        self._zc = np.empty((self.batch_size - 1, nparams, blk))
+        # preallocated rank-1 correction scratch
+        self._r1 = np.empty((2, nparams, blk))
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def update_group_buffer(self, timestep: int, buf: np.ndarray) -> None:
+        """Adopt one group's ``(p+2, ncells)`` outputs for ``timestep``.
+
+        Rows are ``[Y^A, Y^B, Y^{C^1} .. Y^{C^p}]`` — exactly the member
+        order of the server staging buffer, which is handed over here
+        without a copy.  The caller must not mutate the array afterwards;
+        it is read once when the staged batch folds.
+        """
+        if not 0 <= timestep < self.ntimesteps:
+            raise IndexError(f"timestep {timestep} out of range")
+        buf = np.asarray(buf, dtype=np.float64)
+        if buf.shape != (self._m, self.ncells):
+            raise ValueError(
+                f"buffer shape {buf.shape} != ({self._m}, {self.ncells})"
+            )
+        staged = self._staged[timestep]
+        staged.append(buf)
+        self._staged_total += 1
+        if len(staged) >= self.batch_size:
+            self._fold(timestep)
+        elif self._staged_total > self.max_staged:
+            fullest = max(range(self.ntimesteps), key=lambda t: len(self._staged[t]))
+            self._fold(fullest)
 
     def update_group_timestep(
         self,
@@ -267,17 +406,206 @@ class UbiquitousSobolField:
         y_b: np.ndarray,
         y_c: Sequence[np.ndarray],
     ) -> None:
-        """Fold one group's outputs for one timestep."""
-        self.estimators[timestep].update_group(y_a, y_b, y_c)
+        """Fold one group's outputs for one timestep (copying wrapper)."""
+        if len(y_c) != self.nparams:
+            raise ValueError(
+                f"expected {self.nparams} C-member outputs, got {len(y_c)}"
+            )
+        buf = np.empty((self._m, self.ncells))
+        buf[0] = y_a
+        buf[1] = y_b
+        for k, yc in enumerate(y_c):
+            buf[2 + k] = yc
+        self.update_group_buffer(timestep, buf)
+
+    # ------------------------------------------------------------------ #
+    # the fold: batch contraction + exact pairwise merge
+    # ------------------------------------------------------------------ #
+    def _fold(self, t: int) -> None:
+        slabs = self._staged[t]
+        nb = len(slabs)
+        if nb == 0:
+            return
+        na = int(self._counts[t])
+        n = na + nb
+        f = na * nb / n
+        wb = nb / n
+        inv_b = 1.0 / nb
+        s0 = slabs[0]
+        blk = min(self.block_cells, self.ncells)
+        for lo in range(0, self.ncells, blk):
+            hi = min(self.ncells, lo + blk)
+            w = hi - lo
+            # residuals z_b = y_b - y_0 against the first staged buffer:
+            # an exact shift that keeps every contraction O(std) instead
+            # of O(mean), preserving Pebay-level numerical stability.
+            refx = s0[:2, lo:hi]
+            refc = s0[2:, lo:hi]
+            zx = self._zx[: nb - 1, :, :w]
+            zc = self._zc[: nb - 1, :, :w]
+            for b in range(1, nb):
+                sb = slabs[b]
+                np.subtract(sb[:2, lo:hi], refx, out=zx[b - 1])
+                np.subtract(sb[2:, lo:hi], refc, out=zc[b - 1])
+            # batch means of the shifted data (the all-zero z_0 row is
+            # implicit: divide by nb, not nb-1)
+            mzx = np.add.reduce(zx, axis=0)
+            mzx *= inv_b
+            mzc = np.add.reduce(zc, axis=0)
+            mzc *= inv_b
+            # batch co-moments about the batch mean:
+            #   sum_b (z - mz)(z' - mz') = sum_b z z' - B mz mz'
+            r1 = self._r1[:, :, :w]
+            gd_x = np.einsum("bln,bln->ln", zx, zx)
+            gd_c = np.einsum("bkn,bkn->kn", zc, zc)
+            g_x = np.einsum("bln,bkn->lkn", zx, zc)
+            gd_x -= nb * mzx * mzx
+            gd_c -= nb * mzc * mzc
+            np.multiply(mzx[:, None, :], mzc[None, :, :], out=r1)
+            r1 *= nb
+            g_x -= r1
+            mean = self._mean[t]
+            m2 = self._m2[t]
+            cxy = self._cxy[t]
+            if na == 0:
+                mean[:2, lo:hi] = refx + mzx
+                mean[2:, lo:hi] = refc + mzc
+                m2[:2, lo:hi] = gd_x
+                m2[2:, lo:hi] = gd_c
+                cxy[:, :, lo:hi] = g_x
+            else:
+                # exact pairwise combination (Pebay SAND2008-6212)
+                dx = refx + mzx
+                dx -= mean[:2, lo:hi]
+                dc = refc + mzc
+                dc -= mean[2:, lo:hi]
+                gd_x += f * dx * dx
+                m2[:2, lo:hi] += gd_x
+                gd_c += f * dc * dc
+                m2[2:, lo:hi] += gd_c
+                np.multiply(dx[:, None, :], dc[None, :, :], out=r1)
+                r1 *= f
+                g_x += r1
+                cxy[:, :, lo:hi] += g_x
+                mean[:2, lo:hi] += dx * wb
+                mean[2:, lo:hi] += dc * wb
+        self._counts[t] = n
+        self._staged_total -= nb
+        slabs.clear()
+
+    def flush(self, timestep: Optional[int] = None) -> None:
+        """Fold staged buffers (one timestep, or all when ``None``)."""
+        if timestep is not None:
+            self._fold(timestep)
+        else:
+            for t in range(self.ntimesteps):
+                self._fold(t)
+
+    @property
+    def staged_groups(self) -> int:
+        """Adopted buffers not yet folded (transient memory accounting)."""
+        return self._staged_total
+
+    # ------------------------------------------------------------------ #
+    # merge (exact pairwise combination of two disjoint streams)
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "UbiquitousSobolField") -> None:
+        """Absorb an estimator fed a disjoint set of groups."""
+        if (
+            other.nparams != self.nparams
+            or other.ntimesteps != self.ntimesteps
+            or other.ncells != self.ncells
+        ):
+            raise ValueError("incompatible field merge")
+        self.flush()
+        other.flush()
+        na = self._counts.astype(np.float64)
+        nb = other._counts.astype(np.float64)
+        n = na + nb
+        nsafe = np.where(n > 0, n, 1.0)
+        f = (na * nb / nsafe)[:, None, None]
+        wb = (nb / nsafe)[:, None, None]
+        d = other._mean - self._mean
+        dx = d[:, :2]
+        dc = d[:, 2:]
+        self._m2 += other._m2 + f * d * d
+        self._cxy += other._cxy + f[..., None] * dx[:, :, None, :] * dc[:, None, :, :]
+        self._mean += d * wb
+        self._counts += other._counts
+
+    # ------------------------------------------------------------------ #
+    # derived maps
+    # ------------------------------------------------------------------ #
+    def _correlation(self, timestep: int, row: int, k: int) -> np.ndarray:
+        """Pearson correlation of stream pair (row in {0:A,1:B}, C^k)."""
+        self.flush(timestep)
+        if self._counts[timestep] < 2:
+            return np.full(self.ncells, np.nan)
+        m2 = self._m2[timestep]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            denom = np.sqrt(m2[row] * m2[2 + k])
+            ratio = np.where(denom > 0, self._cxy[timestep, row, k] / denom, np.nan)
+        return np.clip(ratio, -1.0, 1.0)
 
     def first_order_map(self, k: int, timestep: int) -> np.ndarray:
-        return self.estimators[timestep].first_order(k)
+        return self._correlation(timestep, 1, k)
 
     def total_order_map(self, k: int, timestep: int) -> np.ndarray:
-        return self.estimators[timestep].total_order(k)
+        return 1.0 - self._correlation(timestep, 0, k)
+
+    def _all_correlations(self, timestep: int, row: int) -> np.ndarray:
+        self.flush(timestep)
+        if self._counts[timestep] < 2:
+            return np.full((self.nparams, self.ncells), np.nan)
+        m2 = self._m2[timestep]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            denom = np.sqrt(m2[row][None, :] * m2[2:])
+            ratio = np.where(denom > 0, self._cxy[timestep, row] / denom, np.nan)
+        return np.clip(ratio, -1.0, 1.0)
+
+    def first_order_all(self, timestep: int) -> np.ndarray:
+        """Stacked ``(p, ncells)`` first-order map at one timestep."""
+        return self._all_correlations(timestep, 1)
+
+    def total_order_all(self, timestep: int) -> np.ndarray:
+        return 1.0 - self._all_correlations(timestep, 0)
 
     def variance_map(self, timestep: int) -> np.ndarray:
-        return self.estimators[timestep].output_variance
+        """Unbiased Var(Y^A) per cell (the Fig. 8 co-visualization map)."""
+        self.flush(timestep)
+        if self._counts[timestep] < 2:
+            return np.full(self.ncells, np.nan)
+        return self._m2[timestep, 0] / (self._counts[timestep] - 1)
+
+    def mean_map(self, timestep: int) -> np.ndarray:
+        self.flush(timestep)
+        return self._mean[timestep, 0]
+
+    @property
+    def estimators(self) -> List[_TimestepEstimator]:
+        """Per-timestep facades (compatibility with the old forest API)."""
+        return [_TimestepEstimator(self, t) for t in range(self.ntimesteps)]
+
+    # ------------------------------------------------------------------ #
+    # convergence scalar
+    # ------------------------------------------------------------------ #
+    def _timestep_interval_width(self, t: int, z: float = 1.96) -> float:
+        self.flush(t)
+        if self._counts[t] <= 3:
+            return float("inf")
+        ngroups = int(self._counts[t])
+        widths: List[float] = []
+        lo, hi = first_order_confidence_interval(self.first_order_all(t), ngroups, z)
+        w = hi - lo
+        finite = w[np.isfinite(w)]
+        if finite.size:
+            widths.append(float(finite.max()))
+        lo, hi = total_order_confidence_interval(self.total_order_all(t), ngroups, z)
+        w = hi - lo
+        finite = w[np.isfinite(w)]
+        if finite.size:
+            widths.append(float(finite.max()))
+        return max(widths) if widths else float("nan")
 
     def max_interval_width(self, z: float = 1.96) -> float:
         """Largest CI width over all timesteps (convergence scalar).
@@ -285,37 +613,81 @@ class UbiquitousSobolField:
         Timesteps with no meaningful cells (NaN) are skipped; ``inf`` when
         nothing meaningful exists anywhere yet.
         """
-        widths = [e.max_interval_width(z) for e in self.estimators]
+        widths = [self._timestep_interval_width(t, z) for t in range(self.ntimesteps)]
         finite_or_inf = [w for w in widths if not np.isnan(w)]
         return max(finite_or_inf) if finite_or_inf else float("nan")
 
+    # ------------------------------------------------------------------ #
     @property
     def memory_floats(self) -> int:
         """Number of float64 state entries — O(fields), not O(groups).
 
-        Per timestep: 2p covariance objects x 5 arrays + 1 moments object
-        x 2 arrays, each of ``ncells`` floats.  Used by the memory-accounting
-        benchmark (paper: 491 GB server memory for 10M cells x 100 steps).
+        Per timestep: (p+2) mean rows + (p+2) second-moment rows + 2p
+        co-moment rows, each of ``ncells`` floats — (4p+4) x ncells, less
+        than half the old object forest's (10p+2).  Used by the
+        memory-accounting benchmark (paper: 491 GB server memory for 10M
+        cells x 100 steps).  Staged-but-unfolded buffers are transient
+        and bounded by ``max_staged`` x (p+2) x ncells on top.
         """
-        per_estimator = (2 * self.nparams * 5 + 2) * self.ncells
-        return per_estimator * self.ntimesteps
+        per_timestep = (4 * self.nparams + 4) * self.ncells
+        return per_timestep * self.ntimesteps
 
+    # ------------------------------------------------------------------ #
+    # (de)serialization
+    # ------------------------------------------------------------------ #
     def state_dict(self) -> dict:
+        self.flush()
         return {
+            "format": 2,
             "nparams": self.nparams,
             "ntimesteps": self.ntimesteps,
             "ncells": self.ncells,
-            "estimators": [e.state_dict() for e in self.estimators],
+            "counts": self._counts,
+            "mean": self._mean,
+            "m2": self._m2,
+            "cxy": self._cxy,
         }
 
     @classmethod
     def from_state_dict(cls, state: dict) -> "UbiquitousSobolField":
+        if "estimators" in state:  # legacy per-timestep object forest
+            return cls._from_legacy_state(state)
         obj = cls(
             nparams=int(state["nparams"]),
             ntimesteps=int(state["ntimesteps"]),
             ncells=int(state["ncells"]),
         )
-        obj.estimators = [
-            IterativeSobolEstimator.from_state_dict(s) for s in state["estimators"]
-        ]
+        obj._counts = np.asarray(state["counts"], dtype=np.int64).copy()
+        obj._mean = np.asarray(state["mean"], dtype=np.float64).copy()
+        obj._m2 = np.asarray(state["m2"], dtype=np.float64).copy()
+        obj._cxy = np.asarray(state["cxy"], dtype=np.float64).copy()
+        return obj
+
+    @classmethod
+    def _from_legacy_state(cls, state: dict) -> "UbiquitousSobolField":
+        """Migrate a format-1 checkpoint (list of estimator state dicts).
+
+        The old layout stored, per timestep and parameter k, the
+        ``corr(Y^B, Y^Ck)`` covariance under ``first`` and
+        ``corr(Y^A, Y^Ck)`` under ``total``; the A/B stream moments are
+        the (shared) x-sides of those objects.
+        """
+        obj = cls(
+            nparams=int(state["nparams"]),
+            ntimesteps=int(state["ntimesteps"]),
+            ncells=int(state["ncells"]),
+        )
+        for t, est in enumerate(state["estimators"]):
+            first = est["first"]
+            total = est["total"]
+            obj._counts[t] = int(est["ngroups"])
+            obj._mean[t, 0] = np.asarray(total[0]["mean_x"], dtype=np.float64)
+            obj._mean[t, 1] = np.asarray(first[0]["mean_x"], dtype=np.float64)
+            obj._m2[t, 0] = np.asarray(total[0]["m2_x"], dtype=np.float64)
+            obj._m2[t, 1] = np.asarray(first[0]["m2_x"], dtype=np.float64)
+            for k in range(obj.nparams):
+                obj._mean[t, 2 + k] = np.asarray(first[k]["mean_y"], dtype=np.float64)
+                obj._m2[t, 2 + k] = np.asarray(first[k]["m2_y"], dtype=np.float64)
+                obj._cxy[t, 0, k] = np.asarray(total[k]["cxy"], dtype=np.float64)
+                obj._cxy[t, 1, k] = np.asarray(first[k]["cxy"], dtype=np.float64)
         return obj

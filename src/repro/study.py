@@ -8,7 +8,8 @@ behind two constructors:
 * :meth:`SensitivityStudy.for_tube_bundle` — the paper's CFD use case.
 
 ``run()`` executes on the deterministic sequential runtime by default;
-pass ``runtime="threaded"`` for the concurrent driver.
+pass ``runtime="threaded"`` for the thread-concurrent driver or
+``runtime="process"`` for the multi-core share-nothing driver.
 """
 
 from __future__ import annotations
@@ -132,6 +133,14 @@ class SensitivityStudy:
             if fault_plan is not None and not fault_plan.empty:
                 raise ValueError("fault injection requires the sequential runtime")
             driver = ThreadedRuntime(self.config, self.factory, **runtime_kwargs)
+            self.results = driver.run()
+            self.driver = driver
+        elif runtime == "process":
+            from repro.runtime import ProcessRuntime
+
+            if fault_plan is not None and not fault_plan.empty:
+                raise ValueError("fault injection requires the sequential runtime")
+            driver = ProcessRuntime(self.config, self.factory, **runtime_kwargs)
             self.results = driver.run()
             self.driver = driver
         else:

@@ -102,6 +102,11 @@ class BoundedChannel:
         # ever be delivered; otherwise it would deadlock forever
         return self._bytes + size <= self.capacity_bytes or not self._queue
 
+    def can_accept(self, nbytes: int) -> bool:
+        """Non-mutating capacity probe (racy under concurrent senders)."""
+        with self._lock:
+            return not self._closed and self._fits(int(nbytes))
+
     def _enqueue(self, msg: Any, size: int) -> None:
         self._queue.append((msg, size))
         self._bytes += size

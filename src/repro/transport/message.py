@@ -85,6 +85,22 @@ class FieldMessage:
         ).copy()
         return cls(group, member, step, lo, hi, data)
 
+    def slice(self, lo: int, hi: int) -> "FieldMessage":
+        """Sub-message covering ``[lo, hi)`` of this message's cell range."""
+        if not self.cell_lo <= lo < hi <= self.cell_hi:
+            raise ValueError(
+                f"slice [{lo}, {hi}) outside message range "
+                f"[{self.cell_lo}, {self.cell_hi})"
+            )
+        return FieldMessage(
+            group_id=self.group_id,
+            member=self.member,
+            timestep=self.timestep,
+            cell_lo=lo,
+            cell_hi=hi,
+            data=self.data[lo - self.cell_lo : hi - self.cell_lo],
+        )
+
 
 _GROUP_HEADER = struct.Struct("<4sqqqqqq")  # magic, group, step, lo, hi, nmembers, nbytes
 _GROUP_MAGIC = b"GRPM"
@@ -148,6 +164,35 @@ class GroupFieldMessage:
             raw, dtype=np.float64, count=nbytes // 8, offset=_GROUP_HEADER.size
         ).reshape(nmembers, hi - lo).copy()
         return cls(group, step, lo, hi, data)
+
+    def slice(self, lo: int, hi: int) -> "GroupFieldMessage":
+        """Sub-message covering ``[lo, hi)`` of this message's cell range."""
+        if not self.cell_lo <= lo < hi <= self.cell_hi:
+            raise ValueError(
+                f"slice [{lo}, {hi}) outside message range "
+                f"[{self.cell_lo}, {self.cell_hi})"
+            )
+        return GroupFieldMessage(
+            group_id=self.group_id,
+            timestep=self.timestep,
+            cell_lo=lo,
+            cell_hi=hi,
+            data=self.data[:, lo - self.cell_lo : hi - self.cell_lo],
+        )
+
+
+def split_by_partition(msg, partition):
+    """Chunks of ``msg`` along ``partition`` rank boundaries.
+
+    Returns ``[(rank, chunk_message), ...]``; a message contained in one
+    rank yields itself unsliced.  This is the single splitting rule every
+    transport (router, server front-door, process-runtime queues) shares,
+    so boundary behaviour cannot diverge between them.
+    """
+    spans = partition.spans(msg.cell_lo, msg.cell_hi)
+    if len(spans) == 1:
+        return [(spans[0][0], msg)]
+    return [(rank, msg.slice(lo, hi)) for rank, lo, hi in spans]
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,12 @@ import numpy as np
 
 from repro.mesh.partition import BlockPartition
 from repro.transport.channel import BoundedChannel
-from repro.transport.message import ConnectionReply, ConnectionRequest, FieldMessage
+from repro.transport.message import (
+    ConnectionReply,
+    ConnectionRequest,
+    FieldMessage,
+    split_by_partition,
+)
 
 
 @dataclass(frozen=True)
@@ -131,13 +136,34 @@ class Router:
         return undelivered
 
     def deliver(self, msg: FieldMessage, blocking: bool = False) -> bool:
-        """Enqueue one pre-built message to its owning server rank."""
-        server_rank = self.server_partition.owner_of(msg.cell_lo)
-        channel = self.inbound[server_rank]
+        """Enqueue one pre-built message to its owning server rank(s).
+
+        A message whose ``[cell_lo, cell_hi)`` straddles a server-partition
+        boundary is split along the partition fenceposts and each chunk is
+        delivered to its owning rank (previously such messages were routed
+        whole by ``cell_lo`` and died deep inside the receiving rank).
+
+        Non-blocking split delivery is all-or-nothing: capacities are
+        probed first and nothing is enqueued unless every chunk fits, so
+        the caller's whole-message retry cannot re-send chunks that
+        already landed.  (Under concurrent senders the probe is racy; a
+        lost race can still deliver a duplicate chunk, which replay
+        protection discards — only a ``discard_on_replay=False`` study
+        with concurrent straddling senders could double-count.)
+        """
+        chunks = split_by_partition(msg, self.server_partition)
         if blocking:
-            channel.send(msg)
+            for server_rank, chunk in chunks:
+                self.inbound[server_rank].send(chunk)
             return True
-        return channel.try_send(msg)
+        if len(chunks) > 1 and not all(
+            self.inbound[rank].can_accept(chunk.nbytes) for rank, chunk in chunks
+        ):
+            return False
+        for server_rank, chunk in chunks:
+            if not self.inbound[server_rank].try_send(chunk):
+                return False
+        return True
 
     # ------------------------------------------------------------------ #
     def total_stats(self) -> Dict[str, int]:

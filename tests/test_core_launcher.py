@@ -200,6 +200,61 @@ class TestCheckpointManager:
         manager.save(self.make_server_with_data(make_config()))
         assert manager.bytes_on_disk() > 0
 
+    def test_general_stats_mismatch_fails_loudly(self, tmp_path):
+        """A stats-disabled checkpoint must not silently zero the general
+        statistics of a stats-enabled study (fingerprint regression)."""
+        config = make_config(compute_general_stats=False)
+        manager = CheckpointManager(tmp_path)
+        manager.save(self.make_server_with_data(config))
+        enabled = make_config(compute_general_stats=True)
+        with pytest.raises(ValueError, match="compute_general_stats"):
+            manager.restore(enabled)
+
+    def test_v1_payload_migrates(self, tmp_path):
+        """A format-1 checkpoint (old fingerprint + estimator-forest Sobol'
+        state) restores through the migration shim."""
+        import pickle
+
+        from repro.core.checkpoint import _fingerprint
+        from repro.sobol.martinez import IterativeSobolEstimator
+
+        config = make_config()
+        server = self.make_server_with_data(config)
+        manager = CheckpointManager(tmp_path)
+        manager.save(server)
+        # rewrite the rank file as a v1 payload: old fingerprint, forest state
+        path = manager.rank_path(0)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        v1_fp = {k: v for k, v in _fingerprint(config).items()
+                 if k != "compute_general_stats"}
+        v1_fp["version"] = 1
+        rng = np.random.default_rng(1)
+        forest = []
+        for t in range(config.ntimesteps):
+            est = IterativeSobolEstimator(config.nparams, (config.ncells,))
+            for _ in range(6):
+                est.update_group(
+                    rng.normal(size=config.ncells), rng.normal(size=config.ncells),
+                    [rng.normal(size=config.ncells) for _ in range(config.nparams)],
+                )
+            forest.append(est)
+        payload["fingerprint"] = v1_fp
+        payload["state"]["sobol"] = {
+            "nparams": config.nparams,
+            "ntimesteps": config.ntimesteps,
+            "ncells": config.ncells,
+            "estimators": [e.state_dict() for e in forest],
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        restored = manager.restore(config)
+        np.testing.assert_allclose(
+            restored.ranks[0].sobol.first_order_all(0),
+            forest[0].first_order(),
+            rtol=1e-10, atol=1e-12,
+        )
+
 
 class TestConvergenceController:
     def test_disabled_never_stops(self):

@@ -25,6 +25,36 @@ def group_message(group, step, lo, hi, nmembers=4, value=1.0):
                              cell_hi=hi, data=data)
 
 
+class TestStraddlingMessages:
+    def test_server_handle_splits_at_partition_boundary(self):
+        """A group message straddling the rank boundary used to be routed
+        whole by cell_lo and die in _handle_slices; it must be split."""
+        server = MelissaServer(make_config(ncells=10, server_ranks=2))
+        # ranks own [0,5) and [5,10); this message covers [3, 8)
+        assert server.handle(group_message(0, 0, 3, 8), now=0.0)
+        assert server.ranks[0].messages_processed == 1
+        assert server.ranks[1].messages_processed == 1
+        # complete the remaining cells and check integration on both ranks
+        server.handle(group_message(0, 0, 0, 3), now=0.1)
+        server.handle(group_message(0, 0, 8, 10), now=0.2)
+        assert server.ranks[0].sobol.estimators[0].ngroups == 1
+        assert server.ranks[1].sobol.estimators[0].ngroups == 1
+
+    def test_field_message_straddle(self):
+        server = MelissaServer(make_config(ncells=10, server_ranks=2))
+        for member in range(4):
+            msg = FieldMessage(group_id=1, member=member, timestep=0,
+                               cell_lo=0, cell_hi=10, data=np.arange(10.0))
+            assert server.handle(msg, now=0.0)
+        for rank in server.ranks:
+            assert rank.sobol.estimators[0].ngroups == 1
+
+    def test_rank_still_rejects_foreign_cells(self):
+        server = MelissaServer(make_config(ncells=10, server_ranks=2))
+        with pytest.raises(ValueError):
+            server.ranks[1].handle(group_message(0, 0, 3, 8), now=0.0)
+
+
 class TestStagingAndIntegration:
     def test_complete_message_integrates_immediately(self):
         server = MelissaServer(make_config())
@@ -184,8 +214,8 @@ class TestAccounting:
     def test_memory_accounting(self):
         cfg = make_config(ncells=10, ntimesteps=3, nparams=2)
         server = MelissaServer(cfg)
-        # (2p*5 + 2) arrays * cells * steps, summed over ranks = global
-        assert server.memory_floats() == (2 * 2 * 5 + 2) * 10 * 3
+        # stacked engine: (4p + 4) rows * cells * steps, summed over ranks
+        assert server.memory_floats() == (4 * 2 + 4) * 10 * 3
 
 
 class TestResultAssembly:

@@ -1,0 +1,146 @@
+"""Integration tests: the multiprocessing driver and cross-runtime parity.
+
+Covers the quickstart acceptance path (process == sequential statistics)
+and a back-pressure stress test with >= 4 server ranks, a multi-cell
+field, several client ranks, and a tiny channel byte budget, comparing
+sequential, threaded, and process drivers on the same study.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SensitivityStudy
+from repro.core import StudyConfig
+from repro.core.group import FunctionSimulation
+from repro.runtime import ProcessRuntime, SequentialRuntime, ThreadedRuntime
+from repro.sobol import IshigamiFunction
+
+NCELLS = 32
+
+
+def make_config(ngroups=30, ncells=1, server_ranks=1, ntimesteps=2, **kw):
+    fn = IshigamiFunction()
+    kw.setdefault("client_ranks", 1)
+    config = StudyConfig(
+        space=fn.space(), ngroups=ngroups, ntimesteps=ntimesteps, ncells=ncells,
+        server_ranks=server_ranks, seed=9, **kw,
+    )
+    return fn, config
+
+
+def make_factory(fn, ntimesteps=2):
+    def factory(params, sim_id):
+        return FunctionSimulation(fn, params, ntimesteps=ntimesteps,
+                                  simulation_id=sim_id)
+    return factory
+
+
+class VectorSim(FunctionSimulation):
+    """Deterministic multi-cell field built from a scalar model output."""
+
+    @property
+    def ncells(self):
+        return NCELLS
+
+    def advance(self):
+        step, field = super().advance()
+        ramp = np.linspace(0.0, 1.0, NCELLS)
+        return step, float(field[0]) * (1.0 + ramp) + 0.05 * step * ramp
+
+
+def vector_factory(fn, ntimesteps=2):
+    def factory(params, sim_id):
+        return VectorSim(fn, params, ntimesteps=ntimesteps, simulation_id=sim_id)
+    return factory
+
+
+class TestProcessRuntime:
+    def test_quickstart_parity_with_sequential(self):
+        """Acceptance: ProcessRuntime reproduces SequentialRuntime stats."""
+        fn, config = make_config(40)
+        process = ProcessRuntime(config, make_factory(fn),
+                                 max_concurrent_groups=4).run(timeout=120.0)
+        _, config2 = make_config(40)
+        sequential = SequentialRuntime(config2, make_factory(fn)).run()
+        assert process.groups_integrated == 40
+        np.testing.assert_allclose(
+            process.first_order, sequential.first_order, rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            process.total_order, sequential.total_order, rtol=1e-9
+        )
+        np.testing.assert_allclose(process.variance, sequential.variance, rtol=1e-9)
+        np.testing.assert_allclose(process.mean, sequential.mean, rtol=1e-9)
+
+    def test_multi_rank_backpressure_parity_stress(self):
+        """>= 4 server ranks, tiny channel budget: threaded and process
+        drivers must reproduce the sequential statistics."""
+        fn, config = make_config(
+            18, ncells=NCELLS, server_ranks=4, client_ranks=2,
+            channel_capacity_bytes=2048,
+        )
+        process = ProcessRuntime(config, vector_factory(fn),
+                                 max_concurrent_groups=4).run(timeout=180.0)
+        _, config2 = make_config(
+            18, ncells=NCELLS, server_ranks=4, client_ranks=2,
+            channel_capacity_bytes=2048,
+        )
+        threaded = ThreadedRuntime(config2, vector_factory(fn),
+                                   max_concurrent_groups=4).run(timeout=180.0)
+        _, config3 = make_config(18, ncells=NCELLS, server_ranks=4, client_ranks=2)
+        sequential = SequentialRuntime(config3, vector_factory(fn)).run()
+        assert process.groups_integrated == 18
+        assert threaded.groups_integrated == 18
+        for results in (process, threaded):
+            np.testing.assert_allclose(
+                results.first_order, sequential.first_order, rtol=1e-8, atol=1e-10
+            )
+            np.testing.assert_allclose(
+                results.total_order, sequential.total_order, rtol=1e-8, atol=1e-10
+            )
+            np.testing.assert_allclose(
+                results.variance, sequential.variance, rtol=1e-8
+            )
+
+    def test_single_worker(self):
+        fn, config = make_config(5)
+        results = ProcessRuntime(config, make_factory(fn),
+                                 max_concurrent_groups=1).run(timeout=60.0)
+        assert results.groups_integrated == 5
+
+    def test_worker_failure_surfaces(self):
+        fn, config = make_config(4)
+
+        def exploding_factory(params, sim_id):
+            raise RuntimeError("boom in worker")
+
+        with pytest.raises((RuntimeError, TimeoutError)):
+            ProcessRuntime(config, exploding_factory,
+                           max_concurrent_groups=2).run(timeout=30.0)
+
+    def test_invalid_workers(self):
+        fn, config = make_config(4)
+        with pytest.raises(ValueError):
+            ProcessRuntime(config, make_factory(fn), max_concurrent_groups=0)
+
+    def test_uses_fork_context(self):
+        fn, config = make_config(4)
+        runtime = ProcessRuntime(config, make_factory(fn))
+        assert runtime._ctx.get_start_method() == "fork"
+
+
+class TestStudyFacade:
+    def test_process_runtime_via_facade(self):
+        fn = IshigamiFunction()
+        study = SensitivityStudy.for_function(fn, ngroups=12, seed=3)
+        results = study.run(runtime="process", max_concurrent_groups=3)
+        assert results.groups_integrated == 12
+
+    def test_process_rejects_faults(self):
+        from repro.faults import FaultPlan, GroupZombie
+
+        fn = IshigamiFunction()
+        study = SensitivityStudy.for_function(fn, ngroups=5)
+        with pytest.raises(ValueError):
+            study.run(runtime="process",
+                      fault_plan=FaultPlan(group_zombies=[GroupZombie(0)]))

@@ -174,6 +174,19 @@ class TestConfidenceIntervals:
         lo, hi = total_order_confidence_interval(0.0, 30)
         assert np.isfinite(lo) and np.isfinite(hi)
 
+    def test_bounds_clipped_to_valid_range(self):
+        """Regression: ST=0.5 at n=10 used to give an upper bound ~1.19,
+        inflating max_interval_width (the Sec. 4.1.5 convergence scalar)."""
+        lo, hi = total_order_confidence_interval(0.5, 10)
+        assert 0.0 <= lo <= hi <= 1.0
+        assert hi <= 1.0 + 1e-15
+        lo, hi = first_order_confidence_interval(-0.3, 10)
+        assert 0.0 <= lo <= hi <= 1.0
+        # interval widths can never exceed the index's full range now
+        for st in np.linspace(0.0, 1.0, 11):
+            lo, hi = total_order_confidence_interval(st, 5)
+            assert hi - lo <= 1.0 + 1e-15
+
     def test_coverage_monte_carlo(self):
         """~95% of Fisher CIs should contain the true Ishigami S1."""
         fn = IshigamiFunction()
@@ -224,8 +237,10 @@ class TestUbiquitousField:
     def test_memory_is_group_independent(self):
         fld = UbiquitousSobolField(nparams=6, ntimesteps=10, ncells=100)
         m = fld.memory_floats
-        # memory formula: (2p*5 + 2) * cells * steps
-        assert m == (2 * 6 * 5 + 2) * 100 * 10
+        # stacked engine: (p+2) means + (p+2) second moments + 2p
+        # co-moments per timestep — less than half the old object forest
+        assert m == (4 * 6 + 4) * 100 * 10
+        assert m < (2 * 6 * 5 + 2) * 100 * 10
 
     def test_state_roundtrip(self):
         rng = np.random.default_rng(1)

@@ -226,6 +226,39 @@ class TestRouter:
         router.inbound[0].drain()
         assert router.deliver(undelivered[0])
 
+    def test_deliver_splits_straddling_message(self):
+        """A message spanning a partition boundary is split at the
+        fenceposts instead of being routed whole by its first cell."""
+        router = self.make_router(ncells=20, nserver=3)  # fenceposts 0,7,14,20
+        msg = FieldMessage(group_id=0, member=0, timestep=0,
+                          cell_lo=5, cell_hi=16, data=np.arange(11.0))
+        assert router.deliver(msg)
+        rebuilt = np.full(20, np.nan)
+        for rank, ch in router.inbound.items():
+            for got in ch.drain():
+                lo, hi = router.server_partition.range_of(rank)
+                assert lo <= got.cell_lo < got.cell_hi <= hi
+                rebuilt[got.cell_lo:got.cell_hi] = got.data
+        np.testing.assert_array_equal(rebuilt[5:16], np.arange(11.0))
+        assert np.isnan(rebuilt[:5]).all() and np.isnan(rebuilt[16:]).all()
+
+    def test_deliver_split_respects_backpressure(self):
+        router = self.make_router(ncells=20, nserver=2, capacity=100)
+        # fill rank 1's buffer so the second chunk cannot be delivered
+        blocker = FieldMessage(0, 0, 0, 10, 20, np.zeros(10))
+        assert router.deliver(blocker)
+        straddle = FieldMessage(0, 0, 1, 5, 15, np.zeros(10))
+        assert not router.deliver(straddle)
+        for ch in router.inbound.values():
+            ch.drain()
+        assert router.deliver(straddle)  # retry after drain succeeds
+
+    def test_deliver_out_of_range_rejected(self):
+        router = self.make_router(ncells=20, nserver=2)
+        msg = FieldMessage(0, 0, 0, 15, 25, np.zeros(10))
+        with pytest.raises(ValueError):
+            router.deliver(msg)
+
     def test_total_stats(self):
         router = self.make_router(ncells=20, nserver=2)
         router.connect(ConnectionRequest(0, 20, 1))
