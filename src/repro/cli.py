@@ -24,7 +24,9 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     from repro.sobol import IshigamiFunction
 
     fn = IshigamiFunction()
-    study = SensitivityStudy.for_function(fn, ngroups=args.groups, seed=args.seed)
+    study = SensitivityStudy.for_function(
+        fn, ngroups=args.groups, seed=args.seed, kernel=args.kernel
+    )
     results = study.run(runtime=args.runtime)
     print(f"groups integrated: {results.groups_integrated}")
     print(f"{'parameter':<6} {'S est':>8} {'S exact':>8} {'ST est':>8} {'ST exact':>9}")
@@ -48,6 +50,7 @@ def _cmd_tube(args: argparse.Namespace) -> int:
     study = SensitivityStudy.for_tube_bundle(
         case, ngroups=args.groups, seed=args.seed,
         server_ranks=args.server_ranks, client_ranks=2,
+        kernel=args.kernel,
     )
     kwargs = {"steps_per_tick": 4} if args.runtime == "sequential" else {}
     results = study.run(runtime=args.runtime, **kwargs)
@@ -85,12 +88,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     runtime_choices = ("sequential", "threaded", "process")
+    from repro.kernels import KERNEL_NAMES
+
+    def add_kernel_arg(sp):
+        sp.add_argument(
+            "--kernel", choices=KERNEL_NAMES, default=None,
+            help="co-moment fold backend (default: $REPRO_KERNEL, then "
+                 "'auto' = autotune on the first fold)",
+        )
 
     p = sub.add_parser("quickstart", help="Ishigami study vs closed form")
     p.add_argument("--groups", type=int, default=2000)
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--runtime", choices=runtime_choices, default="sequential",
                    help="execution driver (process = multi-core workers)")
+    add_kernel_arg(p)
     p.set_defaults(func=_cmd_quickstart)
 
     p = sub.add_parser("tube", help="tube-bundle use case with ASCII maps")
@@ -103,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--server-ranks", type=int, default=4)
     p.add_argument("--runtime", choices=runtime_choices, default="sequential",
                    help="execution driver (process = multi-core workers)")
+    add_kernel_arg(p)
     p.set_defaults(func=_cmd_tube)
 
     p = sub.add_parser("campaign", help="Curie campaign performance model")

@@ -30,6 +30,10 @@ class StudyConfig:
     server_ranks: int = 2
     compute_general_stats: bool = True
     stats_config: StatisticsConfig = field(default_factory=StatisticsConfig)
+    #: co-moment kernel backend for the fold hot path: "auto" (autotune),
+    #: "einsum", "blas", "cext", "numba"; None defers to the REPRO_KERNEL
+    #: environment variable and then "auto"
+    kernel: Optional[str] = None
 
     # --- client shape ----------------------------------------------------
     client_ranks: int = 2  # ranks per simulation (the in-group partition)
@@ -75,6 +79,9 @@ class StudyConfig:
             raise ValueError("cannot split cells over more client ranks than cells")
         if self.max_group_retries < 0:
             raise ValueError("max_group_retries must be >= 0")
+        from repro.kernels import resolve_spec
+
+        resolve_spec(self.kernel)  # fail fast on unknown backend names
 
     # ------------------------------------------------------------------ #
     @property

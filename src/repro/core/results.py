@@ -42,30 +42,36 @@ class StudyResults:
         server: MelissaServer,
         parameter_names: Optional[tuple] = None,
         abandoned_groups: Optional[List[int]] = None,
+        rank_maps: Optional[List[dict]] = None,
+        max_interval_width: Optional[float] = None,
     ) -> "StudyResults":
+        """Assemble results from a finished server.
+
+        Map extraction is batched: one whole-slab correlation pass per
+        (rank, timestep) instead of the former ``p x T`` loop of per-map
+        calls.  The process runtime passes ``rank_maps`` (per-rank maps
+        computed inside the rank workers) and ``max_interval_width`` (the
+        convergence scalar max-reduced from per-worker values), so the
+        parent does no statistics math at all — only concatenation.
+        """
         cfg = server.config
         names = parameter_names or tuple(cfg.space.names)
-        p, t, n = cfg.nparams, cfg.ntimesteps, cfg.ncells
-        first = np.empty((p, t, n))
-        total = np.empty((p, t, n))
-        for k in range(p):
-            for step in range(t):
-                first[k, step] = server.first_order_map(k, step)
-                total[k, step] = server.total_order_map(k, step)
-        variance = np.stack([server.variance_map(step) for step in range(t)])
-        mean = np.stack([server.mean_map(step) for step in range(t)])
+        t, n = cfg.ntimesteps, cfg.ncells
+        maps = server.assemble_maps(rank_maps)
+        if max_interval_width is None:
+            max_interval_width = server.max_interval_width()
         return cls(
             parameter_names=names,
             ntimesteps=t,
             ncells=n,
             groups_integrated=server.groups_integrated(),
-            first_order=first,
-            total_order=total,
-            variance=variance,
-            mean=mean,
+            first_order=maps["first"],
+            total_order=maps["total"],
+            variance=maps["variance"],
+            mean=maps["mean"],
             provenance=server.provenance_report(),
             abandoned_groups=list(abandoned_groups or []),
-            max_interval_width=server.max_interval_width(),
+            max_interval_width=max_interval_width,
         )
 
     # ------------------------------------------------------------------ #

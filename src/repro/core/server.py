@@ -72,6 +72,7 @@ class ServerRank:
             nparams=config.nparams,
             ntimesteps=config.ntimesteps,
             ncells=self.ncells_local,
+            kernel=config.kernel,
         )
         # general statistics on the A and B members only (their inputs are
         # the only independent ones within a group, Sec. 4.1)
@@ -221,7 +222,9 @@ class ServerRank:
             raise ValueError("checkpoint belongs to a different rank")
         if (state["cell_lo"], state["cell_hi"]) != (self.cell_lo, self.cell_hi):
             raise ValueError("checkpoint partition mismatch")
-        self.sobol = UbiquitousSobolField.from_state_dict(state["sobol"])
+        self.sobol = UbiquitousSobolField.from_state_dict(
+            state["sobol"], kernel=self.config.kernel
+        )
         self.last_integrated = {int(k): int(v) for k, v in state["last_integrated"].items()}
         self.finished_groups = set(state["finished_groups"])
         self.groups_seen = set(state["groups_seen"])
@@ -242,6 +245,30 @@ class ServerRank:
             ]
         self._staging.clear()
         self.last_message_time.clear()
+
+    # ------------------------------------------------------------------ #
+    # batched local results (the per-rank half of parallel assembly)
+    # ------------------------------------------------------------------ #
+    def index_maps(self) -> Dict[str, np.ndarray]:
+        """Every derived map of this rank's partition, batched per timestep.
+
+        One ``(p, ncells_local)`` correlation-extraction pass per timestep
+        produces both index families; with the process runtime this runs
+        INSIDE the rank worker, so assembly parallelizes across ranks and
+        the parent only concatenates.
+        """
+        t_total = self.config.ntimesteps
+        p = self.config.nparams
+        w = self.ncells_local
+        first = np.empty((t_total, p, w))
+        total = np.empty((t_total, p, w))
+        variance = np.empty((t_total, w))
+        mean = np.empty((t_total, w))
+        for t in range(t_total):
+            first[t], total[t] = self.sobol.index_maps_at(t)
+            variance[t] = self.sobol.variance_map(t)
+            mean[t] = self.sobol.mean_map(t)
+        return {"first": first, "total": total, "variance": variance, "mean": mean}
 
     @property
     def staged_entries(self) -> int:
@@ -332,6 +359,42 @@ class MelissaServer:
 
     def mean_map(self, timestep: int) -> np.ndarray:
         return np.concatenate([r.sobol.mean_map(timestep) for r in self.ranks])
+
+    def first_order_all(self, timestep: int) -> np.ndarray:
+        """Global ``(p, ncells)`` first-order slab at one timestep."""
+        return np.concatenate(
+            [r.sobol.first_order_all(timestep) for r in self.ranks], axis=1
+        )
+
+    def total_order_all(self, timestep: int) -> np.ndarray:
+        return np.concatenate(
+            [r.sobol.total_order_all(timestep) for r in self.ranks], axis=1
+        )
+
+    def assemble_maps(self, rank_maps=None) -> Dict[str, np.ndarray]:
+        """All ubiquitous maps in results layout, assembled per timestep.
+
+        ``rank_maps`` may carry per-rank :meth:`ServerRank.index_maps`
+        payloads computed elsewhere (the process runtime ships them from
+        the rank workers); otherwise each rank computes its own here.
+        Either way the heavy correlation math happens once per (rank,
+        timestep) on whole slabs — not once per (parameter, timestep).
+        """
+        cfg = self.config
+        p, t_total, n = cfg.nparams, cfg.ntimesteps, cfg.ncells
+        first = np.empty((p, t_total, n))
+        total = np.empty((p, t_total, n))
+        variance = np.empty((t_total, n))
+        mean = np.empty((t_total, n))
+        if rank_maps is None:
+            rank_maps = [rank.index_maps() for rank in self.ranks]
+        for rank, maps in zip(self.ranks, rank_maps):
+            lo, hi = rank.cell_lo, rank.cell_hi
+            first[:, :, lo:hi] = maps["first"].transpose(1, 0, 2)
+            total[:, :, lo:hi] = maps["total"].transpose(1, 0, 2)
+            variance[:, lo:hi] = maps["variance"]
+            mean[:, lo:hi] = maps["mean"]
+        return {"first": first, "total": total, "variance": variance, "mean": mean}
 
     def max_interval_width(self, z: float = 1.96) -> float:
         """Convergence scalar: the largest CI width anywhere (Sec. 4.1.5).

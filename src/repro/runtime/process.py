@@ -33,6 +33,8 @@ import time
 import traceback
 from typing import List, Optional, Set
 
+import numpy as np
+
 from repro.core.config import StudyConfig
 from repro.core.group import GroupExecutor, GroupState, SimulationFactory, SimulationGroup
 from repro.core.results import StudyResults
@@ -96,7 +98,14 @@ class _QueueRouter:
 
 
 def _server_worker(rank_idx, config, inbox, results, errors):
-    """Own one ServerRank: drain the inbox, then ship the rank state."""
+    """Own one ServerRank: drain the inbox, then ship the rank state.
+
+    The rank-local reductions run HERE, in the worker, before shipping:
+    the partition's index/variance/mean maps (batched per timestep) and
+    the rank's convergence scalar.  The parent then only concatenates
+    maps and max-reduces scalars instead of redoing every correlation in
+    serial — the two reductions that used to dominate post-study time.
+    """
     try:
         partition = BlockPartition(config.ncells, config.server_ranks)
         rank = ServerRank(rank_idx, config, partition)
@@ -105,7 +114,9 @@ def _server_worker(rank_idx, config, inbox, results, errors):
             if msg is None:
                 break
             rank.handle(msg, time.monotonic())
-        results.put((rank_idx, rank.checkpoint_state()))
+        maps = rank.index_maps()
+        width = rank.sobol.max_interval_width()
+        results.put((rank_idx, rank.checkpoint_state(), maps, width))
     except BaseException:  # noqa: BLE001 - surface to the parent
         errors.put(f"server rank {rank_idx}:\n{traceback.format_exc()}")
 
@@ -196,6 +207,13 @@ class ProcessRuntime:
     # ------------------------------------------------------------------ #
     def run(self, timeout: float = 300.0) -> StudyResults:
         """Execute all groups; returns assembled results."""
+        # warm the compiled-kernel cache in the parent BEFORE forking: on
+        # a cold cache every rank worker would otherwise race into its own
+        # duplicate C compile during its first fold
+        from repro.kernels import resolve_spec, warm_compiled_backends
+
+        if resolve_spec(self.config.kernel) in ("auto", "cext"):
+            warm_compiled_backends()
         ctx = self._ctx
         depth = 0 if self.queue_depth is None else int(self.queue_depth)
         rank_queues = [ctx.Queue(maxsize=depth) for _ in range(self.config.server_ranks)]
@@ -254,10 +272,12 @@ class ProcessRuntime:
             for q in rank_queues:
                 q.put(None)
             states = {}
+            rank_maps = {}
+            rank_widths = {}
             while len(states) < len(servers):
                 self._check_errors(errors_q)
                 try:
-                    rank_idx, state = results_q.get(
+                    rank_idx, state, maps, width = results_q.get(
                         timeout=min(1.0, max(0.05, deadline - time.monotonic()))
                     )
                 except _queue.Empty:
@@ -265,6 +285,8 @@ class ProcessRuntime:
                         raise TimeoutError("server ranks did not report in time")
                     continue
                 states[rank_idx] = state
+                rank_maps[rank_idx] = maps
+                rank_widths[rank_idx] = width
             for proc in servers:
                 proc.join(timeout=10.0)
         finally:
@@ -277,8 +299,17 @@ class ProcessRuntime:
         for rank in server.ranks:
             rank.restore_state(states[rank.rank])
         self.server = server
+        # max-reduce the per-worker convergence scalars (NaN ranks carry
+        # no meaningful cells and are skipped, matching
+        # MelissaServer.max_interval_width)
+        widths = [rank_widths[r] for r in sorted(rank_widths)]
+        valid = [w for w in widths if not np.isnan(w)]
+        max_width = max(valid) if valid else float("inf")
         return StudyResults.from_server(
-            server, parameter_names=tuple(self.config.space.names)
+            server,
+            parameter_names=tuple(self.config.space.names),
+            rank_maps=[rank_maps[r] for r in sorted(rank_maps)],
+            max_interval_width=max_width,
         )
 
     # ------------------------------------------------------------------ #

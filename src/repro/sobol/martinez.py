@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels import make_kernel
 from repro.sobol.confidence import (
     first_order_confidence_interval,
     total_order_confidence_interval,
@@ -317,13 +318,15 @@ class UbiquitousSobolField:
     Hot path: :meth:`update_group_buffer` *adopts* one staged
     ``(p+2, ncells)`` buffer per call (by reference — the caller
     relinquishes it) and folds a micro-batch of ``batch_size`` buffers at
-    a time in blocked, fused NumPy ops: residuals are taken against the
-    first buffer of the batch (an exact shift, so the contraction stays
-    numerically stable like Pebay's one-pass formulas), two einsum
-    contractions produce every co-moment of the batch, and one exact
-    pairwise combination (Pebay, SAND2008-6212) merges the batch into the
-    running state.  Any read (maps, intervals, checkpoints) flushes
-    pending buffers first, so results never lag the data.
+    a time: residuals are taken against the first buffer of the batch (an
+    exact shift, so the contraction stays numerically stable like Pebay's
+    one-pass formulas), a pluggable :mod:`repro.kernels` backend produces
+    every co-moment of the batch (einsum baseline, GEMM-shaped BLAS,
+    fused compiled C, or Numba — ``kernel="auto"`` autotunes on the first
+    real fold), and one exact pairwise combination (Pebay, SAND2008-6212)
+    merges the batch into the running state.  Any read (maps, intervals,
+    checkpoints) flushes pending buffers first, so results never lag the
+    data.
 
     Updates remain commutative across groups up to FP rounding — the
     property the asynchronous server relies on (Sec. 3.1) — and a fold of
@@ -344,6 +347,7 @@ class UbiquitousSobolField:
         batch_size: int = DEFAULT_BATCH,
         block_cells: int = DEFAULT_BLOCK,
         max_staged: Optional[int] = None,
+        kernel: Optional[str] = None,
     ):
         if nparams < 1:
             raise ValueError("nparams must be >= 1")
@@ -367,10 +371,17 @@ class UbiquitousSobolField:
         self._staged: List[List[np.ndarray]] = [[] for _ in range(ntimesteps)]
         self._staged_total = 0
         blk = min(self.block_cells, ncells)
-        self._zx = np.empty((self.batch_size - 1, 2, blk))
-        self._zc = np.empty((self.batch_size - 1, nparams, blk))
+        #: requested backend spec (None -> REPRO_KERNEL env -> "auto")
+        self.kernel_spec = kernel
+        self._kernel = make_kernel(kernel, nparams, self.batch_size, blk)
         # preallocated rank-1 correction scratch
         self._r1 = np.empty((2, nparams, blk))
+
+    @property
+    def kernel_name(self) -> str:
+        """Concrete backend in use (``auto`` until its first tuned fold)."""
+        chosen = getattr(self._kernel, "chosen", None)
+        return chosen if chosen is not None else self._kernel.name
 
     # ------------------------------------------------------------------ #
     # updates
@@ -385,7 +396,10 @@ class UbiquitousSobolField:
         """
         if not 0 <= timestep < self.ntimesteps:
             raise IndexError(f"timestep {timestep} out of range")
-        buf = np.asarray(buf, dtype=np.float64)
+        # C-contiguity is part of the staging contract: the compiled
+        # kernel backends index raw slab pointers (no-op for the server's
+        # own staging buffers)
+        buf = np.ascontiguousarray(buf, dtype=np.float64)
         if buf.shape != (self._m, self.ncells):
             raise ValueError(
                 f"buffer shape {buf.shape} != ({self._m}, {self.ncells})"
@@ -428,67 +442,44 @@ class UbiquitousSobolField:
             return
         na = int(self._counts[t])
         n = na + nb
+        s0 = slabs[0]
+        kernel = self._kernel
+        mean = self._mean[t]
+        m2 = self._m2[t]
+        cxy = self._cxy[t]
+        # fused fast path: a compiled backend may contract, center, AND
+        # Pebay-combine into the state in one pass over the slabs
+        if kernel.fold_into(slabs, 0, self.ncells, mean, m2, cxy, na):
+            self._counts[t] = n
+            self._staged_total -= nb
+            slabs.clear()
+            return
         f = na * nb / n
         wb = nb / n
-        inv_b = 1.0 / nb
-        s0 = slabs[0]
         blk = min(self.block_cells, self.ncells)
         for lo in range(0, self.ncells, blk):
             hi = min(self.ncells, lo + blk)
             w = hi - lo
-            # residuals z_b = y_b - y_0 against the first staged buffer:
-            # an exact shift that keeps every contraction O(std) instead
-            # of O(mean), preserving Pebay-level numerical stability.
-            refx = s0[:2, lo:hi]
-            refc = s0[2:, lo:hi]
-            zx = self._zx[: nb - 1, :, :w]
-            zc = self._zc[: nb - 1, :, :w]
-            for b in range(1, nb):
-                sb = slabs[b]
-                np.subtract(sb[:2, lo:hi], refx, out=zx[b - 1])
-                np.subtract(sb[2:, lo:hi], refc, out=zc[b - 1])
-            # batch means of the shifted data (the all-zero z_0 row is
-            # implicit: divide by nb, not nb-1)
-            mzx = np.add.reduce(zx, axis=0)
-            mzx *= inv_b
-            mzc = np.add.reduce(zc, axis=0)
-            mzc *= inv_b
-            # batch co-moments about the batch mean:
-            #   sum_b (z - mz)(z' - mz') = sum_b z z' - B mz mz'
-            r1 = self._r1[:, :, :w]
-            gd_x = np.einsum("bln,bln->ln", zx, zx)
-            gd_c = np.einsum("bkn,bkn->kn", zc, zc)
-            g_x = np.einsum("bln,bkn->lkn", zx, zc)
-            gd_x -= nb * mzx * mzx
-            gd_c -= nb * mzc * mzc
-            np.multiply(mzx[:, None, :], mzc[None, :, :], out=r1)
-            r1 *= nb
-            g_x -= r1
-            mean = self._mean[t]
-            m2 = self._m2[t]
-            cxy = self._cxy[t]
+            # the backend computes the centered batch statistics: means of
+            # the residuals z_b = y_b - y_0 (exact shift against the first
+            # staged buffer, Pebay-stable), diagonal second-moment sums,
+            # and the 2p cross co-moments
+            mz, gd, gx = kernel.fold_batch(slabs, lo, hi)
             if na == 0:
-                mean[:2, lo:hi] = refx + mzx
-                mean[2:, lo:hi] = refc + mzc
-                m2[:2, lo:hi] = gd_x
-                m2[2:, lo:hi] = gd_c
-                cxy[:, :, lo:hi] = g_x
+                mean[:, lo:hi] = s0[:, lo:hi] + mz
+                m2[:, lo:hi] = gd
+                cxy[:, :, lo:hi] = gx
             else:
                 # exact pairwise combination (Pebay SAND2008-6212)
-                dx = refx + mzx
-                dx -= mean[:2, lo:hi]
-                dc = refc + mzc
-                dc -= mean[2:, lo:hi]
-                gd_x += f * dx * dx
-                m2[:2, lo:hi] += gd_x
-                gd_c += f * dc * dc
-                m2[2:, lo:hi] += gd_c
-                np.multiply(dx[:, None, :], dc[None, :, :], out=r1)
-                r1 *= f
-                g_x += r1
-                cxy[:, :, lo:hi] += g_x
-                mean[:2, lo:hi] += dx * wb
-                mean[2:, lo:hi] += dc * wb
+                d = s0[:, lo:hi] + mz
+                d -= mean[:, lo:hi]
+                dx = d[:2]
+                dc = d[2:]
+                gd += f * d * d
+                m2[:, lo:hi] += gd
+                gx += kernel.merge_cross(dx, dc, f, out=self._r1[:, :, :w])
+                cxy[:, :, lo:hi] += gx
+                mean[:, lo:hi] += d * wb
         self._counts[t] = n
         self._staged_total -= nb
         slabs.clear()
@@ -529,7 +520,7 @@ class UbiquitousSobolField:
         dx = d[:, :2]
         dc = d[:, 2:]
         self._m2 += other._m2 + f * d * d
-        self._cxy += other._cxy + f[..., None] * dx[:, :, None, :] * dc[:, None, :, :]
+        self._cxy += other._cxy + self._kernel.merge_cross(dx, dc, f[..., None])
         self._mean += d * wb
         self._counts += other._counts
 
@@ -542,10 +533,12 @@ class UbiquitousSobolField:
         if self._counts[timestep] < 2:
             return np.full(self.ncells, np.nan)
         m2 = self._m2[timestep]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            denom = np.sqrt(m2[row] * m2[2 + k])
-            ratio = np.where(denom > 0, self._cxy[timestep, row, k] / denom, np.nan)
-        return np.clip(ratio, -1.0, 1.0)
+        maps = self._kernel.correlation_maps(
+            self._cxy[timestep, row, k][None, None, :],
+            m2[row][None, :],
+            m2[2 + k][None, :],
+        )
+        return maps[0, 0]
 
     def first_order_map(self, k: int, timestep: int) -> np.ndarray:
         return self._correlation(timestep, 1, k)
@@ -558,10 +551,30 @@ class UbiquitousSobolField:
         if self._counts[timestep] < 2:
             return np.full((self.nparams, self.ncells), np.nan)
         m2 = self._m2[timestep]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            denom = np.sqrt(m2[row][None, :] * m2[2:])
-            ratio = np.where(denom > 0, self._cxy[timestep, row] / denom, np.nan)
-        return np.clip(ratio, -1.0, 1.0)
+        maps = self._kernel.correlation_maps(
+            self._cxy[timestep, row][None, :, :],
+            m2[row][None, :],
+            m2[2:],
+        )
+        return maps[0]
+
+    def _both_correlations(self, timestep: int) -> np.ndarray:
+        """Both correlation rows from ONE extraction pass.
+
+        Returns ``(2, p, ncells)``: row 0 is ``corr(Y^A, Y^Ck)`` (the
+        total-index correlation), row 1 ``corr(Y^B, Y^Ck)`` (first
+        order).  The C-stream standard deviations — the expensive shared
+        factor of both denominators — are computed once, instead of once
+        per row as the separate ``first_order_all`` / ``total_order_all``
+        calls used to do.
+        """
+        self.flush(timestep)
+        if self._counts[timestep] < 2:
+            return np.full((2, self.nparams, self.ncells), np.nan)
+        m2 = self._m2[timestep]
+        return self._kernel.correlation_maps(
+            self._cxy[timestep], m2[:2], m2[2:]
+        )
 
     def first_order_all(self, timestep: int) -> np.ndarray:
         """Stacked ``(p, ncells)`` first-order map at one timestep."""
@@ -569,6 +582,13 @@ class UbiquitousSobolField:
 
     def total_order_all(self, timestep: int) -> np.ndarray:
         return 1.0 - self._all_correlations(timestep, 0)
+
+    def index_maps_at(self, timestep: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(first_order, total_order)`` ``(p, ncells)`` slabs at one
+        timestep from a single correlation-extraction pass — the batched
+        building block of results assembly."""
+        corr = self._both_correlations(timestep)
+        return corr[1], 1.0 - corr[0]
 
     def variance_map(self, timestep: int) -> np.ndarray:
         """Unbiased Var(Y^A) per cell (the Fig. 8 co-visualization map)."""
@@ -594,13 +614,17 @@ class UbiquitousSobolField:
         if self._counts[t] <= 3:
             return float("inf")
         ngroups = int(self._counts[t])
+        # one correlation-extraction pass feeds BOTH CI widths (the
+        # separate first_order_all / total_order_all calls each rebuilt
+        # the same denominators)
+        first, total = self.index_maps_at(t)
         widths: List[float] = []
-        lo, hi = first_order_confidence_interval(self.first_order_all(t), ngroups, z)
+        lo, hi = first_order_confidence_interval(first, ngroups, z)
         w = hi - lo
         finite = w[np.isfinite(w)]
         if finite.size:
             widths.append(float(finite.max()))
-        lo, hi = total_order_confidence_interval(self.total_order_all(t), ngroups, z)
+        lo, hi = total_order_confidence_interval(total, ngroups, z)
         w = hi - lo
         finite = w[np.isfinite(w)]
         if finite.size:
@@ -649,13 +673,19 @@ class UbiquitousSobolField:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "UbiquitousSobolField":
+    def from_state_dict(
+        cls, state: dict, kernel: Optional[str] = None
+    ) -> "UbiquitousSobolField":
+        """Restore state; ``kernel`` picks the backend for the new field
+        (checkpoints are backend-agnostic — the state is pure statistics,
+        so a study may restore onto any host's fastest kernel)."""
         if "estimators" in state:  # legacy per-timestep object forest
-            return cls._from_legacy_state(state)
+            return cls._from_legacy_state(state, kernel=kernel)
         obj = cls(
             nparams=int(state["nparams"]),
             ntimesteps=int(state["ntimesteps"]),
             ncells=int(state["ncells"]),
+            kernel=kernel,
         )
         obj._counts = np.asarray(state["counts"], dtype=np.int64).copy()
         obj._mean = np.asarray(state["mean"], dtype=np.float64).copy()
@@ -664,7 +694,9 @@ class UbiquitousSobolField:
         return obj
 
     @classmethod
-    def _from_legacy_state(cls, state: dict) -> "UbiquitousSobolField":
+    def _from_legacy_state(
+        cls, state: dict, kernel: Optional[str] = None
+    ) -> "UbiquitousSobolField":
         """Migrate a format-1 checkpoint (list of estimator state dicts).
 
         The old layout stored, per timestep and parameter k, the
@@ -676,6 +708,7 @@ class UbiquitousSobolField:
             nparams=int(state["nparams"]),
             ntimesteps=int(state["ntimesteps"]),
             ncells=int(state["ncells"]),
+            kernel=kernel,
         )
         for t, est in enumerate(state["estimators"]):
             first = est["first"]

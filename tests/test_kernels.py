@@ -1,0 +1,308 @@
+"""Co-moment kernel backends: parity, selection, fallback, autotune.
+
+Every available backend must reproduce the scalar reference estimator to
+rtol 1e-10 across the regimes that stress different code paths: ragged
+micro-batches (force-folds and flush remainders), single-group folds
+(batch_size=1, the degenerate contraction), and checkpoint round-trips
+(state is backend-agnostic).  Selection covers the StudyConfig /
+REPRO_KERNEL / auto precedence and the graceful fallback when an
+optional backend (numba, cext) is missing on the host.
+"""
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels
+from repro.kernels import (
+    AutoKernel,
+    EinsumKernel,
+    available_backends,
+    make_kernel,
+    resolve_spec,
+)
+from repro.kernels import numba_backend
+from repro.sobol.martinez import IterativeSobolEstimator, UbiquitousSobolField
+
+RTOL = 1e-10
+ATOL = 1e-12
+
+BACKENDS = available_backends()
+
+
+def random_stream(nparams, ntimesteps, ncells, ngroups, seed=0, loc=0.0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(loc=loc, scale=scale,
+                      size=(ngroups, ntimesteps, nparams + 2, ncells))
+
+
+def reference_forest(stream):
+    ngroups, ntimesteps, m, ncells = stream.shape
+    forest = [IterativeSobolEstimator(m - 2, (ncells,)) for _ in range(ntimesteps)]
+    for g in range(ngroups):
+        for t in range(ntimesteps):
+            buf = stream[g, t]
+            forest[t].update_group(buf[0], buf[1], list(buf[2:]))
+    return forest
+
+
+def assert_matches_reference(field, forest):
+    for t in range(field.ntimesteps):
+        np.testing.assert_allclose(
+            field.first_order_all(t), forest[t].first_order(),
+            rtol=RTOL, atol=ATOL,
+        )
+        np.testing.assert_allclose(
+            field.total_order_all(t), forest[t].total_order(),
+            rtol=RTOL, atol=ATOL,
+        )
+        np.testing.assert_allclose(
+            field.variance_map(t), forest[t].output_variance,
+            rtol=RTOL, atol=ATOL,
+        )
+        np.testing.assert_allclose(
+            field.mean_map(t), forest[t].output_mean, rtol=RTOL, atol=ATOL
+        )
+
+
+# --------------------------------------------------------------------- #
+# parity: every backend x fold regimes
+# --------------------------------------------------------------------- #
+class TestBackendParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("nparams,ncells", [(2, 7), (6, 33), (1, 1), (9, 12)])
+    def test_backend_matches_reference(self, backend, nparams, ncells):
+        stream = random_stream(nparams, 2, ncells, 37, seed=nparams)
+        field = UbiquitousSobolField(nparams, 2, ncells, kernel=backend)
+        for g in range(37):
+            for t in range(2):
+                field.update_group_buffer(t, stream[g, t].copy())
+        assert_matches_reference(field, reference_forest(stream))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ragged_micro_batches(self, backend):
+        """Uneven arrival: force-folds via max_staged plus flush tails."""
+        stream = random_stream(3, 4, 11, 29, seed=3)
+        field = UbiquitousSobolField(
+            3, 4, 11, kernel=backend, batch_size=8, max_staged=10
+        )
+        rng = np.random.default_rng(7)
+        order = [(g, t) for g in range(29) for t in range(4)]
+        rng.shuffle(order)
+        for g, t in order:
+            field.update_group_buffer(t, stream[g, t].copy())
+        assert_matches_reference(field, reference_forest(stream))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_group_folds(self, backend):
+        """batch_size=1: every fold is the degenerate one-slab batch."""
+        stream = random_stream(2, 2, 5, 12, seed=11)
+        field = UbiquitousSobolField(2, 2, 5, kernel=backend, batch_size=1)
+        for g in range(12):
+            for t in range(2):
+                field.update_group_buffer(t, stream[g, t].copy())
+        assert_matches_reference(field, reference_forest(stream))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_checkpoint_roundtrip_across_backends(self, backend):
+        """State is backend-agnostic: fold on one backend, restore on
+        another (and back), continue feeding, match the reference."""
+        stream = random_stream(3, 2, 9, 30, seed=13)
+        field = UbiquitousSobolField(3, 2, 9, kernel=backend)
+        for g in range(14):
+            for t in range(2):
+                field.update_group_buffer(t, stream[g, t].copy())
+        # restore onto the einsum baseline, then back onto the backend
+        hop = UbiquitousSobolField.from_state_dict(
+            field.state_dict(), kernel="einsum"
+        )
+        field = UbiquitousSobolField.from_state_dict(
+            hop.state_dict(), kernel=backend
+        )
+        assert field.kernel_name in (backend, "einsum")
+        for g in range(14, 30):
+            for t in range(2):
+                field.update_group_buffer(t, stream[g, t].copy())
+        assert_matches_reference(field, reference_forest(stream))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_merge_parity(self, backend):
+        stream = random_stream(4, 2, 8, 40, seed=17)
+        a = UbiquitousSobolField(4, 2, 8, kernel=backend)
+        b = UbiquitousSobolField(4, 2, 8, kernel=backend)
+        for g in range(40):
+            for t in range(2):
+                (a if g < 19 else b).update_group_buffer(t, stream[g, t].copy())
+        a.merge(b)
+        assert_matches_reference(a, reference_forest(stream))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_large_mean_stability(self, backend):
+        """The exact-shift contraction stays Pebay-stable per backend."""
+        stream = random_stream(3, 1, 6, 48, seed=5, loc=1e6, scale=1e-3)
+        field = UbiquitousSobolField(3, 1, 6, kernel=backend)
+        for g in range(48):
+            field.update_group_buffer(0, stream[g, 0].copy())
+        forest = reference_forest(stream)
+        np.testing.assert_allclose(
+            field.first_order_all(0), forest[0].first_order(),
+            rtol=1e-7, atol=1e-7,
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_noncontiguous_buffer_accepted(self, backend):
+        """Strided views are staged via a contiguity copy, not rejected."""
+        stream = random_stream(2, 1, 6, 10, seed=19)
+        field = UbiquitousSobolField(2, 1, 6, kernel=backend)
+        for g in range(10):
+            transposed = np.asfortranarray(stream[g, 0])  # F-order view
+            field.update_group_buffer(0, transposed)
+        assert_matches_reference(field, reference_forest(stream))
+
+
+# --------------------------------------------------------------------- #
+# selection: precedence, env var, fallback, autotune
+# --------------------------------------------------------------------- #
+class TestSelection:
+    def test_resolve_precedence(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        assert resolve_spec(None) == "auto"
+        assert resolve_spec("einsum") == "einsum"
+        monkeypatch.setenv(kernels.ENV_VAR, "blas")
+        assert resolve_spec(None) == "blas"
+        assert resolve_spec("einsum") == "einsum"  # explicit beats env
+
+    def test_env_var_reaches_field(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "einsum")
+        field = UbiquitousSobolField(2, 1, 4)
+        assert field.kernel_name == "einsum"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_spec("gpu")
+        with pytest.raises(ValueError):
+            UbiquitousSobolField(2, 1, 4, kernel="gpu")
+
+    def test_config_validates_kernel(self):
+        from repro.core.config import StudyConfig
+        from repro.sampling import ParameterSpace, Uniform
+
+        space = ParameterSpace(("a", "b"), (Uniform(0, 1), Uniform(0, 1)))
+        with pytest.raises(ValueError):
+            StudyConfig(space=space, ngroups=1, ntimesteps=1, ncells=4,
+                        kernel="nonsense")
+        cfg = StudyConfig(space=space, ngroups=1, ntimesteps=1, ncells=4,
+                          kernel="einsum")
+        assert cfg.kernel == "einsum"
+
+    def test_einsum_always_available(self):
+        assert "einsum" in BACKENDS
+        assert isinstance(make_kernel("einsum", 3, 8, 64), EinsumKernel)
+
+    def test_auto_tunes_to_available_backend(self):
+        stream = random_stream(3, 1, 16, 24, seed=23)
+        field = UbiquitousSobolField(3, 1, 16, kernel="auto", batch_size=8)
+        assert field.kernel_name == "auto"  # not yet tuned
+        for g in range(24):
+            field.update_group_buffer(0, stream[g, 0].copy())
+        field.flush()
+        assert field.kernel_name in BACKENDS
+        assert_matches_reference(field, reference_forest(stream))
+
+    def test_auto_settles_on_einsum_for_tiny_folds(self):
+        """A stream of nothing but sub-threshold folds locks in einsum."""
+        from repro.kernels import _AUTOTUNE_SMALL_FOLD_LIMIT
+
+        stream = random_stream(2, 1, 4, 40, seed=41)
+        field = UbiquitousSobolField(2, 1, 4, kernel="auto", batch_size=2)
+        for g in range(2 * _AUTOTUNE_SMALL_FOLD_LIMIT + 2):
+            field.update_group_buffer(0, stream[g % 40, 0].copy())
+        field.flush()
+        assert field.kernel_name == "einsum"
+
+    def test_auto_choice_cached_per_shape(self):
+        key_stream = random_stream(2, 1, 8, 16, seed=29)
+        a = UbiquitousSobolField(2, 1, 8, kernel="auto", batch_size=8)
+        for g in range(16):
+            a.update_group_buffer(0, key_stream[g, 0].copy())
+        a.flush()
+        chosen = a.kernel_name
+        assert chosen in BACKENDS
+        # a second field with the same (p, batch, block) shape reuses the
+        # cached choice on its very first fold, without re-measuring
+        b = UbiquitousSobolField(2, 1, 8, kernel="auto", batch_size=8)
+        for g in range(8):
+            b.update_group_buffer(0, key_stream[g, 0].copy())
+        b.flush()
+        assert b.kernel_name == chosen
+
+
+# --------------------------------------------------------------------- #
+# optional-backend fallback (numba is absent in the baked image)
+# --------------------------------------------------------------------- #
+class TestOptionalBackends:
+    @pytest.mark.skipif(
+        numba_backend.available(), reason="numba installed: no fallback here"
+    )
+    def test_numba_fallback_when_absent(self):
+        """Requesting numba without numba warns and runs on einsum."""
+        with pytest.warns(RuntimeWarning, match="numba"):
+            field = UbiquitousSobolField(2, 1, 5, kernel="numba")
+        assert field.kernel_name == "einsum"
+        stream = random_stream(2, 1, 5, 20, seed=31)
+        for g in range(20):
+            field.update_group_buffer(0, stream[g, 0].copy())
+        assert_matches_reference(field, reference_forest(stream))
+        assert "numba" not in available_backends()
+
+    @pytest.mark.skipif(
+        not numba_backend.available(), reason="numba not installed"
+    )
+    def test_numba_parity(self):  # pragma: no cover - needs numba
+        """With numba present the JIT backend must hit reference parity."""
+        stream = random_stream(3, 2, 9, 25, seed=37)
+        field = UbiquitousSobolField(3, 2, 9, kernel="numba")
+        assert field.kernel_name == "numba"
+        for g in range(25):
+            for t in range(2):
+                field.update_group_buffer(t, stream[g, t].copy())
+        assert_matches_reference(field, reference_forest(stream))
+
+    def test_cext_fallback_when_unbuildable(self, monkeypatch):
+        """A host with no compiler degrades to einsum with a warning."""
+        from repro.kernels import cext
+
+        def no_compiler(*a, **k):
+            raise RuntimeError("cext kernel unavailable: no compiler")
+
+        monkeypatch.setattr(cext, "_load", no_compiler)
+        with pytest.warns(RuntimeWarning, match="cext"):
+            field = UbiquitousSobolField(2, 1, 5, kernel="cext")
+        assert field.kernel_name == "einsum"
+
+
+# --------------------------------------------------------------------- #
+# end-to-end: kernel choice flows config -> server -> results
+# --------------------------------------------------------------------- #
+class TestStudyIntegration:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_study_results_invariant_to_backend(self, backend):
+        from repro import SensitivityStudy
+        from repro.sobol import IshigamiFunction
+
+        def run(kern):
+            study = SensitivityStudy.for_function(
+                IshigamiFunction(), ngroups=120, seed=3, kernel=kern
+            )
+            return study.run()
+
+        base = run("einsum")
+        other = run(backend)
+        np.testing.assert_allclose(
+            other.first_order, base.first_order, rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            other.total_order, base.total_order, rtol=1e-9
+        )
+        assert other.max_interval_width == pytest.approx(
+            base.max_interval_width, rel=1e-6, nan_ok=True
+        )

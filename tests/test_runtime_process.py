@@ -144,3 +144,31 @@ class TestStudyFacade:
         with pytest.raises(ValueError):
             study.run(runtime="process",
                       fault_plan=FaultPlan(group_zombies=[GroupZombie(0)]))
+
+
+class TestParallelReductions:
+    """The rank workers compute their own index maps and convergence
+    scalar; the parent must see values identical to recomputing from the
+    restored server state (it only concatenates / max-reduces)."""
+
+    def test_shipped_maps_match_restored_server(self):
+        fn, config = make_config(36, ncells=NCELLS, server_ranks=3,
+                                 channel_capacity_bytes=16384)
+        runtime = ProcessRuntime(config, vector_factory(fn),
+                                 max_concurrent_groups=3)
+        results = runtime.run(timeout=60.0)
+        # recompute everything serially from the restored rank states
+        recomputed = runtime.server.assemble_maps()
+        np.testing.assert_array_equal(results.first_order, recomputed["first"])
+        np.testing.assert_array_equal(results.total_order, recomputed["total"])
+        np.testing.assert_array_equal(results.variance, recomputed["variance"])
+        np.testing.assert_array_equal(results.mean, recomputed["mean"])
+
+    def test_shipped_width_matches_parent_reduction(self):
+        fn, config = make_config(30, ncells=NCELLS, server_ranks=2)
+        runtime = ProcessRuntime(config, vector_factory(fn),
+                                 max_concurrent_groups=2)
+        results = runtime.run(timeout=60.0)
+        assert results.max_interval_width == pytest.approx(
+            runtime.server.max_interval_width(), rel=1e-12
+        )

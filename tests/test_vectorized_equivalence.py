@@ -12,10 +12,15 @@ formulas, so rtol 1e-10 (atol 1e-12 for near-zero correlations) holds.
 import numpy as np
 import pytest
 
+from repro.kernels import available_backends
 from repro.sobol.martinez import IterativeSobolEstimator, UbiquitousSobolField
 
 RTOL = 1e-10
 ATOL = 1e-12
+
+#: every concrete kernel backend usable on this host; the equivalence
+#: guarantees hold per backend, not just for the einsum baseline
+BACKENDS = available_backends()
 
 
 def random_stream(nparams, ntimesteps, ncells, ngroups, seed=0, loc=0.0, scale=1.0):
@@ -63,18 +68,20 @@ def assert_field_matches_forest(field, forest):
 
 
 class TestUpdateEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("nparams,ncells,ngroups", [(2, 7, 50), (6, 33, 40), (1, 1, 25)])
-    def test_random_stream(self, nparams, ncells, ngroups):
+    def test_random_stream(self, nparams, ncells, ngroups, backend):
         stream = random_stream(nparams, 3, ncells, ngroups, seed=nparams)
-        field = UbiquitousSobolField(nparams, 3, ncells)
+        field = UbiquitousSobolField(nparams, 3, ncells, kernel=backend)
         forest = legacy_forest(nparams, 3, ncells)
         feed_both(field, forest, stream)
         assert_field_matches_forest(field, forest)
 
-    def test_large_mean_small_variance_stable(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_large_mean_small_variance_stable(self, backend):
         """The shift-based batch contraction must stay Pebay-stable."""
         stream = random_stream(3, 2, 11, 48, seed=5, loc=1e6, scale=1e-3)
-        field = UbiquitousSobolField(3, 2, 11)
+        field = UbiquitousSobolField(3, 2, 11, kernel=backend)
         forest = legacy_forest(3, 2, 11)
         feed_both(field, forest, stream)
         for t in range(2):
@@ -86,11 +93,13 @@ class TestUpdateEquivalence:
                 field.variance_map(t), forest[t].output_variance, rtol=1e-6
             )
 
-    def test_batch_size_invariance(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_size_invariance(self, backend):
         """Different micro-batch boundaries, same statistics."""
         stream = random_stream(3, 2, 9, 37, seed=11)
         fields = [
-            UbiquitousSobolField(3, 2, 9, batch_size=b) for b in (1, 4, 16, 64)
+            UbiquitousSobolField(3, 2, 9, batch_size=b, kernel=backend)
+            for b in (1, 4, 16, 64)
         ]
         for g in range(37):
             for t in range(2):
@@ -128,11 +137,12 @@ class TestUpdateEquivalence:
 
 
 class TestMergeEquivalence:
-    def test_merge_matches_single_stream(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_merge_matches_single_stream(self, backend):
         stream = random_stream(4, 2, 12, 60, seed=3)
-        full = UbiquitousSobolField(4, 2, 12)
-        part1 = UbiquitousSobolField(4, 2, 12)
-        part2 = UbiquitousSobolField(4, 2, 12)
+        full = UbiquitousSobolField(4, 2, 12, kernel=backend)
+        part1 = UbiquitousSobolField(4, 2, 12, kernel=backend)
+        part2 = UbiquitousSobolField(4, 2, 12, kernel=backend)
         forest = legacy_forest(4, 2, 12)
         for g in range(60):
             for t in range(2):
@@ -178,10 +188,11 @@ class TestMergeEquivalence:
 
 
 class TestCheckpointEquivalence:
-    def test_state_roundtrip_mid_batch(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_state_roundtrip_mid_batch(self, backend):
         """state_dict flushes staged buffers and restores exactly."""
         stream = random_stream(3, 2, 8, 21, seed=7)  # 21: not a batch multiple
-        field = UbiquitousSobolField(3, 2, 8)
+        field = UbiquitousSobolField(3, 2, 8, kernel=backend)
         for g in range(21):
             for t in range(2):
                 field.update_group_buffer(t, stream[g, t].copy())
@@ -240,9 +251,10 @@ class TestCheckpointEquivalence:
 
 
 class TestIntervalEquivalence:
-    def test_max_interval_width_matches_forest(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_max_interval_width_matches_forest(self, backend):
         stream = random_stream(3, 2, 6, 25, seed=23)
-        field = UbiquitousSobolField(3, 2, 6)
+        field = UbiquitousSobolField(3, 2, 6, kernel=backend)
         forest = legacy_forest(3, 2, 6)
         feed_both(field, forest, stream)
         forest_widths = [e.max_interval_width() for e in forest]
