@@ -267,6 +267,145 @@ def test_kernel_backend_shootout(results_dir, benchmark):
     assert best >= 2.0, f"best compiled backend only {best:.2f}x over einsum"
 
 
+# --------------------------------------------------------------------- #
+# transport shootout: in-memory bounded channel vs loopback TCP
+# (ISSUE 3 acceptance: BENCH_transport.json)
+# --------------------------------------------------------------------- #
+
+TS_NMSG, TS_CELLS = 1500, 2048  # 1500 x 16 KiB payloads ~ 24 MiB
+TS_CAPACITY = 1 << 20  # 1 MiB dual-HWM budget: back-pressure engages
+
+
+def _transport_stream():
+    rng = np.random.default_rng(5)
+    return rng.normal(size=(TS_NMSG, TS_CELLS))
+
+
+def _run_memory_transport(stream):
+    """Producer thread -> BoundedChannel -> consumer (the PR 0 fabric)."""
+    import threading
+
+    from repro.transport.channel import BoundedChannel
+    from repro.transport.message import FieldMessage
+
+    channel = BoundedChannel(capacity_bytes=TS_CAPACITY, name="bench-mem")
+    checksum = 0.0
+    received = 0
+
+    def produce():
+        for i in range(TS_NMSG):
+            channel.send(
+                FieldMessage(0, 0, i, 0, TS_CELLS, stream[i]), timeout=60.0
+            )
+
+    producer = threading.Thread(target=produce)
+    start = time.perf_counter()
+    producer.start()
+    while received < TS_NMSG:
+        msg = channel.recv(timeout=60.0)
+        checksum += float(msg.data[0])
+        received += 1
+    elapsed = time.perf_counter() - start
+    producer.join()
+    stats = channel.stats
+    channel.close()
+    return elapsed, received, checksum, stats
+
+
+def _run_tcp_transport(stream):
+    """SocketChannel -> loopback TCP -> DataListener -> rank inbox."""
+    import threading
+
+    from repro.net.channel import DataListener, SocketChannel
+    from repro.transport.channel import BoundedChannel
+    from repro.transport.message import FieldMessage
+
+    inbox = BoundedChannel(capacity_bytes=TS_CAPACITY, name="bench-tcp-inbox")
+    listener = DataListener(inbox, recv_hwm_bytes=TS_CAPACITY)
+    channel = SocketChannel(
+        listener.address, send_hwm_bytes=TS_CAPACITY, name="bench-tcp"
+    )
+    checksum = 0.0
+    received = 0
+    try:
+
+        def produce():
+            for i in range(TS_NMSG):
+                channel.send(
+                    FieldMessage(0, 0, i, 0, TS_CELLS, stream[i]), timeout=60.0
+                )
+
+        producer = threading.Thread(target=produce)
+        start = time.perf_counter()
+        producer.start()
+        while received < TS_NMSG:
+            msg = inbox.recv(timeout=60.0)
+            checksum += float(msg.data[0])
+            received += 1
+        producer.join()
+        channel.flush(timeout=60.0)
+        elapsed = time.perf_counter() - start
+        return elapsed, received, checksum, channel.stats
+    finally:
+        channel.close()
+        listener.close()
+
+
+def test_transport_shootout(results_dir, benchmark):
+    """Loopback-TCP vs in-memory-queue shootout (ISSUE 3): same message
+    stream, same dual-HWM budget; emits BENCH_transport.json with msg/s,
+    MB/s, and suspension accounting for each transport."""
+    stream = _transport_stream()
+    t_mem, n_mem, sum_mem, stats_mem = _run_memory_transport(stream)
+    benchmark.pedantic(
+        lambda: _run_tcp_transport(stream), rounds=1, iterations=1
+    )
+    t_tcp, n_tcp, sum_tcp, stats_tcp = _run_tcp_transport(stream)
+
+    assert n_mem == n_tcp == TS_NMSG
+    # both transports must deliver the identical stream
+    np.testing.assert_allclose(sum_tcp, sum_mem, rtol=1e-12)
+
+    payload_mb = TS_NMSG * TS_CELLS * 8 / 1e6
+    records = []
+    for name, elapsed, stats in (
+        ("memory-queue", t_mem, stats_mem),
+        ("loopback-tcp", t_tcp, stats_tcp),
+    ):
+        records.append({
+            "transport": name,
+            "messages": TS_NMSG,
+            "seconds": round(elapsed, 4),
+            "msg_per_s": round(TS_NMSG / elapsed, 1),
+            "mb_per_s": round(payload_mb / elapsed, 2),
+            "send_blocks": stats.send_blocks,
+            "suspended_seconds": round(stats.blocked_seconds, 4),
+            "high_water_bytes": stats.high_water_bytes,
+        })
+    payload = {
+        "experiment": "transport_shootout",
+        "nmsg": TS_NMSG,
+        "payload_bytes_per_msg": TS_CELLS * 8,
+        "capacity_bytes": TS_CAPACITY,
+        "results": records,
+    }
+    (results_dir / "BENCH_transport.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    table = format_table(
+        ["transport", "msg/s", "MB/s", "send blocks", "suspended s"],
+        [[r["transport"], r["msg_per_s"], r["mb_per_s"], r["send_blocks"],
+          r["suspended_seconds"]] for r in records],
+        title=f"transport shootout, {TS_NMSG} x {TS_CELLS * 8} B, "
+              f"HWM {TS_CAPACITY} B",
+    )
+    (results_dir / "table_transport_shootout.txt").write_text(table + "\n")
+    print(table)
+
+    tcp = next(r for r in records if r["transport"] == "loopback-tcp")
+    assert tcp["mb_per_s"] > 5.0, f"loopback TCP only {tcp['mb_per_s']} MB/s"
+
+
 def test_runtime_comparison(results_dir, benchmark):
     """Wall-clock + parity of sequential / threaded / process drivers on
     an end-to-end Ishigami study (one core: this records overheads; on a

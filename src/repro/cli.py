@@ -1,6 +1,6 @@
 """Command-line interface: run studies and campaign replays from a shell.
 
-Three subcommands mirror the examples:
+Study subcommands mirror the examples:
 
 ``python -m repro.cli quickstart``
     Ishigami study; prints estimates vs closed form.
@@ -8,13 +8,27 @@ Three subcommands mirror the examples:
     The paper's tube-bundle use case with ASCII Sobol' maps.
 ``python -m repro.cli campaign --server-nodes 32``
     The Curie campaign through the calibrated performance model.
+
+Distributed deployment (the paper's multi-host shape — every process may
+run on a different machine, pointed at the same coordinator):
+
+``python -m repro.cli launch --study quickstart --groups 100 --bind HOST:PORT``
+    Rendezvous + work queue; waits for ranks and workers, prints results.
+``python -m repro.cli serve --study quickstart --groups 100 --rank K --coordinator HOST:PORT``
+    One Melissa Server rank (run ``--server-ranks`` of these).
+``python -m repro.cli work --study quickstart --groups 100 --coordinator HOST:PORT``
+    One group worker (run as many as the machines allow).
+
+``launch --local-workers N`` instead forks ranks + workers on this host
+(loopback single-host mode, same code path the tests drive).
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -65,6 +79,135 @@ def _cmd_tube(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_address(spec: str) -> Tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+def _resolve_study(args: argparse.Namespace):
+    """Build the SensitivityStudy every distributed participant agrees on.
+
+    ``--study`` accepts the built-in specs ``quickstart`` (Ishigami, one
+    cell), ``vector`` (Ishigami over ``--cells`` cells — the cheap
+    multi-rank smoke study), and ``tube`` (the paper's CFD case), or
+    ``module:callable`` where the callable takes no arguments and
+    returns a :class:`~repro.study.SensitivityStudy` — the escape hatch
+    for real models.  Every process (launch / serve / work) must be
+    given the SAME spec and flags; the coordinator rejects mismatched
+    fingerprints.
+    """
+    from repro import SensitivityStudy
+
+    spec = args.study
+    if spec == "quickstart":
+        from repro.sobol import IshigamiFunction
+
+        return SensitivityStudy.for_function(
+            IshigamiFunction(), ngroups=args.groups, seed=args.seed,
+            ntimesteps=args.timesteps, server_ranks=args.server_ranks,
+            kernel=getattr(args, "kernel", None),
+        )
+    if spec == "vector":
+        from repro.core.config import StudyConfig
+        from repro.core.group import VectorFieldSimulation
+        from repro.sobol import IshigamiFunction
+
+        fn = IshigamiFunction()
+        ncells = args.cells
+        ntimesteps = args.timesteps
+        config = StudyConfig(
+            space=fn.space(), ngroups=args.groups, ntimesteps=ntimesteps,
+            ncells=ncells, seed=args.seed, server_ranks=args.server_ranks,
+            client_ranks=min(2, ncells), kernel=getattr(args, "kernel", None),
+        )
+
+        def factory(params, sim_id):
+            return VectorFieldSimulation(fn, params, ncells, ntimesteps, sim_id)
+
+        return SensitivityStudy(config, factory)
+    if spec == "tube":
+        from repro.solver import TubeBundleCase
+
+        case = TubeBundleCase()
+        return SensitivityStudy.for_tube_bundle(
+            case, ngroups=args.groups, seed=args.seed,
+            server_ranks=args.server_ranks,
+            kernel=getattr(args, "kernel", None),
+        )
+    if ":" in spec:
+        module_name, _, attr = spec.partition(":")
+        obj = getattr(importlib.import_module(module_name), attr)
+        study = obj() if callable(obj) and not isinstance(obj, SensitivityStudy) else obj
+        if not isinstance(study, SensitivityStudy):
+            raise SystemExit(f"--study {spec!r} did not yield a SensitivityStudy")
+        return study
+    raise SystemExit(
+        f"unknown study spec {spec!r} "
+        "(use 'quickstart', 'vector', 'tube', or module:callable)"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net.serve import run_server_rank
+
+    study = _resolve_study(args)
+    return run_server_rank(
+        args.rank,
+        study.config,
+        _parse_address(args.coordinator),
+        data_host=args.data_host,
+        data_port=args.data_port,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.net.worker import run_worker
+
+    study = _resolve_study(args)
+    return run_worker(
+        study.config,
+        study.factory,
+        _parse_address(args.coordinator),
+        name=args.name,
+    )
+
+
+def _cmd_launch(args: argparse.Namespace) -> int:
+    study = _resolve_study(args)
+    if args.local_workers:
+        # loopback single-host mode: fork ranks + workers right here
+        from repro.runtime import DistributedRuntime
+
+        host, port = _parse_address(args.bind)
+        runtime = DistributedRuntime(
+            study.config, study.factory, nworkers=args.local_workers,
+            host=host, port=port, checkpoint_dir=args.checkpoint_dir,
+        )
+        results = runtime.run(timeout=args.timeout)
+    else:
+        from repro.net.coordinator import Coordinator
+        from repro.runtime.distributed import assemble_results
+
+        host, port = _parse_address(args.bind)
+        coordinator = Coordinator(study.config, host=host, port=port).start()
+        print(
+            f"coordinator on {coordinator.address[0]}:{coordinator.address[1]} — "
+            f"waiting for {study.config.server_ranks} server rank(s) and workers"
+        )
+        try:
+            coordinator.wait(timeout=args.timeout)
+        finally:
+            coordinator.close()
+        results = assemble_results(study.config, coordinator)
+    print(results.summary())
+    if results.abandoned_groups:
+        print(f"abandoned groups: {results.abandoned_groups}")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.perfmodel import CampaignSimulator, paper_campaign
     from repro.report import format_table
@@ -87,7 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    runtime_choices = ("sequential", "threaded", "process")
+    runtime_choices = ("sequential", "threaded", "process", "distributed")
     from repro.kernels import KERNEL_NAMES
 
     def add_kernel_arg(sp):
@@ -121,6 +264,51 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("campaign", help="Curie campaign performance model")
     p.add_argument("--server-nodes", type=int, default=32)
     p.set_defaults(func=_cmd_campaign)
+
+    def add_study_args(sp):
+        sp.add_argument(
+            "--study", default="quickstart",
+            help="study spec: quickstart | vector | tube | module:callable "
+                 "(must be identical on launch, serve, and work)",
+        )
+        sp.add_argument("--groups", type=int, default=100)
+        sp.add_argument("--seed", type=int, default=42)
+        sp.add_argument("--timesteps", type=int, default=1)
+        sp.add_argument("--cells", type=int, default=32,
+                        help="cell count for the 'vector' study spec")
+        sp.add_argument("--server-ranks", type=int, default=2)
+        add_kernel_arg(sp)
+
+    p = sub.add_parser(
+        "serve", help="one Melissa Server rank (distributed deployment)"
+    )
+    add_study_args(p)
+    p.add_argument("--rank", type=int, required=True)
+    p.add_argument("--coordinator", required=True, metavar="HOST:PORT")
+    p.add_argument("--data-host", default="127.0.0.1",
+                   help="interface for this rank's data listener")
+    p.add_argument("--data-port", type=int, default=0,
+                   help="data port (0 = ephemeral, sent to the rendezvous)")
+    p.add_argument("--checkpoint-dir", default=None)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("work", help="one group worker (distributed deployment)")
+    add_study_args(p)
+    p.add_argument("--coordinator", required=True, metavar="HOST:PORT")
+    p.add_argument("--name", default="", help="worker name for logs/liveness")
+    p.set_defaults(func=_cmd_work)
+
+    p = sub.add_parser(
+        "launch",
+        help="coordinator: rendezvous + work queue + results assembly",
+    )
+    add_study_args(p)
+    p.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT")
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument("--local-workers", type=int, default=0,
+                   help="loopback mode: fork ranks + N workers on this host")
+    p.add_argument("--checkpoint-dir", default=None)
+    p.set_defaults(func=_cmd_launch)
 
     return parser
 

@@ -69,47 +69,71 @@ class CheckpointManager:
         return self.directory / f"server_rank{rank:04d}.ckpt"
 
     # ------------------------------------------------------------------ #
+    def save_rank(self, rank, config: StudyConfig) -> Path:
+        """Atomically checkpoint ONE rank, independent of every other.
+
+        This is the write path a distributed ``repro serve`` process uses:
+        each rank checkpoints on its own cadence and can restore across a
+        reconnect without any cross-rank coordination — exactly the
+        paper's independent per-rank files (Sec. 4.2.3).
+        """
+        payload = {"fingerprint": _fingerprint(config), "state": rank.checkpoint_state()}
+        path = self.rank_path(rank.rank)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic on POSIX
+        return path
+
     def save(self, server: MelissaServer) -> List[Path]:
         """Checkpoint every rank; returns the file paths."""
-        fp = _fingerprint(server.config)
-        paths = []
-        for rank in server.ranks:
-            payload = {"fingerprint": fp, "state": rank.checkpoint_state()}
-            path = self.rank_path(rank.rank)
-            tmp = path.with_suffix(".tmp")
-            with open(tmp, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)  # atomic on POSIX
-            paths.append(path)
+        paths = [self.save_rank(rank, server.config) for rank in server.ranks]
         self.checkpoints_written += 1
         return paths
 
     def exists(self) -> bool:
         return any(self.directory.glob("server_rank*.ckpt"))
 
+    def load_rank_state(self, rank_idx: int, config: StudyConfig) -> Optional[dict]:
+        """Validated state payload for one rank, or None if no file exists."""
+        path = self.rank_path(rank_idx)
+        if not path.exists():
+            return None
+        expected = _fingerprint(config)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload = migrate_payload(payload)
+        found = payload["fingerprint"]
+        if found != expected:
+            differing = sorted(
+                key
+                for key in set(found) | set(expected)
+                if found.get(key) != expected.get(key)
+            )
+            raise ValueError(
+                f"checkpoint {path} was written by an incompatible study "
+                f"(mismatched: {', '.join(differing)}): {found} != {expected}"
+            )
+        return payload["state"]
+
+    def restore_rank(self, rank, config: StudyConfig) -> bool:
+        """Load one rank's last checkpoint into ``rank`` if one exists.
+
+        Returns True when a checkpoint was restored — the read half of
+        the per-rank reconnect path.
+        """
+        state = self.load_rank_state(rank.rank, config)
+        if state is None:
+            return False
+        rank.restore_state(state)
+        return True
+
     def restore(self, config: StudyConfig) -> MelissaServer:
         """Build a fresh server and load every rank's last checkpoint."""
         server = MelissaServer(config)
-        expected = _fingerprint(config)
         for rank in server.ranks:
-            path = self.rank_path(rank.rank)
-            if not path.exists():
+            if not self.restore_rank(rank, config):
                 raise FileNotFoundError(f"missing checkpoint for rank {rank.rank}")
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-            payload = migrate_payload(payload)
-            found = payload["fingerprint"]
-            if found != expected:
-                differing = sorted(
-                    key
-                    for key in set(found) | set(expected)
-                    if found.get(key) != expected.get(key)
-                )
-                raise ValueError(
-                    f"checkpoint {path} was written by an incompatible study "
-                    f"(mismatched: {', '.join(differing)}): {found} != {expected}"
-                )
-            rank.restore_state(payload["state"])
         return server
 
     def bytes_on_disk(self) -> int:

@@ -57,6 +57,9 @@ class StudyConfig:
     checkpoint_interval: float = 600.0  # paper's checkpoint period
     max_group_retries: int = 3
     discard_on_replay: bool = True
+    #: wall-clock heartbeat cadence for the process/distributed runtimes
+    #: (server ranks and workers beacon liveness at this period)
+    heartbeat_interval: float = 0.5
 
     # --- convergence control ----------------------------------------------
     convergence_threshold: Optional[float] = None  # max CI width to stop at

@@ -25,8 +25,9 @@ import numpy as np
 from repro.core.config import StudyConfig
 from repro.mesh.partition import BlockPartition
 from repro.sampling.pickfreeze import PickFreezeDesign
+from repro.transport.base import TransportClient
 from repro.transport.message import ConnectionRequest, FieldMessage, GroupFieldMessage
-from repro.transport.router import Router, redistribution_plan
+from repro.transport.router import redistribution_plan
 
 
 class MemberSimulation(Protocol):
@@ -83,6 +84,32 @@ class FunctionSimulation:
             yield self.advance()
 
 
+class VectorFieldSimulation(FunctionSimulation):
+    """A scalar model spread over ``ncells`` cells via a deterministic
+    ramp: ``f(x) * (1 + ramp) + 0.05 * step * ramp``.
+
+    The cheap multi-cell member behind the CLI's ``--study vector`` spec
+    and the multi-rank integration tests — enough spatial and temporal
+    structure to exercise partitioning, splitting, and back-pressure
+    without a CFD solver's cost.
+    """
+
+    def __init__(self, fn: Callable[[np.ndarray], float], params: np.ndarray,
+                 ncells: int, ntimesteps: int = 1, simulation_id: int = 0):
+        super().__init__(fn, params, ntimesteps=ntimesteps,
+                         simulation_id=simulation_id)
+        self._ncells = int(ncells)
+
+    @property
+    def ncells(self) -> int:
+        return self._ncells
+
+    def advance(self):
+        step, field = super().advance()
+        ramp = np.linspace(0.0, 1.0, self._ncells)
+        return step, float(field[0]) * (1.0 + ramp) + 0.05 * step * ramp
+
+
 @dataclass(frozen=True)
 class SimulationGroup:
     """Static description of pick-freeze group i (the p+2 member runs)."""
@@ -135,7 +162,9 @@ class GroupExecutor:
     config:
         Study configuration (client ranks, transfer mode...).
     router:
-        The transport fabric to the server.
+        The transport fabric to the server — any
+        :class:`~repro.transport.base.TransportClient` (in-memory router,
+        multiprocessing queues, or TCP sockets).
     fail_at_timestep:
         Fault injection — every member "crashes" when the group reaches
         this timestep (the whole group is one failure unit, Sec. 4.2).
@@ -151,7 +180,7 @@ class GroupExecutor:
         group: SimulationGroup,
         factory: SimulationFactory,
         config: StudyConfig,
-        router: Router,
+        router: TransportClient,
         fail_at_timestep: Optional[int] = None,
         zombie: bool = False,
         straggler_factor: int = 1,

@@ -1,0 +1,296 @@
+"""Socket data channels with the paper's dual high-water-mark semantics.
+
+ZeroMQ buffers on both sides of a connection and only blocks the sending
+application when *both* buffers are full (Sec. 4.1.3).  Over a real
+socket we reproduce that with credit-based flow control:
+
+* the **sender** (:class:`SocketChannel`) owns a byte-bounded outbox — a
+  plain :class:`~repro.transport.channel.BoundedChannel`, so all the
+  :class:`~repro.transport.channel.ChannelStats` suspension accounting
+  (``send_blocks``, ``blocked_seconds``, high-water marks) carries over
+  unchanged — drained by a writer thread;
+* the **receiver** (:class:`DataListener`) grants an initial credit
+  window equal to its receive high-water mark and grants ``nbytes`` more
+  every time a frame is moved into the rank's inbox;
+* the writer thread only puts a frame on the wire while the *unacked*
+  byte count fits the window.  When the receive side stops draining, the
+  window exhausts, the writer stalls, the outbox fills, and
+  ``try_send`` starts returning False — the group suspends, exactly the
+  Fig. 6a/b mechanism, now spanning hosts.
+
+A :class:`SocketChannel` satisfies the
+:class:`~repro.transport.base.Channel` send surface; the receive side
+lives in the owning rank's inbox (ZeroMQ PULL fan-in: every connected
+client pushes into the one queue of the rank that owns the cells).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Callable, Optional, Tuple
+
+from repro.net.framing import (
+    ConnectionLost,
+    Credit,
+    FrameConnection,
+    frame_nbytes,
+    recv_frame,
+    send_frame,
+)
+from repro.transport.channel import BoundedChannel, ChannelClosed, ChannelStats
+
+
+class SocketChannel:
+    """Client end of one (worker, server-rank) data connection.
+
+    Parameters
+    ----------
+    address:
+        The server rank's data listener address.
+    send_hwm_bytes:
+        Sender-side buffer budget (``None`` = unbounded) — the client
+        half of the dual high-water mark.
+    connect_timeout:
+        Dial timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        send_hwm_bytes: Optional[int] = None,
+        name: str = "",
+        connect_timeout: float = 10.0,
+    ):
+        self.name = name or f"tcp://{address[0]}:{address[1]}"
+        self._sock = socket.create_connection(address, timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._outbox = BoundedChannel(
+            capacity_bytes=send_hwm_bytes, sizer=frame_nbytes, name=self.name
+        )
+        self._window_lock = threading.Lock()
+        self._window_changed = threading.Condition(self._window_lock)
+        self._window_limit: Optional[int] = None  # peer's advertised window
+        self._window_ready = threading.Event()
+        self._unacked = 0  # bytes written but not yet credited back
+        # end-to-end accounting for flush(): messages accepted into the
+        # channel but not yet credited by the receiver.  Incremented by
+        # the SENDING thread right after a successful try_send/send, so
+        # flush (called from that same thread) can never observe the
+        # window where the writer has popped a frame from the outbox but
+        # not yet recorded it in _unacked.
+        self._uncredited = 0
+        self._error: Optional[BaseException] = None
+        self._reader = threading.Thread(
+            target=self._read_credits, name=f"{self.name}-reader", daemon=True
+        )
+        self._writer = threading.Thread(
+            target=self._write_frames, name=f"{self.name}-writer", daemon=True
+        )
+        self._reader.start()
+        self._writer.start()
+        if not self._window_ready.wait(timeout=connect_timeout):
+            self.close()
+            raise TimeoutError(f"{self.name}: no initial credit from receiver")
+
+    # ------------------------------------------------------------------ #
+    # Channel send surface (stats live on the outbox)
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> ChannelStats:
+        return self._outbox.stats
+
+    def can_accept(self, nbytes: int) -> bool:
+        return self._outbox.can_accept(nbytes)
+
+    def try_send(self, msg: Any) -> bool:
+        self._raise_pending()
+        if not self._outbox.try_send(msg):
+            return False
+        with self._window_changed:
+            self._uncredited += 1
+        return True
+
+    def send(self, msg: Any, timeout: Optional[float] = None) -> None:
+        self._raise_pending()
+        self._outbox.send(msg, timeout=timeout)
+        with self._window_changed:
+            self._uncredited += 1
+
+    # ------------------------------------------------------------------ #
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until every sent byte has been credited by the peer.
+
+        After flush returns, each message is at least in the receiving
+        rank's inbox — the guarantee ``GROUP_DONE`` is built on.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._window_changed:
+            while self._uncredited:
+                self._raise_pending()
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"{self.name}: {self._uncredited} message(s) not yet "
+                        f"credited by the receiver after {timeout}s"
+                    )
+                self._window_changed.wait(timeout=0.05 if remaining is None else min(0.05, remaining))
+
+    def close(self) -> None:
+        self._outbox.close()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        with self._window_changed:
+            self._window_changed.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            raise ChannelClosed(f"{self.name}: connection failed") from self._error
+
+    def _read_credits(self) -> None:
+        try:
+            while True:
+                frame = recv_frame(self._sock)
+                if not isinstance(frame, Credit):
+                    raise ValueError(f"unexpected frame on data channel: {frame!r}")
+                with self._window_changed:
+                    if not self._window_ready.is_set():
+                        self._window_limit = (
+                            None if frame.nbytes < 0 else int(frame.nbytes)
+                        )
+                        self._window_ready.set()
+                    else:
+                        self._unacked -= frame.nbytes
+                        self._uncredited -= 1
+                    self._window_changed.notify_all()
+        except (ConnectionLost, OSError, ValueError) as exc:
+            self._fail(exc)
+
+    def _write_frames(self) -> None:
+        try:
+            self._window_ready.wait()
+            while True:
+                try:
+                    msg = self._outbox.recv(timeout=0.1)
+                except TimeoutError:
+                    continue
+                nbytes = frame_nbytes(msg)
+                with self._window_changed:
+                    # an oversized frame is admitted into an idle window so
+                    # it can ever be delivered (mirrors BoundedChannel)
+                    while (
+                        self._window_limit is not None
+                        and self._unacked > 0
+                        and self._unacked + nbytes > self._window_limit
+                    ):
+                        if self._error is not None:
+                            return
+                        self._window_changed.wait(timeout=0.1)
+                    self._unacked += nbytes
+                send_frame(self._sock, msg)
+        except ChannelClosed:
+            pass  # local close with the outbox drained
+        except (ConnectionLost, OSError) as exc:
+            self._fail(exc)
+
+    def _fail(self, exc: BaseException) -> None:
+        if self._error is None:
+            self._error = exc
+        self._outbox.close()
+        with self._window_changed:
+            self._window_changed.notify_all()
+
+
+class DataListener:
+    """Server-rank data endpoint: TCP fan-in into one bounded inbox.
+
+    Every accepted connection gets a reader thread that grants the
+    initial credit window, then moves frames into ``inbox`` —
+    *blocking* when the inbox is full, which is precisely what makes the
+    sender-side window exhaust and the remote simulation suspend.
+    Credits are granted only after a frame has entered the inbox.
+    """
+
+    def __init__(
+        self,
+        inbox: BoundedChannel,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        recv_hwm_bytes: Optional[int] = None,
+        on_disconnect: Optional[Callable[[str], None]] = None,
+    ):
+        self.inbox = inbox
+        self.recv_hwm_bytes = recv_hwm_bytes
+        self._on_disconnect = on_disconnect
+        self._listener = socket.create_server((host, port), backlog=64)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._closed = False
+        self._conn_lock = threading.Lock()
+        self._conns: list = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"data-accept-{self.address[1]}", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conn_lock:
+                self._conns.append(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn, f"{peer[0]}:{peer[1]}"),
+                name=f"data-conn-{peer[1]}",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket, peer: str) -> None:
+        try:
+            window = -1 if self.recv_hwm_bytes is None else int(self.recv_hwm_bytes)
+            send_frame(conn, Credit(window))
+            while True:
+                msg = recv_frame(conn)
+                nbytes = frame_nbytes(msg)
+                self.inbox.send(msg)  # blocks when the inbox is full
+                send_frame(conn, Credit(nbytes))
+        except (ConnectionLost, OSError):
+            pass  # sender went away (normal teardown or a killed worker)
+        except ChannelClosed:
+            pass  # rank is shutting down
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            if self._on_disconnect is not None:
+                self._on_disconnect(peer)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._conn_lock:
+            for conn in self._conns:
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self._conns.clear()

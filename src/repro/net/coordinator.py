@@ -1,0 +1,418 @@
+"""Rank-0 rendezvous endpoint + distributed study coordination.
+
+In the paper a starting simulation group contacts the *server's rank 0*,
+which replies with the server-side data partition so the group can open
+direct channels to exactly the intersecting ranks (Sec. 4.1.3).  The
+:class:`Coordinator` plays that role over one TCP control port, and
+additionally owns the launcher-side bookkeeping of Sec. 4.2.2:
+
+* **server ranks** register their data-listener addresses and, at the
+  end of the study, ship their rank state (+ batched index maps and
+  convergence scalar) back;
+* **group workers** request work, receive the partition + address table
+  on connect, and report finished groups;
+* **fault tolerance** — a worker that disappears (closed control
+  connection, e.g. a killed process, or a stale heartbeat) has its
+  in-flight group resubmitted to the remaining workers, up to
+  ``config.max_group_retries`` times; server ranks are told to forget
+  the dead instance's staged partials and replay protection discards
+  whatever the resubmitted run re-sends of already-integrated timesteps.
+
+The coordinator is transport policy only — statistics never flow through
+it; field data goes worker -> rank over the direct data channels.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import socket
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import StudyConfig
+from repro.core.diagnostics import unfinished_study_message
+from repro.net.framing import (
+    AddressedReply,
+    ConnectionLost,
+    FrameConnection,
+)
+from repro.mesh.partition import BlockPartition
+from repro.transport.message import ConnectionReply, ConnectionRequest, Heartbeat
+
+
+class StudyAborted(RuntimeError):
+    """A participant failed in a way the study cannot recover from."""
+
+
+def study_fingerprint(config: StudyConfig) -> dict:
+    """Facts every participant must agree on to join a study."""
+    return {
+        "ncells": config.ncells,
+        "ntimesteps": config.ntimesteps,
+        "nparams": config.nparams,
+        "ngroups": config.ngroups,
+        "seed": config.seed,
+        "server_ranks": config.server_ranks,
+        "sampling_method": config.sampling_method,
+    }
+
+
+class Coordinator:
+    """The rendezvous + work-queue process (the ``repro launch`` core).
+
+    Parameters
+    ----------
+    config:
+        The authoritative study configuration.
+    host, port:
+        Control endpoint to bind (port 0 = ephemeral).
+    worker_timeout:
+        Heartbeat staleness (seconds) after which a worker holding a
+        group is declared dead and its group resubmitted; defaults to
+        ``config.group_timeout``.
+    fault_kill_after:
+        Test hook — after handing out this many group assignments
+        (1-based), SIGKILL the worker process that received the last one
+        (requires the worker's ``hello`` to carry its pid, which the
+        loopback runtime's workers do).  Exercises the resubmission path
+        deterministically.
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_timeout: Optional[float] = None,
+        fault_kill_after: Optional[int] = None,
+    ):
+        self.config = config
+        self.fingerprint = study_fingerprint(config)
+        self.partition = BlockPartition(config.ncells, config.server_ranks)
+        self.worker_timeout = (
+            config.group_timeout if worker_timeout is None else worker_timeout
+        )
+        self.fault_kill_after = fault_kill_after
+        self._listener = socket.create_server((host, port), backlog=64)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._pending = deque(range(config.ngroups))
+        self._assigned: Dict[int, int] = {}  # worker id -> group id
+        self._retries: Dict[int, int] = {}
+        self.done: Set[int] = set()
+        self.abandoned: List[int] = []
+        self.resubmitted: List[int] = []
+        self._assign_count = 0
+        self._rank_addresses: Dict[int, Tuple[str, int]] = {}
+        self._rank_conns: Dict[int, FrameConnection] = {}
+        self.rank_states: Dict[int, dict] = {}
+        self.rank_maps: Dict[int, dict] = {}
+        self.rank_widths: Dict[int, float] = {}
+        self._worker_pids: Dict[int, Optional[int]] = {}
+        self._worker_names: Dict[int, str] = {}
+        self._last_seen: Dict[int, float] = {}
+        self._worker_conns: Dict[int, FrameConnection] = {}
+        self._next_worker_id = 0
+        self._errors: List[str] = []
+        self._finalized = False
+        self._closed = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="coordinator-accept", daemon=True
+        )
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "Coordinator":
+        self._accept_thread.start()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / main wait loop
+    # ------------------------------------------------------------------ #
+    def wait(self, timeout: float = 300.0, poll: float = 0.05) -> None:
+        """Block until every rank reported its state (study complete).
+
+        Raises a descriptive :class:`TimeoutError` naming the unfinished
+        groups and unreported ranks, or :class:`StudyAborted` on a fatal
+        participant failure.
+        """
+        deadline = time.monotonic() + timeout
+        try:
+            while True:
+                with self._changed:
+                    if self._errors:
+                        raise StudyAborted(
+                            "distributed study failed:\n" + "\n".join(self._errors)
+                        )
+                    if len(self.rank_states) == self.config.server_ranks:
+                        return
+                    if self._groups_settled() and not self._finalized:
+                        self._finalize_ranks()
+                    self._reap_stale_workers()
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(self._timeout_message(timeout))
+                    self._changed.wait(timeout=min(poll, remaining))
+        finally:
+            if len(self.rank_states) == self.config.server_ranks or self._errors:
+                self.close()
+
+    def _timeout_message(self, timeout: float) -> str:
+        return unfinished_study_message(
+            "distributed", timeout, self.config.ngroups, self.done,
+            self.abandoned, self.config.server_ranks, self.rank_states,
+        )
+
+    def _groups_settled(self) -> bool:
+        return (
+            not self._pending
+            and not self._assigned
+            and len(self.done) + len(self.abandoned) == self.config.ngroups
+        )
+
+    def _finalize_ranks(self) -> None:
+        self._finalized = True
+        for rank, conn in list(self._rank_conns.items()):
+            try:
+                conn.send({"op": "finalize"})
+            except ConnectionLost:
+                self._errors.append(f"server rank {rank} lost before finalize")
+
+    def _reap_stale_workers(self) -> None:
+        now = time.monotonic()
+        for wid, gid in list(self._assigned.items()):
+            last = self._last_seen.get(wid, now)
+            if now - last > self.worker_timeout:
+                conn = self._worker_conns.get(wid)
+                if conn is not None:
+                    conn.close()  # reader thread unblocks and resubmits
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for conn in list(self._rank_conns.values()) + list(
+            self._worker_conns.values()
+        ):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            conn = FrameConnection(sock)
+            threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="coordinator-conn", daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: FrameConnection) -> None:
+        try:
+            hello = conn.recv(timeout=self.worker_timeout)
+        except (ConnectionLost, TimeoutError):
+            conn.close()
+            return
+        if not isinstance(hello, dict):
+            conn.close()
+            return
+        if hello.get("fingerprint") != self.fingerprint:
+            with self._changed:
+                self._errors.append(
+                    f"{hello.get('op')} from {conn.peername} joined with a "
+                    f"mismatched study configuration: {hello.get('fingerprint')}"
+                    f" != {self.fingerprint}"
+                )
+                self._changed.notify_all()
+            try:
+                conn.send({"op": "error", "error": "study fingerprint mismatch"})
+            except ConnectionLost:
+                pass
+            conn.close()
+            return
+        if hello.get("op") == "register":
+            self._serve_rank_connection(conn, hello)
+        elif hello.get("op") == "hello":
+            self._serve_worker_connection(conn, hello)
+        else:
+            conn.close()
+
+    # ------------------------------------------------------------------ #
+    def _serve_rank_connection(self, conn: FrameConnection, hello: dict) -> None:
+        rank = int(hello["rank"])
+        with self._changed:
+            self._rank_addresses[rank] = tuple(hello["address"])
+            self._rank_conns[rank] = conn
+            self._changed.notify_all()
+        try:
+            conn.send({"op": "registered"})
+            while True:
+                frame = conn.recv()
+                if isinstance(frame, Heartbeat):
+                    continue
+                if isinstance(frame, dict) and frame.get("op") == "rank_state":
+                    with self._changed:
+                        self.rank_states[rank] = frame["state"]
+                        self.rank_maps[rank] = frame["maps"]
+                        self.rank_widths[rank] = frame["width"]
+                        self._changed.notify_all()
+                    return
+                if isinstance(frame, dict) and frame.get("op") == "error":
+                    with self._changed:
+                        self._errors.append(
+                            f"server rank {rank} failed:\n{frame['error']}"
+                        )
+                        self._changed.notify_all()
+                    return
+        except (ConnectionLost, TimeoutError):
+            with self._changed:
+                if rank not in self.rank_states and not self._closed:
+                    self._errors.append(
+                        f"server rank {rank} disconnected before reporting its state"
+                    )
+                self._changed.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def _serve_worker_connection(self, conn: FrameConnection, hello: dict) -> None:
+        with self._changed:
+            wid = self._next_worker_id
+            self._next_worker_id += 1
+            self._worker_pids[wid] = hello.get("pid")
+            self._worker_names[wid] = str(hello.get("worker", f"worker-{wid}"))
+            self._worker_conns[wid] = conn
+            self._last_seen[wid] = time.monotonic()
+        name = self._worker_names[wid]
+        kill_pid = None
+        try:
+            conn.send({"op": "welcome", "worker_id": wid})
+            while True:
+                frame = conn.recv()
+                self._last_seen[wid] = time.monotonic()
+                if isinstance(frame, Heartbeat):
+                    continue
+                if isinstance(frame, ConnectionRequest):
+                    conn.send(self._connection_reply(frame))
+                    continue
+                if not isinstance(frame, dict):
+                    raise StudyAborted(f"unexpected frame from {name}: {frame!r}")
+                op = frame.get("op")
+                if op == "next":
+                    reply, kill_pid = self._assign(wid)
+                    conn.send(reply)
+                    if kill_pid is not None:
+                        os.kill(kill_pid, signal.SIGKILL)  # fault-injection hook
+                elif op == "group_done":
+                    self._mark_done(wid, int(frame["group_id"]))
+                elif op == "error":
+                    with self._changed:
+                        self._errors.append(f"worker {name} failed:\n{frame['error']}")
+                        self._changed.notify_all()
+                    return
+                elif op == "bye":
+                    return
+                else:
+                    raise StudyAborted(f"unknown op from {name}: {op!r}")
+        except (ConnectionLost, TimeoutError):
+            pass  # dead worker: resubmission handled in finally
+        except StudyAborted as exc:
+            with self._changed:
+                self._errors.append(str(exc))
+                self._changed.notify_all()
+        finally:
+            conn.close()
+            self._resubmit_if_assigned(wid)
+
+    def _connection_reply(self, request: ConnectionRequest) -> AddressedReply:
+        if request.ncells != self.config.ncells:
+            raise StudyAborted(
+                f"group {request.group_id} has {request.ncells} cells, "
+                f"study configured {self.config.ncells}"
+            )
+        # the handshake blocks until every rank has registered its data
+        # address — a group can only open channels to a complete server
+        deadline = time.monotonic() + self.worker_timeout
+        with self._changed:
+            while len(self._rank_addresses) < self.config.server_ranks:
+                if time.monotonic() >= deadline:
+                    raise StudyAborted(
+                        f"only {len(self._rank_addresses)} of "
+                        f"{self.config.server_ranks} server ranks registered"
+                    )
+                self._changed.wait(timeout=0.05)
+            addresses = tuple(
+                self._rank_addresses[r] for r in range(self.config.server_ranks)
+            )
+        return AddressedReply(
+            reply=ConnectionReply(
+                nranks_server=self.partition.nranks,
+                offsets=tuple(int(o) for o in self.partition.offsets),
+            ),
+            addresses=addresses,
+        )
+
+    def _assign(self, wid: int):
+        """Next work item for a worker: a group, idle backoff, or done."""
+        with self._changed:
+            if self._groups_settled():
+                return {"op": "done"}, None
+            if not self._pending:
+                # other workers still hold groups that may yet be
+                # resubmitted; stay around
+                return {"op": "idle", "delay": 0.1}, None
+            gid = self._pending.popleft()
+            self._assigned[wid] = gid
+            self._assign_count += 1
+            kill_pid = None
+            if (
+                self.fault_kill_after is not None
+                and self._assign_count == self.fault_kill_after
+                and self._worker_pids.get(wid)
+            ):
+                kill_pid = self._worker_pids[wid]
+            self._changed.notify_all()
+            return {"op": "group", "group_id": gid}, kill_pid
+
+    def _mark_done(self, wid: int, gid: int) -> None:
+        with self._changed:
+            if self._assigned.get(wid) == gid:
+                del self._assigned[wid]
+            self.done.add(gid)
+            self._changed.notify_all()
+
+    def _resubmit_if_assigned(self, wid: int) -> None:
+        """Sec. 4.2.2 fault path: the worker died holding a group."""
+        with self._changed:
+            gid = self._assigned.pop(wid, None)
+            if gid is None or gid in self.done:
+                self._changed.notify_all()
+                return
+            self._retries[gid] = self._retries.get(gid, 0) + 1
+            if self._retries[gid] > self.config.max_group_retries:
+                self.abandoned.append(gid)
+            else:
+                self.resubmitted.append(gid)
+                self._pending.append(gid)
+            self._changed.notify_all()
+        # tell the ranks to drop the dead instance's staged partials;
+        # integrated timesteps stay and replay protection discards their
+        # re-sends, so the resubmitted run is exact
+        for rank, conn in list(self._rank_conns.items()):
+            try:
+                conn.send({"op": "forget", "group_id": gid})
+            except ConnectionLost:
+                pass

@@ -1,0 +1,328 @@
+"""Length-prefixed binary framing for the distributed transport.
+
+Every frame on the wire is::
+
+    <u32 little-endian body length> <1 tag byte> <body>
+
+Data-plane frames (``FieldMessage`` / ``GroupFieldMessage``) reuse the
+struct headers of :mod:`repro.transport.message` and carry their float64
+payloads as raw bytes.  They are written with ``socket.sendmsg`` over a
+list of buffer views — header bytes plus a zero-copy ``memoryview`` of
+the numpy payload, nothing is concatenated — and read by receiving the
+payload straight into a preallocated array with ``recv_into``.
+
+Control-plane frames are tiny: the connection handshake
+(:class:`~repro.transport.message.ConnectionRequest` /
+:class:`~repro.transport.message.ConnectionReply` + the per-rank address
+table), :class:`~repro.transport.message.Heartbeat` liveness beacons,
+flow-control :class:`Credit` grants, and a pickled ``dict`` frame for
+the coordinator protocol (work assignment, rank-state collection).
+"""
+
+from __future__ import annotations
+
+import pickle
+import select
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.transport.message import (
+    ConnectionReply,
+    ConnectionRequest,
+    FieldMessage,
+    GroupFieldMessage,
+    Heartbeat,
+)
+
+_PREFIX = struct.Struct("<I")
+_MAX_FRAME = 1 << 31  # sanity bound: one frame never exceeds 2 GiB
+
+TAG_FIELD = b"F"
+TAG_GROUP_FIELD = b"G"
+TAG_CONN_REQUEST = b"Q"
+TAG_CONN_REPLY = b"R"
+TAG_HEARTBEAT = b"H"
+TAG_CREDIT = b"C"
+TAG_CONTROL = b"P"
+
+_FIELD_HEADER = struct.Struct("<qqqqq")  # group, member, step, lo, hi
+_GROUP_HEADER = struct.Struct("<qqqqq")  # group, step, lo, hi, nmembers
+_CONN_REQUEST = struct.Struct("<qqq")  # group, ncells, nranks_client
+_CREDIT = struct.Struct("<q")  # granted bytes (-1 = unlimited initial window)
+_HEARTBEAT = struct.Struct("<d")  # time, then utf-8 sender
+
+
+class ConnectionLost(ConnectionError):
+    """Peer closed the connection (EOF mid-stream or on a frame edge)."""
+
+
+@dataclass(frozen=True)
+class Credit:
+    """Flow-control grant: the receiver consumed/buffered ``nbytes`` more.
+
+    The initial grant after accept advertises the receive window;
+    ``nbytes == -1`` means the receive side is unbounded.
+    """
+
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class AddressedReply:
+    """:class:`ConnectionReply` plus the server ranks' data addresses.
+
+    This is what the rendezvous actually hands a joining group: the
+    partition fenceposts *and* where each rank listens, so the group can
+    open direct channels to exactly the intersecting ranks.
+    """
+
+    reply: ConnectionReply
+    addresses: Tuple[Tuple[str, int], ...]
+
+
+# --------------------------------------------------------------------- #
+# encoding
+# --------------------------------------------------------------------- #
+def encode_frame(msg: Any) -> List[Any]:
+    """Buffer list for one frame (prefix+tag+header bytes, then payload
+    views).  Numpy payloads appear as zero-copy memoryviews."""
+    if isinstance(msg, FieldMessage):
+        header = _FIELD_HEADER.pack(
+            msg.group_id, msg.member, msg.timestep, msg.cell_lo, msg.cell_hi
+        )
+        payload = memoryview(msg.data).cast("B")
+        body_len = 1 + len(header) + len(payload)
+        return [_PREFIX.pack(body_len) + TAG_FIELD + header, payload]
+    if isinstance(msg, GroupFieldMessage):
+        header = _GROUP_HEADER.pack(
+            msg.group_id, msg.timestep, msg.cell_lo, msg.cell_hi, msg.nmembers
+        )
+        payload = memoryview(np.ascontiguousarray(msg.data)).cast("B")
+        body_len = 1 + len(header) + len(payload)
+        return [_PREFIX.pack(body_len) + TAG_GROUP_FIELD + header, payload]
+    if isinstance(msg, ConnectionRequest):
+        body = _CONN_REQUEST.pack(msg.group_id, msg.ncells, msg.nranks_client)
+        return [_PREFIX.pack(1 + len(body)) + TAG_CONN_REQUEST + body]
+    if isinstance(msg, AddressedReply):
+        n = msg.reply.nranks_server
+        body = struct.pack("<q", n)
+        body += struct.pack(f"<{n + 1}q", *msg.reply.offsets)
+        for host, port in msg.addresses:
+            encoded = host.encode("utf-8")
+            body += struct.pack("<Hq", len(encoded), int(port)) + encoded
+        return [_PREFIX.pack(1 + len(body)) + TAG_CONN_REPLY + body]
+    if isinstance(msg, Heartbeat):
+        body = _HEARTBEAT.pack(msg.time) + msg.sender.encode("utf-8")
+        return [_PREFIX.pack(1 + len(body)) + TAG_HEARTBEAT + body]
+    if isinstance(msg, Credit):
+        body = _CREDIT.pack(msg.nbytes)
+        return [_PREFIX.pack(1 + len(body)) + TAG_CREDIT + body]
+    if isinstance(msg, dict):
+        body = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        return [_PREFIX.pack(1 + len(body)) + TAG_CONTROL + body]
+    raise TypeError(f"cannot frame message of type {type(msg)!r}")
+
+
+def frame_nbytes(msg: Any) -> int:
+    """Wire size of one framed message (drives flow-control accounting).
+
+    Data-plane messages are computed in constant time — this runs up to
+    four times per message on the hot path (deliver probe, outbox sizer,
+    writer window accounting, receiver credit) and must not re-encode.
+    """
+    if isinstance(msg, FieldMessage):
+        return _PREFIX.size + 1 + _FIELD_HEADER.size + msg.data.nbytes
+    if isinstance(msg, GroupFieldMessage):
+        return _PREFIX.size + 1 + _GROUP_HEADER.size + msg.data.nbytes
+    return sum(len(part) for part in encode_frame(msg))
+
+
+# --------------------------------------------------------------------- #
+# socket I/O
+# --------------------------------------------------------------------- #
+def send_frame(sock: socket.socket, msg: Any) -> int:
+    """Write one frame with scatter-gather I/O; returns bytes written."""
+    parts = encode_frame(msg)
+    total = sum(len(p) for p in parts)
+    sent = 0
+    while parts:
+        n = sock.sendmsg(parts)
+        sent += n
+        if sent == total:
+            break
+        # short write: drop fully-sent buffers, trim the partial one
+        while parts and n >= len(parts[0]):
+            n -= len(parts[0])
+            parts.pop(0)
+        if parts and n:
+            parts[0] = memoryview(parts[0])[n:]
+    return total
+
+
+def _recv_exact_into(sock: socket.socket, view: memoryview) -> None:
+    while len(view):
+        n = sock.recv_into(view)
+        if n == 0:
+            raise ConnectionLost("peer closed mid-frame")
+        view = view[n:]
+
+
+def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    buf = bytearray(nbytes)
+    _recv_exact_into(sock, memoryview(buf))
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Read one frame; raises :class:`ConnectionLost` on EOF.
+
+    Field payloads are received directly into freshly allocated float64
+    arrays (no intermediate bytes object).
+    """
+    try:
+        prefix = sock.recv(_PREFIX.size, socket.MSG_WAITALL)
+    except ConnectionError as exc:
+        raise ConnectionLost(str(exc)) from exc
+    if len(prefix) == 0:
+        raise ConnectionLost("peer closed")
+    if len(prefix) < _PREFIX.size:
+        raise ConnectionLost("peer closed mid-prefix")
+    (body_len,) = _PREFIX.unpack(prefix)
+    if not 1 <= body_len <= _MAX_FRAME:
+        raise ValueError(f"invalid frame length {body_len}")
+    tag = _recv_exact(sock, 1)
+
+    if tag == TAG_FIELD:
+        header = _recv_exact(sock, _FIELD_HEADER.size)
+        group, member, step, lo, hi = _FIELD_HEADER.unpack(header)
+        data = np.empty(hi - lo, dtype=np.float64)
+        _recv_exact_into(sock, memoryview(data).cast("B"))
+        return FieldMessage(group, member, step, lo, hi, data)
+    if tag == TAG_GROUP_FIELD:
+        header = _recv_exact(sock, _GROUP_HEADER.size)
+        group, step, lo, hi, nmembers = _GROUP_HEADER.unpack(header)
+        data = np.empty((nmembers, hi - lo), dtype=np.float64)
+        _recv_exact_into(sock, memoryview(data).cast("B"))
+        return GroupFieldMessage(group, step, lo, hi, data)
+
+    body = _recv_exact(sock, body_len - 1)
+    if tag == TAG_CONN_REQUEST:
+        group, ncells, nranks_client = _CONN_REQUEST.unpack(body)
+        return ConnectionRequest(group, ncells, nranks_client)
+    if tag == TAG_CONN_REPLY:
+        (n,) = struct.unpack_from("<q", body)
+        offsets = struct.unpack_from(f"<{n + 1}q", body, 8)
+        pos = 8 + 8 * (n + 1)
+        addresses = []
+        for _ in range(n):
+            hlen, port = struct.unpack_from("<Hq", body, pos)
+            pos += 10
+            host = body[pos : pos + hlen].decode("utf-8")
+            pos += hlen
+            addresses.append((host, int(port)))
+        return AddressedReply(
+            ConnectionReply(nranks_server=n, offsets=offsets), tuple(addresses)
+        )
+    if tag == TAG_HEARTBEAT:
+        (t,) = _HEARTBEAT.unpack_from(body)
+        return Heartbeat(sender=body[_HEARTBEAT.size :].decode("utf-8"), time=t)
+    if tag == TAG_CREDIT:
+        (nbytes,) = _CREDIT.unpack(body)
+        return Credit(nbytes)
+    if tag == TAG_CONTROL:
+        return pickle.loads(body)
+    raise ValueError(f"unknown frame tag {tag!r}")
+
+
+# --------------------------------------------------------------------- #
+# connection convenience
+# --------------------------------------------------------------------- #
+class FrameConnection:
+    """Thread-safe framed connection (one writer lock, pollable reads).
+
+    The control plane uses this for request/reply exchanges and
+    heartbeats; reads are blocking (with an optional pre-poll timeout)
+    and writes are serialized so heartbeat frames can interleave with
+    protocol frames from another thread.
+    """
+
+    def __init__(self, sock: socket.socket):
+        sock.setblocking(True)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not a TCP socket (e.g. a Unix socketpair in tests)
+        self._sock = sock
+        self._wlock = threading.Lock()
+        self._closed = False
+
+    @property
+    def peername(self) -> str:
+        try:
+            peer = self._sock.getpeername()
+        except OSError:
+            return "<closed>"
+        if isinstance(peer, tuple) and len(peer) >= 2:
+            return f"{peer[0]}:{peer[1]}"
+        return str(peer) or "<unix>"
+
+    def send(self, msg: Any) -> None:
+        with self._wlock:
+            if self._closed:
+                raise ConnectionLost("connection closed locally")
+            try:
+                send_frame(self._sock, msg)
+            except (OSError, ConnectionError) as exc:
+                raise ConnectionLost(str(exc)) from exc
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when a frame prefix is readable within ``timeout``."""
+        if self._closed:
+            return False
+        readable, _, _ = select.select([self._sock], [], [], timeout)
+        return bool(readable)
+
+    def recv(self, timeout: Optional[float] = None) -> Any:
+        """Read one frame; ``TimeoutError`` if nothing arrives in time.
+
+        Control frames are tiny, so once the prefix is readable the rest
+        is read blocking.
+        """
+        if timeout is not None and not self.poll(timeout):
+            raise TimeoutError(f"no frame from {self.peername} in {timeout}s")
+        try:
+            return recv_frame(self._sock)
+        except OSError as exc:
+            raise ConnectionLost(str(exc)) from exc
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def connect_with_retry(
+    address: Tuple[str, int], timeout: float = 10.0, interval: float = 0.1
+) -> FrameConnection:
+    """Dial ``address``, retrying while the endpoint is still coming up.
+
+    ``repro serve`` / ``repro work`` processes may legitimately start
+    before ``repro launch`` binds its rendezvous port.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return FrameConnection(socket.create_connection(address, timeout=timeout))
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(interval)

@@ -1,0 +1,148 @@
+"""Server-rank process main: one :class:`ServerRank` behind a TCP door.
+
+This is what ``repro serve --rank K`` runs (and what the loopback
+:class:`~repro.runtime.distributed.DistributedRuntime` forks): a single
+Melissa Server rank as an independent OS process.  It
+
+* opens a :class:`~repro.net.channel.DataListener` (the rank's ZeroMQ
+  PULL socket) feeding a byte-bounded inbox,
+* registers its data address with the coordinator's rendezvous endpoint,
+* drains the inbox through :meth:`ServerRank.handle` while emitting
+  heartbeats and answering control ops (``forget`` on a group fault,
+  ``finalize`` at the end of the study),
+* checkpoints its rank state independently of every other rank
+  (Sec. 4.2.3 — per-rank files, restored at startup so a restarted
+  ``repro serve`` resumes its integrated statistics before new workers
+  connect; live mid-study restart with already-connected workers needs
+  the launcher-driven respawn protocol, which is ROADMAP future work),
+* and finally ships its state + batched index maps + convergence scalar
+  back to the coordinator.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+
+from repro.core.checkpoint import CheckpointManager
+from repro.core.config import StudyConfig
+from repro.core.server import ServerRank
+from repro.mesh.partition import BlockPartition
+from repro.net.channel import DataListener
+from repro.net.coordinator import study_fingerprint
+from repro.net.framing import ConnectionLost, connect_with_retry
+from repro.transport.channel import BoundedChannel
+from repro.transport.message import Heartbeat
+
+
+def run_server_rank(
+    rank_idx: int,
+    config: StudyConfig,
+    coordinator_address,
+    data_host: str = "127.0.0.1",
+    data_port: int = 0,
+    checkpoint_dir=None,
+    poll_interval: float = 0.005,
+    heartbeat_interval=None,
+) -> int:
+    """Run one server rank to study completion; returns an exit code."""
+    if heartbeat_interval is None:
+        heartbeat_interval = config.heartbeat_interval
+    partition = BlockPartition(config.ncells, config.server_ranks)
+    rank = ServerRank(rank_idx, config, partition)
+    manager = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
+    if manager is not None and manager.restore_rank(rank, config):
+        # restarted rank: integrated statistics survive; replay
+        # protection absorbs whatever reconnecting workers re-send
+        pass
+    inbox = BoundedChannel(
+        capacity_bytes=config.channel_capacity_bytes,
+        name=f"server-rank-{rank_idx}",
+    )
+    listener = DataListener(
+        inbox,
+        host=data_host,
+        port=data_port,
+        recv_hwm_bytes=config.channel_capacity_bytes,
+    )
+    ctrl = connect_with_retry(tuple(coordinator_address))
+    sender = f"server-rank-{rank_idx}"
+    try:
+        ctrl.send({
+            "op": "register",
+            "rank": rank_idx,
+            "address": listener.address,
+            "fingerprint": study_fingerprint(config),
+            "pid": os.getpid(),
+        })
+        ack = ctrl.recv(timeout=30.0)
+        if not (isinstance(ack, dict) and ack.get("op") == "registered"):
+            raise RuntimeError(f"rendezvous rejected rank {rank_idx}: {ack!r}")
+
+        last_beat = time.monotonic()
+        last_checkpoint = time.monotonic()
+        finalize = False
+        while not finalize:
+            try:
+                rank.handle(inbox.recv(timeout=poll_interval), time.monotonic())
+            except TimeoutError:
+                pass
+            # opportunistically drain whatever else is already queued
+            while True:
+                msg = inbox.try_recv()
+                if msg is None:
+                    break
+                rank.handle(msg, time.monotonic())
+            now = time.monotonic()
+            if now - last_beat >= heartbeat_interval:
+                ctrl.send(Heartbeat(sender=sender, time=time.time()))
+                last_beat = now
+            while ctrl.poll(0.0):
+                frame = ctrl.recv()
+                if not isinstance(frame, dict):
+                    continue
+                op = frame.get("op")
+                if op == "forget":
+                    rank.forget_group(int(frame["group_id"]))
+                elif op == "finalize":
+                    finalize = True
+                elif op == "error":
+                    raise RuntimeError(f"coordinator error: {frame.get('error')}")
+            if (
+                manager is not None
+                and now - last_checkpoint >= config.checkpoint_interval
+            ):
+                manager.save_rank(rank, config)
+                last_checkpoint = now
+
+        # all workers flushed before the coordinator finalized, so every
+        # in-flight frame is already in the inbox: drain it completely
+        while True:
+            msg = inbox.try_recv()
+            if msg is None:
+                break
+            rank.handle(msg, time.monotonic())
+
+        maps = rank.index_maps()
+        width = float(rank.sobol.max_interval_width())
+        if manager is not None:
+            manager.save_rank(rank, config)
+        ctrl.send({
+            "op": "rank_state",
+            "rank": rank_idx,
+            "state": rank.checkpoint_state(),
+            "maps": maps,
+            "width": width,
+        })
+        return 0
+    except BaseException:
+        try:
+            ctrl.send({"op": "error", "error": traceback.format_exc()})
+        except (ConnectionLost, OSError):
+            pass
+        raise
+    finally:
+        listener.close()
+        inbox.close()
+        ctrl.close()

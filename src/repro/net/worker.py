@@ -1,0 +1,259 @@
+"""Group-worker process main + the TCP :class:`SocketRouter`.
+
+This is what ``repro work`` runs (and what the loopback
+:class:`~repro.runtime.distributed.DistributedRuntime` forks): a worker
+that pulls group ids from the coordinator, runs each
+:class:`~repro.core.group.GroupExecutor` to completion, and streams
+field messages to the server ranks over direct socket channels.
+
+The :class:`SocketRouter` is the TCP implementation of
+:class:`~repro.transport.base.TransportClient`: the dynamic-connection
+handshake goes through the rendezvous (server partition + address
+table), then data channels are opened lazily — only to the ranks whose
+cell ranges the worker's messages actually intersect, the paper's N x M
+pattern — and kept open across the worker's successive groups.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.config import StudyConfig
+from repro.core.group import (
+    GroupExecutor,
+    GroupState,
+    SimulationFactory,
+    SimulationGroup,
+)
+from repro.mesh.partition import BlockPartition
+from repro.net.channel import SocketChannel
+from repro.net.coordinator import study_fingerprint
+from repro.net.framing import (
+    AddressedReply,
+    ConnectionLost,
+    FrameConnection,
+    connect_with_retry,
+    frame_nbytes,
+)
+from repro.sampling.pickfreeze import draw_design
+from repro.transport.message import (
+    ConnectionReply,
+    ConnectionRequest,
+    Heartbeat,
+    split_by_partition,
+)
+
+
+class SocketRouter:
+    """Socket-backed client transport (implements ``TransportClient``).
+
+    ``connect`` performs the paper's rendezvous exactly once per worker:
+    ask the rank-0 endpoint for the server partition, learn each rank's
+    data address, and from then on open one
+    :class:`~repro.net.channel.SocketChannel` per intersecting rank on
+    first use.  ``deliver`` splits along the server partition like every
+    other transport and applies the all-or-nothing probe so a retried
+    whole message cannot re-send chunks that already landed.
+    """
+
+    def __init__(self, ctrl: FrameConnection, config: StudyConfig, name: str = "worker"):
+        self._ctrl = ctrl
+        self.config = config
+        self.name = name
+        self.server_partition: Optional[BlockPartition] = None
+        self._reply: Optional[ConnectionReply] = None
+        self._addresses: Optional[Tuple[Tuple[str, int], ...]] = None
+        self._channels: Dict[int, SocketChannel] = {}
+        self._connected: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    def connect(self, request: ConnectionRequest) -> ConnectionReply:
+        if self._reply is None:
+            self._ctrl.send(request)
+            frame = self._ctrl.recv(timeout=self.config.group_timeout)
+            if isinstance(frame, dict) and frame.get("op") == "error":
+                raise RuntimeError(f"rendezvous refused connection: {frame['error']}")
+            if not isinstance(frame, AddressedReply):
+                raise RuntimeError(f"unexpected rendezvous reply: {frame!r}")
+            partition = BlockPartition(request.ncells, frame.reply.nranks_server)
+            if tuple(int(o) for o in partition.offsets) != frame.reply.offsets:
+                raise RuntimeError("server partition fenceposts do not match")
+            self._reply = frame.reply
+            self._addresses = frame.addresses
+            self.server_partition = partition
+        self._connected.add(request.group_id)
+        return self._reply
+
+    def is_connected(self, group_id: int) -> bool:
+        return group_id in self._connected
+
+    def disconnect(self, group_id: int) -> None:
+        self._connected.discard(group_id)
+
+    # ------------------------------------------------------------------ #
+    def _channel(self, rank: int) -> SocketChannel:
+        channel = self._channels.get(rank)
+        if channel is None:
+            channel = SocketChannel(
+                self._addresses[rank],
+                send_hwm_bytes=self.config.channel_capacity_bytes,
+                name=f"{self.name}->rank{rank}",
+            )
+            self._channels[rank] = channel
+        return channel
+
+    def deliver(self, msg, blocking: bool = False) -> bool:
+        if self.server_partition is None:
+            raise RuntimeError("deliver before connect")
+        chunks = split_by_partition(msg, self.server_partition)
+        if blocking:
+            for rank, chunk in chunks:
+                self._channel(rank).send(chunk)
+            return True
+        if len(chunks) > 1 and not all(
+            self._channel(rank).can_accept(frame_nbytes(chunk))
+            for rank, chunk in chunks
+        ):
+            return False
+        for rank, chunk in chunks:
+            if not self._channel(rank).try_send(chunk):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Wait until every channel's bytes are credited by its rank."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for channel in self._channels.values():
+            remaining = None if deadline is None else deadline - time.monotonic()
+            channel.flush(timeout=remaining)
+
+    def total_stats(self) -> Dict[str, int]:
+        agg = {
+            "messages_sent": 0,
+            "bytes_sent": 0,
+            "send_blocks": 0,
+            "blocked_seconds": 0.0,
+            "high_water_bytes": 0,
+        }
+        for channel in self._channels.values():
+            stats = channel.stats
+            agg["messages_sent"] += stats.messages_sent
+            agg["bytes_sent"] += stats.bytes_sent
+            agg["send_blocks"] += stats.send_blocks
+            agg["blocked_seconds"] += stats.blocked_seconds
+            agg["high_water_bytes"] = max(
+                agg["high_water_bytes"], stats.high_water_bytes
+            )
+        return agg
+
+    def close(self) -> None:
+        for channel in self._channels.values():
+            channel.close()
+        self._channels.clear()
+
+
+# --------------------------------------------------------------------- #
+def run_worker(
+    config: StudyConfig,
+    factory: SimulationFactory,
+    coordinator_address,
+    name: str = "",
+    poll_interval: float = 0.005,
+    heartbeat_interval=None,
+    design=None,
+) -> int:
+    """Pull groups from the coordinator and run them to completion."""
+    if heartbeat_interval is None:
+        heartbeat_interval = config.heartbeat_interval
+    if design is None:
+        design = draw_design(
+            config.space, config.ngroups, seed=config.seed,
+            method=config.sampling_method,
+        )
+    name = name or f"worker-{os.getpid()}"
+    ctrl = connect_with_retry(tuple(coordinator_address))
+    router = SocketRouter(ctrl, config, name=name)
+    try:
+        ctrl.send({
+            "op": "hello",
+            "worker": name,
+            "pid": os.getpid(),
+            "fingerprint": study_fingerprint(config),
+        })
+        welcome = ctrl.recv(timeout=30.0)
+        if not (isinstance(welcome, dict) and welcome.get("op") == "welcome"):
+            raise RuntimeError(f"coordinator rejected worker {name}: {welcome!r}")
+
+        last_beat = time.monotonic()
+        in_group = False
+        while True:
+            ctrl.send({"op": "next"})
+            frame = ctrl.recv(timeout=config.group_timeout)
+            op = frame.get("op") if isinstance(frame, dict) else None
+            if op == "done":
+                break
+            if op == "idle":
+                time.sleep(float(frame.get("delay", 0.1)))
+                continue
+            if op == "error":
+                raise RuntimeError(f"coordinator error: {frame['error']}")
+            if op != "group":
+                raise RuntimeError(f"unexpected assignment frame: {frame!r}")
+            group_id = int(frame["group_id"])
+            in_group = True
+            executor = GroupExecutor(
+                SimulationGroup.from_design(design, group_id),
+                factory,
+                config,
+                router,
+            )
+            executor.initialize()
+            while executor.state != GroupState.FINISHED:
+                state = executor.process_step()
+                if state == GroupState.BLOCKED:
+                    # ZeroMQ-style suspension: both buffers full, wait
+                    time.sleep(poll_interval)
+                now = time.monotonic()
+                if now - last_beat >= heartbeat_interval:
+                    ctrl.send(Heartbeat(sender=name, time=time.time()))
+                    last_beat = now
+            # GROUP_DONE is a delivery guarantee: only claim it once every
+            # sent byte has been credited back by the receiving ranks.
+            # Flush in heartbeat-sized slices: a long back-pressured drain
+            # must not look like control-plane silence to the coordinator
+            # (which reaps workers after worker_timeout without a frame).
+            flush_deadline = time.monotonic() + config.group_timeout
+            while True:
+                try:
+                    router.flush(timeout=heartbeat_interval)
+                    break
+                except TimeoutError:
+                    if time.monotonic() >= flush_deadline:
+                        raise
+                    ctrl.send(Heartbeat(sender=name, time=time.time()))
+                    last_beat = time.monotonic()
+            ctrl.send({"op": "group_done", "group_id": group_id})
+            in_group = False
+        try:
+            ctrl.send({"op": "bye"})
+        except (ConnectionLost, OSError):
+            pass  # coordinator already gone: nothing left to say
+        return 0
+    except (ConnectionLost, OSError):
+        # the coordinator went away.  Between groups (idle backoff, next
+        # request) that is how a completed study looks to a straggling
+        # worker — exit cleanly; mid-group it is a real failure.
+        return 1 if in_group else 0
+    except BaseException:
+        try:
+            ctrl.send({"op": "error", "error": traceback.format_exc()})
+        except (ConnectionLost, OSError):
+            pass
+        raise
+    finally:
+        router.close()
+        ctrl.close()

@@ -16,10 +16,22 @@ streams; a *runtime* supplies the execution model:
   its own ``multiprocessing`` worker fed by a per-rank queue and groups
   run on a process pool — the share-nothing layout the paper gets from
   MPI, without the GIL ceiling of the threaded driver.
+* :class:`DistributedRuntime` — socket driver: server ranks and group
+  workers are independent OS processes connected over TCP through
+  :mod:`repro.net` (the paper's ZeroMQ deployment shape).  The class
+  runs the loopback single-host arrangement; the same processes span
+  machines via the CLI (``repro serve`` / ``repro work`` /
+  ``repro launch``).
 """
 
+from repro.runtime.distributed import DistributedRuntime
 from repro.runtime.process import ProcessRuntime
 from repro.runtime.sequential import SequentialRuntime
 from repro.runtime.threaded import ThreadedRuntime
 
-__all__ = ["ProcessRuntime", "SequentialRuntime", "ThreadedRuntime"]
+__all__ = [
+    "DistributedRuntime",
+    "ProcessRuntime",
+    "SequentialRuntime",
+    "ThreadedRuntime",
+]

@@ -1,0 +1,190 @@
+"""Distributed driver: server ranks and group workers as OS processes.
+
+This is the deployment shape of the paper — independent processes
+connected only by sockets — driven end to end.  Two modes share all of
+the machinery in :mod:`repro.net`:
+
+* **loopback** (this class): :meth:`DistributedRuntime.run` forks every
+  ``repro serve``-equivalent rank process and ``repro work``-equivalent
+  group worker on this host, connects them over 127.0.0.1 TCP, and
+  assembles :class:`~repro.core.results.StudyResults` exactly like the
+  other runtimes.  ``SensitivityStudy.run(runtime="distributed")`` lands
+  here; it is what tests and CI exercise.
+* **multi-host** (the CLI): ``repro launch`` runs only the coordinator;
+  ``repro serve --rank K`` / ``repro work`` processes started on any
+  machine dial in.  Same wire protocol, same coordinator — the loopback
+  mode is literally the multi-host mode with the fork shortcut.
+
+Statistics parity: each (cell, timestep) lives on exactly one rank and
+group folds commute, so results match the sequential driver to tight
+floating-point tolerance; the integration tests assert rtol 1e-10.
+
+Fault path: a killed group worker drops its control connection; the
+coordinator resubmits the in-flight group, ranks forget its staged
+partials, and replay protection keeps the statistics exact
+(Sec. 4.2.1/4.2.2) — asserted by the kill test.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import StudyConfig
+from repro.core.group import SimulationFactory
+from repro.core.results import StudyResults
+from repro.core.server import MelissaServer
+from repro.net.coordinator import Coordinator
+from repro.net.serve import run_server_rank
+from repro.net.worker import run_worker
+from repro.sampling.pickfreeze import draw_design
+
+
+class DistributedRuntime:
+    """Socket-transport execution of one study (loopback convenience).
+
+    Parameters
+    ----------
+    nworkers:
+        Group-worker process count (the "machine" capacity).
+    host, port:
+        Coordinator bind address (port 0 = ephemeral); rank data
+        listeners bind ephemeral ports on the same interface.
+    checkpoint_dir:
+        When set, every rank process checkpoints/restores its own file
+        there on ``config.checkpoint_interval`` cadence.
+    fault_kill_after:
+        Test hook forwarded to the coordinator: SIGKILL the worker that
+        receives the Nth group assignment, exercising resubmission.
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig,
+        factory: SimulationFactory,
+        nworkers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_interval: float = 0.005,
+        heartbeat_interval: Optional[float] = None,
+        checkpoint_dir=None,
+        fault_kill_after: Optional[int] = None,
+    ):
+        if nworkers < 1:
+            raise ValueError("nworkers must be >= 1")
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError(
+                "DistributedRuntime's loopback mode requires the fork start "
+                "method (Linux/macOS): simulation factories (closures) are "
+                "inherited, not pickled; on other platforms run the CLI "
+                "processes (repro serve / repro work / repro launch) instead"
+            )
+        self.config = config
+        self.factory = factory
+        self.nworkers = nworkers
+        self.host = host
+        self.port = port
+        self.poll_interval = poll_interval
+        self.heartbeat_interval = (
+            config.heartbeat_interval if heartbeat_interval is None
+            else heartbeat_interval
+        )
+        self.checkpoint_dir = checkpoint_dir
+        self.fault_kill_after = fault_kill_after
+        self._ctx = mp.get_context("fork")
+        self.design = draw_design(
+            config.space, config.ngroups, seed=config.seed,
+            method=config.sampling_method,
+        )
+        self.coordinator: Optional[Coordinator] = None
+        self.server_procs: List = []
+        self.worker_procs: List = []
+
+    # ------------------------------------------------------------------ #
+    def run(self, timeout: float = 300.0) -> StudyResults:
+        """Spawn ranks + workers, coordinate, assemble results."""
+        # warm the compiled-kernel cache before forking (same rationale as
+        # ProcessRuntime: avoid duplicate C compiles in every rank)
+        from repro.kernels import resolve_spec, warm_compiled_backends
+
+        if resolve_spec(self.config.kernel) in ("auto", "cext"):
+            warm_compiled_backends()
+
+        coordinator = Coordinator(
+            self.config,
+            host=self.host,
+            port=self.port,
+            fault_kill_after=self.fault_kill_after,
+        ).start()
+        self.coordinator = coordinator
+        ctx = self._ctx
+        self.server_procs = [
+            ctx.Process(
+                target=run_server_rank,
+                args=(rank, self.config, coordinator.address),
+                kwargs={
+                    "data_host": self.host,
+                    "checkpoint_dir": self.checkpoint_dir,
+                    "poll_interval": self.poll_interval,
+                    "heartbeat_interval": self.heartbeat_interval,
+                },
+                name=f"repro-serve-{rank}",
+                daemon=True,
+            )
+            for rank in range(self.config.server_ranks)
+        ]
+        nworkers = min(self.nworkers, self.config.ngroups)
+        self.worker_procs = [
+            ctx.Process(
+                target=run_worker,
+                args=(self.config, self.factory, coordinator.address),
+                kwargs={
+                    "name": f"worker-{i}",
+                    "poll_interval": self.poll_interval,
+                    "heartbeat_interval": self.heartbeat_interval,
+                    "design": self.design,
+                },
+                name=f"repro-work-{i}",
+                daemon=True,
+            )
+            for i in range(nworkers)
+        ]
+        try:
+            for proc in self.server_procs + self.worker_procs:
+                proc.start()
+            coordinator.wait(timeout=timeout)
+            for proc in self.server_procs + self.worker_procs:
+                proc.join(timeout=10.0)
+        finally:
+            coordinator.close()
+            for proc in self.server_procs + self.worker_procs:
+                if proc.is_alive():
+                    proc.terminate()
+        return assemble_results(self.config, coordinator, runtime=self)
+
+
+def assemble_results(
+    config: StudyConfig, coordinator: Coordinator, runtime=None
+) -> StudyResults:
+    """Results from a completed coordinator (loopback or CLI launch).
+
+    Identical shape to the process runtime's parent-side reduction: the
+    ranks already computed their index maps and convergence scalar; here
+    we only restore states, concatenate, and max-reduce.
+    """
+    server = MelissaServer(config)
+    for rank in server.ranks:
+        rank.restore_state(coordinator.rank_states[rank.rank])
+    if runtime is not None:
+        runtime.server = server
+    widths = [coordinator.rank_widths[r] for r in sorted(coordinator.rank_widths)]
+    valid = [w for w in widths if not np.isnan(w)]
+    return StudyResults.from_server(
+        server,
+        parameter_names=tuple(config.space.names),
+        rank_maps=[coordinator.rank_maps[r] for r in sorted(coordinator.rank_maps)],
+        max_interval_width=max(valid) if valid else float("inf"),
+        abandoned_groups=sorted(coordinator.abandoned),
+    )

@@ -36,6 +36,7 @@ from typing import List, Optional, Set
 import numpy as np
 
 from repro.core.config import StudyConfig
+from repro.core.diagnostics import unfinished_study_message
 from repro.core.group import GroupExecutor, GroupState, SimulationFactory, SimulationGroup
 from repro.core.results import StudyResults
 from repro.core.server import MelissaServer, ServerRank
@@ -97,7 +98,7 @@ class _QueueRouter:
         return True
 
 
-def _server_worker(rank_idx, config, inbox, results, errors):
+def _server_worker(rank_idx, config, inbox, results, errors, beats, beat_interval):
     """Own one ServerRank: drain the inbox, then ship the rank state.
 
     The rank-local reductions run HERE, in the worker, before shipping:
@@ -105,15 +106,33 @@ def _server_worker(rank_idx, config, inbox, results, errors):
     the rank's convergence scalar.  The parent then only concatenates
     maps and max-reduces scalars instead of redoing every correlation in
     serial — the two reductions that used to dominate post-study time.
+
+    While draining, the worker emits :class:`Heartbeat` beacons on
+    ``beats`` every ``beat_interval`` seconds so the parent can tell a
+    dead rank worker from a slow one and fail fast (Sec. 4.2.2's
+    launcher-side liveness, in-host edition).
     """
+    from repro.transport.message import Heartbeat
+
+    sender = f"server-rank-{rank_idx}"
     try:
         partition = BlockPartition(config.ncells, config.server_ranks)
         rank = ServerRank(rank_idx, config, partition)
+        last_beat = time.monotonic()
         while True:
-            msg = inbox.get()
+            try:
+                msg = inbox.get(timeout=beat_interval)
+            except _queue.Empty:
+                beats.put(Heartbeat(sender=sender, time=time.monotonic()))
+                last_beat = time.monotonic()
+                continue
             if msg is None:
                 break
             rank.handle(msg, time.monotonic())
+            now = time.monotonic()
+            if now - last_beat >= beat_interval:
+                beats.put(Heartbeat(sender=sender, time=now))
+                last_beat = now
         maps = rank.index_maps()
         width = rank.sobol.max_interval_width()
         results.put((rank_idx, rank.checkpoint_state(), maps, width))
@@ -121,8 +140,13 @@ def _server_worker(rank_idx, config, inbox, results, errors):
         errors.put(f"server rank {rank_idx}:\n{traceback.format_exc()}")
 
 
-def _group_worker(config, factory, design, rank_queues, work, errors, poll_interval):
-    """Run groups to completion, one at a time, until the work queue drains."""
+def _group_worker(config, factory, design, rank_queues, work, errors, progress,
+                  poll_interval):
+    """Run groups to completion, one at a time, until the work queue drains.
+
+    Every finished group is reported on ``progress`` so a study-level
+    timeout can name exactly which groups never completed.
+    """
     try:
         partition = BlockPartition(config.ncells, config.server_ranks)
         router = _QueueRouter(partition, rank_queues)
@@ -142,6 +166,7 @@ def _group_worker(config, factory, design, rank_queues, work, errors, poll_inter
                 if state == GroupState.BLOCKED:
                     # ZeroMQ-style suspension: rank queue full, wait
                     time.sleep(poll_interval)
+            progress.put(group_id)
     except BaseException:  # noqa: BLE001
         errors.put(f"group worker:\n{traceback.format_exc()}")
 
@@ -175,6 +200,7 @@ class ProcessRuntime:
         max_concurrent_groups: int = 4,
         queue_depth: Optional[int] = None,
         poll_interval: float = 0.005,
+        heartbeat_interval: Optional[float] = None,
     ):
         if max_concurrent_groups < 1:
             raise ValueError("max_concurrent_groups must be >= 1")
@@ -187,6 +213,10 @@ class ProcessRuntime:
         self.factory = factory
         self.max_concurrent_groups = max_concurrent_groups
         self.poll_interval = poll_interval
+        self.heartbeat_interval = (
+            config.heartbeat_interval if heartbeat_interval is None
+            else heartbeat_interval
+        )
         self._ctx = mp.get_context("fork")
         self.design = draw_design(
             config.space, config.ngroups, seed=config.seed,
@@ -206,7 +236,15 @@ class ProcessRuntime:
 
     # ------------------------------------------------------------------ #
     def run(self, timeout: float = 300.0) -> StudyResults:
-        """Execute all groups; returns assembled results."""
+        """Execute all groups; returns assembled results.
+
+        ``timeout`` bounds the WHOLE study — group execution, queue
+        drains, and rank-state collection share one deadline — and a
+        breach raises a :class:`TimeoutError` naming the unfinished
+        groups and unreported server ranks.  A server-rank worker that
+        dies (its heartbeat goes silent and the process is gone) fails
+        the study immediately instead of hanging until the deadline.
+        """
         # warm the compiled-kernel cache in the parent BEFORE forking: on
         # a cold cache every rank worker would otherwise race into its own
         # duplicate C compile during its first fold
@@ -219,11 +257,14 @@ class ProcessRuntime:
         rank_queues = [ctx.Queue(maxsize=depth) for _ in range(self.config.server_ranks)]
         results_q = ctx.Queue()
         errors_q = ctx.Queue()
+        beats_q = ctx.Queue()
+        progress_q = ctx.Queue()
 
         servers = [
             ctx.Process(
                 target=_server_worker,
-                args=(r, self.config, rank_queues[r], results_q, errors_q),
+                args=(r, self.config, rank_queues[r], results_q, errors_q,
+                      beats_q, self.heartbeat_interval),
                 name=f"server-{r}",
                 daemon=True,
             )
@@ -240,7 +281,7 @@ class ProcessRuntime:
                 target=_group_worker,
                 args=(
                     self.config, self.factory, self.design, rank_queues,
-                    work, errors_q, self.poll_interval,
+                    work, errors_q, progress_q, self.poll_interval,
                 ),
                 name=f"group-worker-{i}",
                 daemon=True,
@@ -250,6 +291,11 @@ class ProcessRuntime:
 
         deadline = time.monotonic() + timeout
         procs = servers + workers
+        self._done_groups = set()
+        self._last_beat = {r: time.monotonic() for r in range(len(servers))}
+        states = {}
+        rank_maps = {}
+        rank_widths = {}
         try:
             for proc in procs:
                 proc.start()
@@ -258,11 +304,13 @@ class ProcessRuntime:
                 # surfaces immediately instead of after the full timeout
                 while True:
                     self._check_errors(errors_q)
+                    self._drain_progress(progress_q, beats_q)
+                    self._check_server_liveness(servers, states)
                     worker.join(timeout=min(0.25, max(0.0, deadline - time.monotonic())))
                     if not worker.is_alive():
                         break
                     if time.monotonic() >= deadline:
-                        raise TimeoutError("process study did not finish in time")
+                        raise TimeoutError(self._timeout_message(timeout, states))
                 if worker.exitcode not in (0, None):
                     self._check_errors(errors_q)
                     raise RuntimeError(
@@ -271,18 +319,17 @@ class ProcessRuntime:
             # all groups done and their messages flushed: stop the ranks
             for q in rank_queues:
                 q.put(None)
-            states = {}
-            rank_maps = {}
-            rank_widths = {}
             while len(states) < len(servers):
                 self._check_errors(errors_q)
+                self._drain_progress(progress_q, beats_q)
+                self._check_server_liveness(servers, states)
                 try:
                     rank_idx, state, maps, width = results_q.get(
-                        timeout=min(1.0, max(0.05, deadline - time.monotonic()))
+                        timeout=min(0.25, max(0.05, deadline - time.monotonic()))
                     )
                 except _queue.Empty:
                     if time.monotonic() > deadline:
-                        raise TimeoutError("server ranks did not report in time")
+                        raise TimeoutError(self._timeout_message(timeout, states))
                     continue
                 states[rank_idx] = state
                 rank_maps[rank_idx] = maps
@@ -323,3 +370,51 @@ class ProcessRuntime:
                 break
         if failures:
             raise RuntimeError("worker failure:\n" + "\n".join(failures))
+
+    def _drain_progress(self, progress_q, beats_q) -> None:
+        """Fold completed-group reports and rank heartbeats into state."""
+        while True:
+            try:
+                self._done_groups.add(progress_q.get_nowait())
+            except _queue.Empty:
+                break
+        while True:
+            try:
+                beat = beats_q.get_nowait()
+            except _queue.Empty:
+                break
+            rank_idx = int(beat.sender.rsplit("-", 1)[1])
+            self._last_beat[rank_idx] = time.monotonic()
+
+    def _check_server_liveness(self, servers, states) -> None:
+        """Fail fast on a dead server-rank worker (Heartbeat gone silent).
+
+        A rank whose heartbeat is stale is only fatal when its process is
+        actually gone — a rank buried in a long fold is slow, not dead.
+        """
+        stale_after = max(4 * self.heartbeat_interval, 2.0)
+        now = time.monotonic()
+        for rank_idx, proc in enumerate(servers):
+            if rank_idx in states or proc.is_alive() or proc.exitcode is None:
+                continue
+            silence = now - self._last_beat.get(rank_idx, now)
+            if proc.exitcode != 0:
+                raise RuntimeError(
+                    f"server rank {rank_idx} worker died (exit code "
+                    f"{proc.exitcode}, last heartbeat {silence:.1f}s ago) "
+                    "before reporting its state; failing fast instead of "
+                    "waiting for the study timeout"
+                )
+            # clean exit: its result may still be in the pipe — give it a
+            # heartbeat-staleness grace period before declaring it lost
+            if silence > stale_after:
+                raise RuntimeError(
+                    f"server rank {rank_idx} worker exited without reporting "
+                    f"its state (heartbeat silent for {silence:.1f}s)"
+                )
+
+    def _timeout_message(self, timeout: float, states) -> str:
+        return unfinished_study_message(
+            "process", timeout, self.config.ngroups, self._done_groups, (),
+            self.config.server_ranks, states,
+        )

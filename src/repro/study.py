@@ -8,8 +8,10 @@ behind two constructors:
 * :meth:`SensitivityStudy.for_tube_bundle` — the paper's CFD use case.
 
 ``run()`` executes on the deterministic sequential runtime by default;
-pass ``runtime="threaded"`` for the thread-concurrent driver or
-``runtime="process"`` for the multi-core share-nothing driver.
+pass ``runtime="threaded"`` for the thread-concurrent driver,
+``runtime="process"`` for the multi-core share-nothing driver, or
+``runtime="distributed"`` for the socket-transport driver (loopback
+rank/worker processes here; the same processes span hosts via the CLI).
 """
 
 from __future__ import annotations
@@ -142,6 +144,22 @@ class SensitivityStudy:
                 raise ValueError("fault injection requires the sequential runtime")
             driver = ProcessRuntime(self.config, self.factory, **runtime_kwargs)
             self.results = driver.run()
+            self.driver = driver
+        elif runtime == "distributed":
+            from repro.runtime import DistributedRuntime
+
+            if fault_plan is not None and not fault_plan.empty:
+                raise ValueError("fault injection requires the sequential runtime")
+            run_kwargs = {}
+            if "timeout" in runtime_kwargs:
+                run_kwargs["timeout"] = runtime_kwargs.pop("timeout")
+            driver = DistributedRuntime(
+                self.config,
+                self.factory,
+                checkpoint_dir=checkpoint_dir,
+                **runtime_kwargs,
+            )
+            self.results = driver.run(**run_kwargs)
             self.driver = driver
         else:
             raise ValueError(f"unknown runtime {runtime!r}")

@@ -22,6 +22,7 @@ from repro.transport.message import (
     GroupFieldMessage,
     Heartbeat,
 )
+from repro.transport.base import Channel, TransportClient
 from repro.transport.channel import BoundedChannel, ChannelClosed, ChannelStats
 from repro.transport.router import Endpoint, Router, redistribution_plan
 
@@ -31,6 +32,8 @@ __all__ = [
     "ConnectionRequest",
     "ConnectionReply",
     "Heartbeat",
+    "Channel",
+    "TransportClient",
     "BoundedChannel",
     "ChannelClosed",
     "ChannelStats",

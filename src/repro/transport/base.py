@@ -1,0 +1,71 @@
+"""Transport-agnostic protocols shared by every channel/router flavour.
+
+Three transports implement the paper's connection pattern today:
+
+* :class:`repro.transport.router.Router` — in-memory bounded channels
+  (sequential and threaded runtimes);
+* ``repro.runtime.process._QueueRouter`` — multiprocessing queues
+  (process runtime, one host);
+* :class:`repro.net.worker.SocketRouter` — length-prefixed TCP frames
+  (distributed runtime, many hosts).
+
+:class:`GroupExecutor` only ever talks to the :class:`TransportClient`
+surface below, so the group logic cannot grow a dependency on any one
+fabric; the protocols are ``runtime_checkable`` and the transport tests
+assert conformance for all three.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol, runtime_checkable
+
+from repro.transport.message import ConnectionReply, ConnectionRequest
+
+
+@runtime_checkable
+class Channel(Protocol):
+    """The send surface of one bounded FIFO with ZeroMQ-like dual-buffer
+    blocking semantics — what routers and group executors program
+    against.
+
+    ``try_send`` must return False (not raise) when the channel is full,
+    and implementations must account traffic in a
+    :class:`~repro.transport.channel.ChannelStats` exposed as ``stats``
+    — the Fig. 6a/b suspension analysis is built on those counters.
+    :class:`~repro.transport.channel.BoundedChannel` additionally offers
+    the receive side; for :class:`~repro.net.channel.SocketChannel` the
+    receive side lives in the remote rank's inbox.
+    """
+
+    def try_send(self, msg: Any) -> bool: ...
+
+    def send(self, msg: Any, timeout: Optional[float] = None) -> None: ...
+
+    def can_accept(self, nbytes: int) -> bool: ...
+
+    def close(self) -> None: ...
+
+
+@runtime_checkable
+class TransportClient(Protocol):
+    """What a :class:`~repro.core.group.GroupExecutor` needs from "the
+    network": the dynamic connection handshake of Sec. 4.1.3 plus
+    back-pressured delivery along the server partition.
+    """
+
+    @property
+    def server_partition(self):  # -> BlockPartition
+        ...
+
+    def connect(self, request: ConnectionRequest) -> ConnectionReply: ...
+
+    def is_connected(self, group_id: int) -> bool: ...
+
+    def disconnect(self, group_id: int) -> None: ...
+
+    def deliver(self, msg: Any, blocking: bool = False) -> bool:
+        """Deliver one message (splitting along the server partition);
+        False means "would block" and the caller must retry the whole
+        message later — implementations must make non-blocking split
+        delivery all-or-nothing (or rely on replay protection)."""
+        ...

@@ -47,6 +47,12 @@ def redistribution_plan(
 class Router:
     """Network fabric: connection handshake + per-pair bounded channels.
 
+    This is the in-memory :class:`~repro.transport.base.TransportClient`;
+    ``repro.runtime.process._QueueRouter`` (multiprocessing queues) and
+    :class:`repro.net.worker.SocketRouter` (TCP) implement the same
+    protocol, so :class:`~repro.core.group.GroupExecutor` is agnostic to
+    which fabric carries its messages.
+
     Parameters
     ----------
     server_partition:

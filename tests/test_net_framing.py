@@ -1,0 +1,427 @@
+"""Unit tests for the socket transport: wire framing, credit flow
+control, and partition-boundary splitting through the framed path.
+
+The splitting cases mirror the PR 1 straddle fixtures (a message
+covering [3, 8) over ranks owning [0,5)/[5,10), ragged partitions,
+multi-rank straddles) but push every byte through real loopback TCP:
+SocketRouter -> frames -> DataListener -> rank inbox -> ServerRank.
+"""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.server import MelissaServer, ServerRank
+from repro.mesh.partition import BlockPartition
+from repro.net.channel import DataListener, SocketChannel
+from repro.net.framing import (
+    AddressedReply,
+    ConnectionLost,
+    Credit,
+    FrameConnection,
+    frame_nbytes,
+    recv_frame,
+    send_frame,
+)
+from repro.sampling import ParameterSpace, Uniform
+from repro.transport.base import Channel, TransportClient
+from repro.transport.channel import BoundedChannel
+from repro.transport.message import (
+    ConnectionReply,
+    ConnectionRequest,
+    FieldMessage,
+    GroupFieldMessage,
+    Heartbeat,
+)
+
+
+def make_config(ncells=10, ntimesteps=3, nparams=2, server_ranks=2, **kw):
+    space = ParameterSpace(
+        names=tuple(f"x{i}" for i in range(nparams)),
+        distributions=tuple(Uniform(0, 1) for _ in range(nparams)),
+    )
+    return StudyConfig(
+        space=space, ngroups=5, ntimesteps=ntimesteps, ncells=ncells,
+        server_ranks=server_ranks, **kw,
+    )
+
+
+def group_message(group, step, lo, hi, nmembers=4, value=1.0):
+    data = np.full((nmembers, hi - lo), value) + np.arange(nmembers)[:, None]
+    return GroupFieldMessage(group_id=group, timestep=step, cell_lo=lo,
+                             cell_hi=hi, data=data)
+
+
+def roundtrip(msg):
+    a, b = socket.socketpair()
+    try:
+        send_frame(a, msg)
+        return recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+class TestFrameRoundtrips:
+    def test_field_message(self):
+        msg = FieldMessage(3, 1, 2, 10, 18, np.arange(8.0))
+        out = roundtrip(msg)
+        assert (out.group_id, out.member, out.timestep) == (3, 1, 2)
+        assert (out.cell_lo, out.cell_hi) == (10, 18)
+        np.testing.assert_array_equal(out.data, msg.data)
+
+    def test_group_field_message(self):
+        msg = group_message(7, 2, 4, 9, nmembers=5)
+        out = roundtrip(msg)
+        assert (out.group_id, out.timestep) == (7, 2)
+        assert out.nmembers == 5
+        np.testing.assert_array_equal(out.data, msg.data)
+
+    def test_group_field_message_noncontiguous_slice(self):
+        """A slice() of a wider message frames its own cells, nothing else."""
+        msg = group_message(1, 0, 0, 10).slice(3, 8)
+        out = roundtrip(msg)
+        assert (out.cell_lo, out.cell_hi) == (3, 8)
+        np.testing.assert_array_equal(out.data, msg.data)
+
+    def test_connection_request(self):
+        out = roundtrip(ConnectionRequest(group_id=4, ncells=100, nranks_client=3))
+        assert out == ConnectionRequest(4, 100, 3)
+
+    def test_addressed_reply(self):
+        reply = ConnectionReply(nranks_server=2, offsets=(0, 5, 10))
+        out = roundtrip(AddressedReply(reply, (("10.0.0.1", 5001), ("node-b", 5002))))
+        assert out.reply == reply
+        assert out.addresses == (("10.0.0.1", 5001), ("node-b", 5002))
+
+    def test_heartbeat(self):
+        out = roundtrip(Heartbeat(sender="server-rank-3", time=12.5))
+        assert out == Heartbeat("server-rank-3", 12.5)
+
+    def test_credit(self):
+        assert roundtrip(Credit(4096)) == Credit(4096)
+        assert roundtrip(Credit(-1)) == Credit(-1)
+
+    def test_control_dict(self):
+        payload = {"op": "rank_state", "rank": 1, "maps": np.arange(3.0)}
+        out = roundtrip(payload)
+        assert out["op"] == "rank_state"
+        np.testing.assert_array_equal(out["maps"], payload["maps"])
+
+    def test_unframeable_type_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(TypeError):
+                send_frame(a, object())
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_raises_connection_lost(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(ConnectionLost):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_frame_nbytes_matches_wire(self):
+        msg = FieldMessage(0, 0, 0, 0, 6, np.arange(6.0))
+        a, b = socket.socketpair()
+        try:
+            written = send_frame(a, msg)
+            assert written == frame_nbytes(msg)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestFrameConnection:
+    def test_request_reply_and_poll(self):
+        a, b = socket.socketpair()
+        ca, cb = FrameConnection(a), FrameConnection(b)
+        try:
+            assert not cb.poll(0.0)
+            ca.send({"op": "next"})
+            assert cb.poll(1.0)
+            assert cb.recv()["op"] == "next"
+            with pytest.raises(TimeoutError):
+                cb.recv(timeout=0.05)
+        finally:
+            ca.close()
+            cb.close()
+
+
+def make_rank_endpoint(rank_idx, config, capacity=None):
+    """One server rank's inbox + data listener on an ephemeral port."""
+    partition = BlockPartition(config.ncells, config.server_ranks)
+    rank = ServerRank(rank_idx, config, partition)
+    inbox = BoundedChannel(capacity_bytes=capacity, name=f"rank-{rank_idx}")
+    listener = DataListener(inbox, recv_hwm_bytes=capacity)
+    return rank, inbox, listener
+
+
+class TestSocketChannelBackpressure:
+    def test_delivery_and_stats(self):
+        inbox = BoundedChannel()
+        listener = DataListener(inbox)
+        channel = SocketChannel(listener.address, name="test")
+        try:
+            msgs = [FieldMessage(0, m, 0, 0, 4, np.arange(4.0)) for m in range(4)]
+            for msg in msgs:
+                assert channel.try_send(msg)
+            channel.flush(timeout=10.0)
+            out = [inbox.recv(timeout=1.0) for _ in range(4)]
+            assert [m.member for m in out] == [0, 1, 2, 3]  # FIFO preserved
+            assert channel.stats.messages_sent == 4
+            assert channel.stats.bytes_sent == sum(frame_nbytes(m) for m in msgs)
+        finally:
+            channel.close()
+            listener.close()
+
+    def test_sender_suspends_when_both_sides_full(self):
+        """Fig. 6a/b over TCP: a non-draining receiver exhausts the credit
+        window, the writer stalls, the outbox fills, try_send -> False;
+        draining the inbox releases the whole pipeline."""
+        msg = FieldMessage(0, 0, 0, 0, 32, np.arange(32.0))
+        size = frame_nbytes(msg)
+        inbox = BoundedChannel(capacity_bytes=size)  # receiver holds ~1 msg
+        listener = DataListener(inbox, recv_hwm_bytes=size)
+        channel = SocketChannel(listener.address, send_hwm_bytes=size)
+        try:
+            sent = 0
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if channel.try_send(msg):
+                    sent += 1
+                elif sent >= 2:
+                    break
+                else:
+                    time.sleep(0.005)
+            assert not channel.try_send(msg), "channel should be saturated"
+            assert channel.stats.send_blocks > 0
+            # drain everything; the sender must become writable again
+            drained = 0
+            while drained < sent:
+                got = inbox.try_recv()
+                if got is None:
+                    time.sleep(0.005)
+                    continue
+                drained += 1
+            deadline = time.monotonic() + 5.0
+            while not channel.try_send(msg):
+                assert time.monotonic() < deadline, "sender never unblocked"
+                time.sleep(0.005)
+        finally:
+            channel.close()
+            listener.close()
+
+    def test_channel_protocol_conformance(self):
+        inbox = BoundedChannel()
+        listener = DataListener(inbox)
+        channel = SocketChannel(listener.address)
+        try:
+            assert isinstance(channel, Channel)
+            assert isinstance(inbox, Channel)
+        finally:
+            channel.close()
+            listener.close()
+
+
+class _ListenerFabric:
+    """Test fabric: a DataListener per rank + a canned rendezvous, so a
+    SocketRouter can run without the coordinator process."""
+
+    def __init__(self, config, capacity=None):
+        self.config = config
+        self.partition = BlockPartition(config.ncells, config.server_ranks)
+        self.ranks = []
+        self.inboxes = []
+        self.listeners = []
+        for r in range(config.server_ranks):
+            rank, inbox, listener = make_rank_endpoint(r, config, capacity)
+            self.ranks.append(rank)
+            self.inboxes.append(inbox)
+            self.listeners.append(listener)
+
+    def addresses(self):
+        return tuple(l.address for l in self.listeners)
+
+    def pump(self, deadline=5.0):
+        """Drain every inbox into its rank until all are quiet."""
+        end = time.monotonic() + deadline
+        quiet = 0
+        while quiet < 3 and time.monotonic() < end:
+            moved = False
+            for rank, inbox in zip(self.ranks, self.inboxes):
+                msg = inbox.try_recv()
+                if msg is not None:
+                    rank.handle(msg, time.monotonic())
+                    moved = True
+            quiet = 0 if moved else quiet + 1
+            if not moved:
+                time.sleep(0.01)
+
+    def close(self):
+        for listener in self.listeners:
+            listener.close()
+
+
+class _CannedRendezvous:
+    """Stands in for the coordinator control connection in SocketRouter."""
+
+    def __init__(self, config, addresses):
+        partition = BlockPartition(config.ncells, config.server_ranks)
+        self._reply = AddressedReply(
+            reply=ConnectionReply(
+                nranks_server=partition.nranks,
+                offsets=tuple(int(o) for o in partition.offsets),
+            ),
+            addresses=addresses,
+        )
+
+    def send(self, msg):
+        assert isinstance(msg, ConnectionRequest)
+
+    def recv(self, timeout=None):
+        return self._reply
+
+
+@pytest.mark.parametrize(
+    "ncells,server_ranks",
+    [(10, 2), (11, 3), (10, 5), (7, 7)],  # even, ragged, tiny, 1-cell ranks
+)
+class TestSplittingThroughSocketPath:
+    """Partition-boundary splitting exercised through the framed TCP path
+    must integrate identically to handing the same messages to an
+    in-process MelissaServer (the PR 1 splitting semantics)."""
+
+    def _router(self, config, fabric):
+        from repro.net.worker import SocketRouter
+
+        ctrl = _CannedRendezvous(config, fabric.addresses())
+        router = SocketRouter(ctrl, config, name="test-worker")
+        router.connect(ConnectionRequest(0, config.ncells, 1))
+        return router
+
+    def test_straddles_match_inprocess_server(self, ncells, server_ranks):
+        config = make_config(ncells=ncells, server_ranks=server_ranks)
+        fabric = _ListenerFabric(config)
+        router = self._router(config, fabric)
+        reference = MelissaServer(config)
+        try:
+            messages = [
+                # full-domain coverage: straddles every rank boundary
+                group_message(0, 0, 0, ncells),
+                # partial straddle mirroring the PR 1 [3, 8) fixture
+                group_message(1, 0, 3, min(8, ncells)),
+                group_message(1, 0, 0, 3),
+            ]
+            if ncells > 8:
+                messages.append(group_message(1, 0, 8, ncells))
+            for msg in messages:
+                assert router.deliver(msg, blocking=True)
+                assert reference.handle(msg, now=0.0)
+            router.flush(timeout=10.0)
+            fabric.pump()
+            for tcp_rank, ref_rank in zip(fabric.ranks, reference.ranks):
+                assert tcp_rank.messages_processed == ref_rank.messages_processed
+                assert tcp_rank.staged_entries == ref_rank.staged_entries
+                np.testing.assert_array_equal(
+                    tcp_rank.sobol.variance_map(0), ref_rank.sobol.variance_map(0)
+                )
+        finally:
+            router.close()
+            fabric.close()
+
+    def test_field_message_straddle(self, ncells, server_ranks):
+        config = make_config(ncells=ncells, server_ranks=server_ranks)
+        fabric = _ListenerFabric(config)
+        router = self._router(config, fabric)
+        reference = MelissaServer(config)
+        try:
+            for member in range(4):
+                msg = FieldMessage(
+                    group_id=1, member=member, timestep=0,
+                    cell_lo=0, cell_hi=ncells, data=np.arange(float(ncells)),
+                )
+                assert router.deliver(msg, blocking=True)
+                reference.handle(msg, now=0.0)
+            router.flush(timeout=10.0)
+            fabric.pump()
+            for tcp_rank, ref_rank in zip(fabric.ranks, reference.ranks):
+                assert tcp_rank.staged_entries == 0
+                np.testing.assert_array_equal(
+                    tcp_rank.sobol.mean_map(0), ref_rank.sobol.mean_map(0)
+                )
+        finally:
+            router.close()
+            fabric.close()
+
+    def test_nonblocking_straddle_all_or_nothing(self, ncells, server_ranks):
+        """A straddling message against saturated channels must deliver
+        nothing (not a partial chunk set) and succeed on retry."""
+        config = make_config(
+            ncells=ncells, server_ranks=server_ranks,
+            # budget below one chunk: every full outbox rejects new sends
+            channel_capacity_bytes=1,
+        )
+        msg = group_message(0, 0, 0, ncells)
+        fabric = _ListenerFabric(config, capacity=1)
+        router = self._router(config, fabric)
+        try:
+            # saturate every channel until a straddling deliver refuses:
+            # nothing drains the inboxes here, so every accepted send
+            # consumes pipeline capacity for good and the loop terminates
+            # in a genuinely saturated state
+            fillers = []
+            for rank in range(server_ranks):
+                lo = int(fabric.partition.offsets[rank])
+                fillers.append(group_message(2, 0, lo, lo + 1))
+            deadline = time.monotonic() + 10.0
+            while True:
+                assert time.monotonic() < deadline, "channels never saturated"
+                for filler in fillers:
+                    while router.deliver(filler, blocking=False):
+                        assert time.monotonic() < deadline
+                before = [router._channel(r).stats.messages_sent
+                          for r in range(server_ranks)]
+                if not router.deliver(msg, blocking=False):
+                    break  # saturated: the all-or-nothing case under test
+                time.sleep(0.005)  # something drained mid-probe; refill
+            after = [router._channel(r).stats.messages_sent
+                     for r in range(server_ranks)]
+            assert before == after, "partial chunks were enqueued"
+            fabric.pump()
+            deadline = time.monotonic() + 5.0
+            while not router.deliver(msg, blocking=False):
+                assert time.monotonic() < deadline
+                fabric.pump(deadline=0.1)
+                time.sleep(0.01)
+        finally:
+            router.close()
+            fabric.close()
+
+
+class TestTransportClientConformance:
+    def test_all_three_transports(self):
+        from repro.net.worker import SocketRouter
+        from repro.runtime.process import _QueueRouter
+        from repro.transport.router import Router
+
+        config = make_config()
+        partition = BlockPartition(config.ncells, config.server_ranks)
+        assert isinstance(Router(partition), TransportClient)
+        assert isinstance(_QueueRouter(partition, []), TransportClient)
+        fabric = _ListenerFabric(config)
+        router = SocketRouter(_CannedRendezvous(config, fabric.addresses()), config)
+        try:
+            assert isinstance(router, TransportClient)
+        finally:
+            router.close()
+            fabric.close()

@@ -1,0 +1,285 @@
+"""Integration tests: the socket-transport distributed runtime.
+
+Acceptance (ISSUE 3): a loopback study with >= 2 server ranks and >= 2
+group worker processes matches the sequential runtime to rtol 1e-10,
+survives a worker killed mid-study (the group is resubmitted), and the
+whole-study timeout names the unfinished work.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import SensitivityStudy
+from repro.core import StudyConfig
+from repro.core.checkpoint import CheckpointManager
+from repro.core.group import FunctionSimulation, VectorFieldSimulation
+from repro.core.server import MelissaServer, ServerRank
+from repro.mesh.partition import BlockPartition
+from repro.net.coordinator import Coordinator, StudyAborted, study_fingerprint
+from repro.net.framing import connect_with_retry
+from repro.runtime import DistributedRuntime, SequentialRuntime
+from repro.sobol import IshigamiFunction
+
+NCELLS = 32
+
+
+def make_config(ngroups=24, ncells=NCELLS, server_ranks=2, ntimesteps=2, **kw):
+    fn = IshigamiFunction()
+    kw.setdefault("client_ranks", 1)
+    config = StudyConfig(
+        space=fn.space(), ngroups=ngroups, ntimesteps=ntimesteps, ncells=ncells,
+        server_ranks=server_ranks, seed=9, **kw,
+    )
+    return fn, config
+
+
+class VectorSim(VectorFieldSimulation):
+    """Library ramp member pinned to NCELLS, with an optional per-step
+    delay for the fault-injection and timeout tests."""
+
+    delay = 0.0
+
+    def __init__(self, fn, params, ntimesteps=1, simulation_id=0):
+        super().__init__(fn, params, NCELLS, ntimesteps=ntimesteps,
+                         simulation_id=simulation_id)
+
+    def advance(self):
+        if self.delay:
+            time.sleep(self.delay)
+        return super().advance()
+
+
+class SlowVectorSim(VectorSim):
+    delay = 0.01
+
+
+class StuckSim(VectorSim):
+    delay = 30.0
+
+
+def vector_factory(fn, ntimesteps=2, cls=VectorSim):
+    def factory(params, sim_id):
+        return cls(fn, params, ntimesteps=ntimesteps, simulation_id=sim_id)
+    return factory
+
+
+class TestDistributedRuntime:
+    def test_loopback_parity_with_sequential(self):
+        """ISSUE 3 acceptance: >= 2 ranks x >= 2 workers over loopback TCP
+        reproduce the sequential statistics to rtol 1e-10."""
+        fn, config = make_config(24, server_ranks=2)
+        distributed = DistributedRuntime(
+            config, vector_factory(fn), nworkers=2
+        ).run(timeout=120.0)
+        _, config2 = make_config(24, server_ranks=2)
+        sequential = SequentialRuntime(config2, vector_factory(fn)).run()
+        assert distributed.groups_integrated == 24
+        np.testing.assert_allclose(
+            distributed.first_order, sequential.first_order, rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            distributed.total_order, sequential.total_order, rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            distributed.variance, sequential.variance, rtol=1e-10
+        )
+        np.testing.assert_allclose(distributed.mean, sequential.mean, rtol=1e-10)
+
+    def test_multi_rank_backpressure_parity(self):
+        """4 ranks, tiny channel budget: credit-window suspension engages
+        and the statistics still match the sequential driver."""
+        fn, config = make_config(
+            16, server_ranks=4, client_ranks=2, channel_capacity_bytes=2048
+        )
+        runtime = DistributedRuntime(config, vector_factory(fn), nworkers=3)
+        distributed = runtime.run(timeout=120.0)
+        _, config2 = make_config(16, server_ranks=4, client_ranks=2)
+        sequential = SequentialRuntime(config2, vector_factory(fn)).run()
+        assert distributed.groups_integrated == 16
+        np.testing.assert_allclose(
+            distributed.first_order, sequential.first_order, rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            distributed.total_order, sequential.total_order, rtol=1e-10, atol=1e-12
+        )
+
+    def test_survives_killed_worker(self):
+        """ISSUE 3 acceptance: SIGKILL a worker holding a group mid-study;
+        the coordinator resubmits it and results stay exact."""
+        fn, config = make_config(12, server_ranks=2)
+        runtime = DistributedRuntime(
+            config, vector_factory(fn, cls=SlowVectorSim), nworkers=2,
+            fault_kill_after=2,
+        )
+        distributed = runtime.run(timeout=120.0)
+        assert runtime.coordinator.resubmitted, "no group was resubmitted"
+        assert distributed.groups_integrated == 12
+        assert distributed.abandoned_groups == []
+        _, config2 = make_config(12, server_ranks=2)
+        sequential = SequentialRuntime(config2, vector_factory(fn)).run()
+        np.testing.assert_allclose(
+            distributed.first_order, sequential.first_order, rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            distributed.total_order, sequential.total_order, rtol=1e-10, atol=1e-12
+        )
+
+    def test_timeout_names_unfinished_work(self):
+        fn, config = make_config(6, server_ranks=2)
+        runtime = DistributedRuntime(
+            config, vector_factory(fn, cls=StuckSim), nworkers=2
+        )
+        with pytest.raises(TimeoutError, match=r"group\(s\) unfinished"):
+            runtime.run(timeout=2.0)
+
+    def test_invalid_workers(self):
+        fn, config = make_config(4)
+        with pytest.raises(ValueError):
+            DistributedRuntime(config, vector_factory(fn), nworkers=0)
+
+    def test_per_rank_checkpoints_written(self, tmp_path):
+        """Every rank process checkpoints its own file; restoring them
+        rebuilds the same statistics."""
+        fn, config = make_config(10, server_ranks=2)
+        runtime = DistributedRuntime(
+            config, vector_factory(fn), nworkers=2, checkpoint_dir=tmp_path
+        )
+        results = runtime.run(timeout=120.0)
+        manager = CheckpointManager(tmp_path)
+        assert manager.exists()
+        _, config2 = make_config(10, server_ranks=2)
+        restored = manager.restore(config2)
+        np.testing.assert_allclose(
+            restored.assemble_maps()["first"], results.first_order,
+            rtol=1e-12, atol=1e-15,
+        )
+
+
+class TestStudyFacade:
+    def test_distributed_runtime_via_facade(self):
+        fn = IshigamiFunction()
+        study = SensitivityStudy.for_function(fn, ngroups=10, seed=3)
+        results = study.run(runtime="distributed", nworkers=2, timeout=120.0)
+        assert results.groups_integrated == 10
+        sequential = SensitivityStudy.for_function(fn, ngroups=10, seed=3).run()
+        np.testing.assert_allclose(
+            results.first_order, sequential.first_order, rtol=1e-10
+        )
+
+    def test_distributed_rejects_faults(self):
+        from repro.faults import FaultPlan, GroupZombie
+
+        fn = IshigamiFunction()
+        study = SensitivityStudy.for_function(fn, ngroups=5)
+        with pytest.raises(ValueError):
+            study.run(runtime="distributed",
+                      fault_plan=FaultPlan(group_zombies=[GroupZombie(0)]))
+
+
+class TestCoordinatorProtocol:
+    def test_fingerprint_mismatch_rejected(self):
+        fn, config = make_config(4)
+        coordinator = Coordinator(config).start()
+        try:
+            _, other = make_config(4, ntimesteps=5)
+            ctrl = connect_with_retry(coordinator.address)
+            ctrl.send({
+                "op": "hello", "worker": "impostor", "pid": None,
+                "fingerprint": study_fingerprint(other),
+            })
+            reply = ctrl.recv(timeout=5.0)
+            assert reply["op"] == "error"
+            with pytest.raises(StudyAborted, match="mismatched study"):
+                coordinator.wait(timeout=5.0)
+            ctrl.close()
+        finally:
+            coordinator.close()
+
+    def test_fingerprint_covers_the_study_shape(self):
+        _, config = make_config(4)
+        fp = study_fingerprint(config)
+        assert fp["ncells"] == NCELLS
+        assert fp["server_ranks"] == config.server_ranks
+        assert fp["ngroups"] == 4
+
+
+class TestPerRankCheckpointAPI:
+    def test_save_restore_single_rank(self, tmp_path):
+        """A rank checkpoints and restores independently — the reconnect
+        path a distributed serve process uses."""
+        from repro.transport.message import GroupFieldMessage
+
+        fn, config = make_config(4, server_ranks=2)
+        partition = BlockPartition(config.ncells, config.server_ranks)
+        rank = ServerRank(1, config, partition)
+        lo, hi = partition.range_of(1)
+        data = np.ones((config.group_size, hi - lo)) + np.arange(
+            config.group_size
+        )[:, None]
+        rank.handle(
+            GroupFieldMessage(group_id=0, timestep=0, cell_lo=lo, cell_hi=hi,
+                              data=data),
+            now=0.0,
+        )
+        manager = CheckpointManager(tmp_path)
+        manager.save_rank(rank, config)
+        assert manager.rank_path(1).exists()
+        assert not manager.rank_path(0).exists()
+
+        fresh = ServerRank(1, config, partition)
+        assert manager.restore_rank(fresh, config)
+        np.testing.assert_array_equal(
+            fresh.sobol.mean_map(0), rank.sobol.mean_map(0)
+        )
+        assert fresh.last_integrated == rank.last_integrated
+
+    def test_restore_rank_missing_returns_false(self, tmp_path):
+        fn, config = make_config(4, server_ranks=2)
+        partition = BlockPartition(config.ncells, config.server_ranks)
+        rank = ServerRank(0, config, partition)
+        assert not CheckpointManager(tmp_path).restore_rank(rank, config)
+
+    def test_rank_fingerprint_mismatch_rejected(self, tmp_path):
+        fn, config = make_config(4, server_ranks=2)
+        partition = BlockPartition(config.ncells, config.server_ranks)
+        rank = ServerRank(0, config, partition)
+        manager = CheckpointManager(tmp_path)
+        manager.save_rank(rank, config)
+        _, other = make_config(4, server_ranks=2, ntimesteps=7)
+        fresh = ServerRank(0, other, BlockPartition(other.ncells, 2))
+        with pytest.raises(ValueError, match="incompatible study"):
+            manager.restore_rank(fresh, other)
+
+
+class TestCLI:
+    def test_parser_accepts_distributed_subcommands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args([
+            "serve", "--study", "vector", "--rank", "1",
+            "--coordinator", "127.0.0.1:7707", "--server-ranks", "2",
+        ])
+        assert args.rank == 1 and args.func.__name__ == "_cmd_serve"
+        args = parser.parse_args([
+            "work", "--study", "vector", "--coordinator", "127.0.0.1:7707",
+        ])
+        assert args.func.__name__ == "_cmd_work"
+        args = parser.parse_args([
+            "launch", "--study", "vector", "--local-workers", "2",
+        ])
+        assert args.local_workers == 2
+
+    def test_launch_local_workers_end_to_end(self, capsys):
+        """The loopback CLI path: launch forks 2 ranks + 2 workers."""
+        from repro.cli import main
+
+        code = main([
+            "launch", "--study", "vector", "--groups", "8", "--cells", "16",
+            "--server-ranks", "2", "--local-workers", "2", "--timeout", "120",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "groups integrated" in out or "8" in out

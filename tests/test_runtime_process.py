@@ -11,7 +11,7 @@ import pytest
 
 from repro import SensitivityStudy
 from repro.core import StudyConfig
-from repro.core.group import FunctionSimulation
+from repro.core.group import FunctionSimulation, VectorFieldSimulation
 from repro.runtime import ProcessRuntime, SequentialRuntime, ThreadedRuntime
 from repro.sobol import IshigamiFunction
 
@@ -35,17 +35,13 @@ def make_factory(fn, ntimesteps=2):
     return factory
 
 
-class VectorSim(FunctionSimulation):
-    """Deterministic multi-cell field built from a scalar model output."""
+class VectorSim(VectorFieldSimulation):
+    """Library ramp member pinned to NCELLS (shared with the CLI's
+    ``--study vector`` spec, so tests and smoke runs exercise one shape)."""
 
-    @property
-    def ncells(self):
-        return NCELLS
-
-    def advance(self):
-        step, field = super().advance()
-        ramp = np.linspace(0.0, 1.0, NCELLS)
-        return step, float(field[0]) * (1.0 + ramp) + 0.05 * step * ramp
+    def __init__(self, fn, params, ntimesteps=1, simulation_id=0):
+        super().__init__(fn, params, NCELLS, ntimesteps=ntimesteps,
+                         simulation_id=simulation_id)
 
 
 def vector_factory(fn, ntimesteps=2):
@@ -127,6 +123,83 @@ class TestProcessRuntime:
         fn, config = make_config(4)
         runtime = ProcessRuntime(config, make_factory(fn))
         assert runtime._ctx.get_start_method() == "fork"
+
+
+class TestLivenessAndTimeout:
+    """ISSUE 3 satellites: Heartbeat-based fail-fast on a dead server-rank
+    worker and a whole-study deadline naming the unfinished work."""
+
+    def test_dead_server_rank_fails_fast(self, monkeypatch):
+        """A server-rank worker that dies must surface within a couple of
+        heartbeat intervals, not after the full study timeout."""
+        import os
+
+        import repro.runtime.process as proc_mod
+
+        def dying_server_worker(rank_idx, config, inbox, results, errors,
+                                beats, beat_interval):
+            os._exit(3)  # simulate a hard crash (no error report possible)
+
+        monkeypatch.setattr(proc_mod, "_server_worker", dying_server_worker)
+        fn, config = make_config(40)
+
+        def slow_factory(params, sim_id):
+            import time as _t
+
+            _t.sleep(0.05)
+            return FunctionSimulation(fn, params, ntimesteps=2,
+                                      simulation_id=sim_id)
+
+        runtime = ProcessRuntime(config, slow_factory, max_concurrent_groups=2,
+                                 heartbeat_interval=0.1)
+        import time as _t
+
+        start = _t.monotonic()
+        with pytest.raises(RuntimeError, match="server rank 0 worker died"):
+            runtime.run(timeout=60.0)
+        assert _t.monotonic() - start < 30.0, "did not fail fast"
+
+    def test_server_ranks_emit_heartbeats(self):
+        """The Heartbeat message is actually on the wire: drive the rank
+        worker directly over an idle inbox and require beacons."""
+        import queue as q
+        import threading
+        import time as _t
+
+        from repro.runtime.process import _server_worker
+        from repro.transport.message import Heartbeat
+
+        fn, config = make_config(4)
+        inbox, results, errors, beats = q.Queue(), q.Queue(), q.Queue(), q.Queue()
+        thread = threading.Thread(
+            target=_server_worker,
+            args=(0, config, inbox, results, errors, beats, 0.02),
+        )
+        thread.start()
+        _t.sleep(0.15)  # several beat intervals with an empty inbox
+        inbox.put(None)
+        thread.join(timeout=30.0)
+        assert errors.empty(), errors.get_nowait()
+        beat = beats.get_nowait()
+        assert isinstance(beat, Heartbeat)
+        assert beat.sender == "server-rank-0"
+
+    def test_timeout_names_unfinished_groups_and_ranks(self):
+        fn, config = make_config(6)
+
+        def stuck_factory(params, sim_id):
+            import time as _t
+
+            _t.sleep(30.0)
+            return FunctionSimulation(fn, params, ntimesteps=2,
+                                      simulation_id=sim_id)
+
+        runtime = ProcessRuntime(config, stuck_factory, max_concurrent_groups=2)
+        with pytest.raises(TimeoutError) as excinfo:
+            runtime.run(timeout=1.5)
+        message = str(excinfo.value)
+        assert "group(s) unfinished" in message
+        assert "server rank(s) not reported" in message
 
 
 class TestStudyFacade:
