@@ -79,7 +79,42 @@ def _cmd_tube(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_address(spec: str) -> Tuple[str, int]:
+def _parse_address(spec: str, wait: float = 60.0) -> Tuple[str, int]:
+    """HOST:PORT, or ``@FILE`` naming an address file ``launch`` wrote.
+
+    The file form lets every process bind ephemeral ports (port 0):
+    ``launch --bind 127.0.0.1:0 --address-file rendezvous.addr`` writes
+    the actual address once bound, and ``serve``/``work`` started with
+    ``--coordinator @rendezvous.addr`` poll for the file — no fixed port
+    to collide on (the EADDRINUSE class of CI flakes).  Each candidate
+    address is probed with a TCP connect before being accepted: a stale
+    file from a previous run (its port now dead) keeps the poll going
+    until the new launch overwrites it, instead of sending every
+    participant off to dial a corpse.
+    """
+    if spec.startswith("@"):
+        import socket as _socket
+        import time as _time
+
+        path = spec[1:]
+        deadline = _time.monotonic() + wait
+        while True:
+            content = ""
+            try:
+                with open(path) as fh:
+                    content = fh.read().strip()
+            except OSError:
+                pass
+            if content:
+                host, port = _parse_address(content)
+                try:
+                    _socket.create_connection((host, port), timeout=1.0).close()
+                    return host, port
+                except OSError:
+                    pass  # stale address from a previous run; keep polling
+            if _time.monotonic() >= deadline:
+                raise SystemExit(f"no live coordinator address in {path!r} after {wait}s")
+            _time.sleep(0.1)
     host, _, port = spec.rpartition(":")
     if not host or not port.isdigit():
         raise SystemExit(f"expected HOST:PORT, got {spec!r}")
@@ -149,10 +184,19 @@ def _resolve_study(args: argparse.Namespace):
     )
 
 
+def _resolved_study(args: argparse.Namespace):
+    """The study plus the per-process config overrides (not fingerprinted)."""
+    study = _resolve_study(args)
+    interval = getattr(args, "checkpoint_interval", None)
+    if interval is not None:
+        study.config.checkpoint_interval = interval
+    return study
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.net.serve import run_server_rank
 
-    study = _resolve_study(args)
+    study = _resolved_study(args)
     return run_server_rank(
         args.rank,
         study.config,
@@ -160,13 +204,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         data_host=args.data_host,
         data_port=args.data_port,
         checkpoint_dir=args.checkpoint_dir,
+        fault_spec=args.fault,
     )
 
 
 def _cmd_work(args: argparse.Namespace) -> int:
     from repro.net.worker import run_worker
 
-    study = _resolve_study(args)
+    study = _resolved_study(args)
     return run_worker(
         study.config,
         study.factory,
@@ -175,8 +220,41 @@ def _cmd_work(args: argparse.Namespace) -> int:
     )
 
 
+def _serve_respawn_command(args: argparse.Namespace, rank: int, address) -> List[str]:
+    """The ``repro serve`` invocation the launch supervisor respawns.
+
+    Mirrors the study flags the launch itself was given so the
+    replacement's fingerprint matches, and points it at the checkpoint
+    directory so the restored statistics carry over.  The data listener
+    binds ``--respawn-data-host`` (default: the coordinator's bind host,
+    so remote workers can reach the replacement) on an ephemeral port —
+    the fresh address is re-published through the rendezvous, so a fixed
+    data port is never needed.
+    """
+    data_host = args.respawn_data_host or address[0]
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--study", args.study,
+        "--groups", str(args.groups),
+        "--seed", str(args.seed),
+        "--timesteps", str(args.timesteps),
+        "--cells", str(args.cells),
+        "--server-ranks", str(args.server_ranks),
+        "--rank", str(rank),
+        "--coordinator", f"{address[0]}:{address[1]}",
+        "--data-host", data_host,
+    ]
+    if args.kernel:
+        cmd += ["--kernel", args.kernel]
+    if args.checkpoint_interval is not None:
+        cmd += ["--checkpoint-interval", str(args.checkpoint_interval)]
+    if args.checkpoint_dir:
+        cmd += ["--checkpoint-dir", args.checkpoint_dir]
+    return cmd
+
+
 def _cmd_launch(args: argparse.Namespace) -> int:
-    study = _resolve_study(args)
+    study = _resolved_study(args)
     if args.local_workers:
         # loopback single-host mode: fork ranks + workers right here
         from repro.runtime import DistributedRuntime
@@ -186,22 +264,67 @@ def _cmd_launch(args: argparse.Namespace) -> int:
             study.config, study.factory, nworkers=args.local_workers,
             host=host, port=port, checkpoint_dir=args.checkpoint_dir,
         )
+        if args.address_file:
+            raise SystemExit("--address-file only applies without --local-workers")
         results = runtime.run(timeout=args.timeout)
     else:
+        import subprocess
+
+        from repro.core.launcher import RankRespawnPolicy
         from repro.net.coordinator import Coordinator
+        from repro.net.supervisor import RankSupervisor
         from repro.runtime.distributed import assemble_results
 
+        import os
+
+        if args.address_file:
+            # a leftover file from a previous run would hand serve/work a
+            # dead address before we bind; remove it up front
+            try:
+                os.unlink(args.address_file)
+            except OSError:
+                pass
         host, port = _parse_address(args.bind)
-        coordinator = Coordinator(study.config, host=host, port=port).start()
+        coordinator = Coordinator(study.config, host=host, port=port)
+        if args.respawn_serve:
+            from repro.net.serve import FAULT_ENV
+
+            # the launcher protocol against externally started serves:
+            # a dead/silent rank is killed and a replacement subprocess
+            # spawned ON THIS HOST from the same study flags (multi-host
+            # deployments respawn serve with their own process manager).
+            # The fault env var is stripped: replacements run clean even
+            # when the original serve was env-injected to die.
+            clean_env = {k: v for k, v in os.environ.items() if k != FAULT_ENV}
+            coordinator.supervisor = RankSupervisor(
+                spawner=lambda rank: subprocess.Popen(
+                    _serve_respawn_command(args, rank, coordinator.address),
+                    env=clean_env,
+                ),
+                policy=RankRespawnPolicy(
+                    nranks=study.config.server_ranks,
+                    timeout=study.config.server_timeout,
+                    max_respawns=study.config.max_rank_respawns,
+                ),
+            )
+        coordinator.start()
         print(
             f"coordinator on {coordinator.address[0]}:{coordinator.address[1]} — "
             f"waiting for {study.config.server_ranks} server rank(s) and workers"
         )
+        if args.address_file:
+            # atomic publish: pollers must never read a half-written file
+            tmp = f"{args.address_file}.tmp"
+            with open(tmp, "w") as fh:
+                fh.write(f"{coordinator.address[0]}:{coordinator.address[1]}\n")
+            os.replace(tmp, args.address_file)
         try:
             coordinator.wait(timeout=args.timeout)
         finally:
             coordinator.close()
         results = assemble_results(study.config, coordinator)
+        if coordinator.rank_respawns:
+            print(f"respawned server rank(s): {coordinator.rank_respawns}")
     print(results.summary())
     if results.abandoned_groups:
         print(f"abandoned groups: {results.abandoned_groups}")
@@ -277,6 +400,9 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--cells", type=int, default=32,
                         help="cell count for the 'vector' study spec")
         sp.add_argument("--server-ranks", type=int, default=2)
+        sp.add_argument("--checkpoint-interval", type=float, default=None,
+                        help="seconds between rank checkpoints (default: "
+                             "the study config's 600s)")
         add_kernel_arg(sp)
 
     p = sub.add_parser(
@@ -290,6 +416,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data-port", type=int, default=0,
                    help="data port (0 = ephemeral, sent to the rendezvous)")
     p.add_argument("--checkpoint-dir", default=None)
+    p.add_argument("--fault", default=None, metavar="SPEC",
+                   help="inject a fault into this rank: crash[:after=N] | "
+                        "zombie[:after=N] | straggler:delay=S (also via "
+                        "$REPRO_SERVE_FAULT)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("work", help="one group worker (distributed deployment)")
@@ -308,6 +438,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--local-workers", type=int, default=0,
                    help="loopback mode: fork ranks + N workers on this host")
     p.add_argument("--checkpoint-dir", default=None)
+    p.add_argument("--address-file", default=None, metavar="PATH",
+                   help="write the bound coordinator address here so "
+                        "serve/work can use --coordinator @PATH (enables "
+                        "--bind HOST:0)")
+    p.add_argument("--respawn-serve", action="store_true",
+                   help="supervise server ranks: kill and respawn a dead "
+                        "or silent 'repro serve' on this host from its "
+                        "checkpoint (Sec. 4.2.3)")
+    p.add_argument("--respawn-data-host", default=None, metavar="HOST",
+                   help="interface a respawned serve binds its data "
+                        "listener on (default: the --bind host, so remote "
+                        "workers can still reach it)")
     p.set_defaults(func=_cmd_launch)
 
     return parser

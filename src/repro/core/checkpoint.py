@@ -39,6 +39,24 @@ def _fingerprint(config: StudyConfig) -> dict:
     }
 
 
+def downgrade_payload(payload: dict) -> dict:
+    """Rewrite a current-format rank payload as a format-1 file.
+
+    The exact inverse of :func:`migrate_payload`'s fingerprint upgrade
+    (v1 had no ``compute_general_stats`` and inferred it on migration
+    from the state's ``general`` key), kept HERE so the v1 wire format is
+    defined in one place — the migration round-trip tests and any future
+    down-level export path share it.  The rank state itself is untouched:
+    the stacked Sobol' engine reads both its own layout and the legacy
+    per-timestep estimator forest.
+    """
+    fp = dict(payload["fingerprint"])
+    if fp.get("version", 1) != 1:
+        fp.pop("compute_general_stats", None)
+        fp["version"] = 1
+    return {**payload, "fingerprint": fp}
+
+
 def migrate_payload(payload: dict) -> dict:
     """Upgrade a rank checkpoint payload written by an older format.
 

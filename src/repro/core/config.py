@@ -56,6 +56,9 @@ class StudyConfig:
     server_timeout: float = 300.0  # launcher heartbeat timeout
     checkpoint_interval: float = 600.0  # paper's checkpoint period
     max_group_retries: int = 3
+    #: how many times the supervisor may respawn one dead ``repro serve``
+    #: rank from its checkpoint before aborting the study (Sec. 4.2.3)
+    max_rank_respawns: int = 3
     discard_on_replay: bool = True
     #: wall-clock heartbeat cadence for the process/distributed runtimes
     #: (server ranks and workers beacon liveness at this period)
@@ -82,6 +85,8 @@ class StudyConfig:
             raise ValueError("cannot split cells over more client ranks than cells")
         if self.max_group_retries < 0:
             raise ValueError("max_group_retries must be >= 0")
+        if self.max_rank_respawns < 0:
+            raise ValueError("max_rank_respawns must be >= 0")
         from repro.kernels import resolve_spec
 
         resolve_spec(self.kernel)  # fail fast on unknown backend names

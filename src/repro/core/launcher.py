@@ -40,7 +40,76 @@ class LauncherEvent(enum.Enum):
     GROUP_RESTARTED = "group_restarted"
     GROUP_ABANDONED = "group_abandoned"
     SERVER_RESTARTED = "server_restarted"
+    RANK_RESPAWNED = "rank_respawned"
     STUDY_CONVERGED = "study_converged"
+
+
+class RespawnBudgetExceeded(RuntimeError):
+    """A server rank kept dying past its respawn budget (Sec. 4.2.3)."""
+
+
+class RankRespawnPolicy:
+    """Launcher-protocol bookkeeping for live server ranks (Sec. 4.2.3).
+
+    The virtual-time :class:`MelissaLauncher` restarts the *whole* server
+    job; the distributed deployment checkpoints per rank, so its
+    supervisor restarts individual ``repro serve`` processes.  This class
+    is the pure decision half of that protocol — heartbeat recency,
+    staleness detection, and the per-rank respawn budget — with the same
+    observation-in / decision-out shape as the launcher: the supervisor
+    feeds it heartbeats and asks it what died and whether a respawn is
+    still allowed; killing and spawning processes stays outside.
+    """
+
+    def __init__(self, nranks: int, timeout: float, max_respawns: int = 3):
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        if timeout <= 0:
+            raise ValueError("timeout must be > 0")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        self.nranks = nranks
+        self.timeout = timeout
+        self.max_respawns = max_respawns
+        self.respawns: Dict[int, int] = {r: 0 for r in range(nranks)}
+        self.last_heartbeat: Dict[int, float] = {}
+        self.events: List[tuple] = []  # (time, LauncherEvent, rank)
+
+    def record_heartbeat(self, rank: int, now: float) -> None:
+        self.last_heartbeat[rank] = now
+
+    def forget(self, rank: int) -> None:
+        """Stop liveness tracking for a rank (it is dead/being respawned);
+        tracking resumes at the respawned instance's first heartbeat."""
+        self.last_heartbeat.pop(rank, None)
+
+    def stale_ranks(self, now: float) -> List[int]:
+        """Ranks whose heartbeat went silent past ``timeout`` — the
+        detection case a closed connection never reports (zombies)."""
+        return sorted(
+            rank
+            for rank, last in self.last_heartbeat.items()
+            if now - last > self.timeout
+        )
+
+    def may_respawn(self, rank: int) -> bool:
+        return self.respawns.get(rank, 0) < self.max_respawns
+
+    def record_respawn(self, rank: int, now: float) -> None:
+        """Account one kill-and-respawn; raises past the budget."""
+        count = self.respawns.get(rank, 0) + 1
+        if count > self.max_respawns:
+            raise RespawnBudgetExceeded(
+                f"server rank {rank} died {count} time(s); respawn budget "
+                f"is {self.max_respawns}"
+            )
+        self.respawns[rank] = count
+        self.forget(rank)
+        self.events.append((now, LauncherEvent.RANK_RESPAWNED, rank))
+
+    @property
+    def total_respawns(self) -> int:
+        return sum(self.respawns.values())
 
 
 @dataclass

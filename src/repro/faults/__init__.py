@@ -14,8 +14,23 @@ injects while a study runs:
 * :class:`DuplicateDelivery` — every message of a group is delivered
   twice (exercises discard-on-replay idempotence, Sec. 4.2.1).
 
-Faults target a specific *attempt* so a restarted instance runs clean —
-matching real intermittent failures.
+Server-*rank* faults target one real ``repro serve`` process (the
+distributed deployment's failure unit) and drive the live respawn
+protocol instead of the virtual-time launcher:
+
+* :class:`ServerRankCrash` — the rank SIGKILLs itself mid-study;
+* :class:`ServerRankZombie` — the rank hangs (alive, silent) until the
+  supervisor kills it;
+* :class:`ServerRankStraggler` — the rank slows down but stays live (no
+  respawn may fire).
+
+:func:`parse_server_fault` turns the ``--fault`` / ``REPRO_SERVE_FAULT``
+spec string of a serve subprocess into a single-rank plan, so the same
+schedule drives unit tests, the loopback chaos suite, and CI.
+
+Group faults target a specific *attempt* so a restarted instance runs
+clean — matching real intermittent failures; a respawned server rank
+always runs clean.
 """
 
 from repro.faults.plan import (
@@ -25,6 +40,10 @@ from repro.faults.plan import (
     GroupStraggler,
     GroupZombie,
     ServerCrash,
+    ServerRankCrash,
+    ServerRankStraggler,
+    ServerRankZombie,
+    parse_server_fault,
 )
 
 __all__ = [
@@ -33,5 +52,9 @@ __all__ = [
     "GroupZombie",
     "GroupStraggler",
     "ServerCrash",
+    "ServerRankCrash",
+    "ServerRankZombie",
+    "ServerRankStraggler",
     "DuplicateDelivery",
+    "parse_server_fault",
 ]

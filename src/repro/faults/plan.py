@@ -45,6 +45,47 @@ class ServerCrash:
 
 
 @dataclass(frozen=True)
+class ServerRankCrash:
+    """Server rank ``rank`` SIGKILLs itself after handling
+    ``after_messages`` data messages (Sec. 4.2.3's failure unit in the
+    distributed deployment: one ``repro serve`` process)."""
+
+    rank: int
+    after_messages: int = 0
+
+    def __post_init__(self):
+        if self.after_messages < 0:
+            raise ValueError("after_messages must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServerRankZombie:
+    """Server rank ``rank`` hangs after ``after_messages`` messages: the
+    process stays alive but stops draining its inbox and stops
+    heartbeating, so only heartbeat staleness can expose it."""
+
+    rank: int
+    after_messages: int = 0
+
+    def __post_init__(self):
+        if self.after_messages < 0:
+            raise ValueError("after_messages must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServerRankStraggler:
+    """Server rank ``rank`` handles each message ``delay`` seconds slower
+    (still heartbeats — must NOT trigger the respawn protocol)."""
+
+    rank: int
+    delay: float
+
+    def __post_init__(self):
+        if self.delay <= 0:
+            raise ValueError("a straggler needs delay > 0")
+
+
+@dataclass(frozen=True)
 class DuplicateDelivery:
     """Every delivered message of ``group_id`` is delivered twice."""
 
@@ -60,6 +101,9 @@ class FaultPlan:
     group_stragglers: List[GroupStraggler] = field(default_factory=list)
     server_crashes: List[ServerCrash] = field(default_factory=list)
     duplicate_deliveries: List[DuplicateDelivery] = field(default_factory=list)
+    server_rank_crashes: List[ServerRankCrash] = field(default_factory=list)
+    server_rank_zombies: List[ServerRankZombie] = field(default_factory=list)
+    server_rank_stragglers: List[ServerRankStraggler] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     def crash_for(self, group_id: int, attempt: int) -> Optional[GroupCrash]:
@@ -91,8 +135,43 @@ class FaultPlan:
     def duplicated_groups(self) -> Set[int]:
         return {s.group_id for s in self.duplicate_deliveries}
 
+    # ------------------------------------------------------------------ #
+    # server-rank faults (the distributed ``repro serve`` failure unit)
+    # ------------------------------------------------------------------ #
+    def rank_crash_for(self, rank: int) -> Optional[ServerRankCrash]:
+        for spec in self.server_rank_crashes:
+            if spec.rank == rank:
+                return spec
+        return None
+
+    def rank_zombie_for(self, rank: int) -> Optional[ServerRankZombie]:
+        for spec in self.server_rank_zombies:
+            if spec.rank == rank:
+                return spec
+        return None
+
+    def rank_straggler_for(self, rank: int) -> Optional[ServerRankStraggler]:
+        for spec in self.server_rank_stragglers:
+            if spec.rank == rank:
+                return spec
+        return None
+
     @property
-    def empty(self) -> bool:
+    def has_server_rank_faults(self) -> bool:
+        """Any fault targeting a live ``repro serve`` process — THE place
+        to extend when a new server-rank spec is added, so the runtime
+        routing below cannot drift."""
+        return bool(
+            self.server_rank_crashes
+            or self.server_rank_zombies
+            or self.server_rank_stragglers
+        )
+
+    @property
+    def server_faults_only(self) -> bool:
+        """True when the plan touches only server ranks — the subset the
+        socket runtimes can inject (group faults need the virtual-time
+        driver)."""
         return not (
             self.group_crashes
             or self.group_zombies
@@ -100,3 +179,49 @@ class FaultPlan:
             or self.server_crashes
             or self.duplicate_deliveries
         )
+
+    @property
+    def empty(self) -> bool:
+        return self.server_faults_only and not self.has_server_rank_faults
+
+
+# --------------------------------------------------------------------- #
+def parse_server_fault(spec: str, rank: int) -> FaultPlan:
+    """Fault plan for one serve process from a compact CLI/env spec.
+
+    Grammar: ``kind[:key=value]`` where kind is ``crash`` / ``zombie``
+    (key ``after``, messages handled before the fault fires, default 0)
+    or ``straggler`` (key ``delay``, seconds per message).  Examples::
+
+        crash:after=40      zombie          straggler:delay=0.01
+
+    This is how a real ``repro serve`` subprocess is told to misbehave
+    (``--fault`` flag or ``REPRO_SERVE_FAULT``), so the same specs drive
+    unit tests, the loopback chaos suite, and the CI smoke leg.
+    """
+    kind, _, rest = spec.partition(":")
+    params = {}
+    for item in filter(None, rest.split(",")):
+        key, eq, value = item.partition("=")
+        if not eq:
+            raise ValueError(f"malformed fault parameter {item!r} in {spec!r}")
+        params[key.strip()] = value.strip()
+    if kind == "crash":
+        after = int(params.pop("after", 0))
+        plan = FaultPlan(server_rank_crashes=[ServerRankCrash(rank, after)])
+    elif kind == "zombie":
+        after = int(params.pop("after", 0))
+        plan = FaultPlan(server_rank_zombies=[ServerRankZombie(rank, after)])
+    elif kind == "straggler":
+        if "delay" not in params:
+            raise ValueError(f"fault spec {spec!r} is missing 'delay'")
+        plan = FaultPlan(server_rank_stragglers=[
+            ServerRankStraggler(rank, delay=float(params.pop("delay")))
+        ])
+    else:
+        raise ValueError(
+            f"unknown fault kind {kind!r} (use crash | zombie | straggler)"
+        )
+    if params:
+        raise ValueError(f"unknown fault parameter(s) {sorted(params)} in {spec!r}")
+    return plan

@@ -102,7 +102,17 @@ class SocketChannel:
     def stats(self) -> ChannelStats:
         return self._outbox.stats
 
+    @property
+    def broken(self) -> bool:
+        """The peer vanished (reset, closed listener, killed rank)."""
+        return self._error is not None
+
     def can_accept(self, nbytes: int) -> bool:
+        # a dead channel must raise, not report "would block": the
+        # multi-chunk delivery probe calls this first, and a False here
+        # would suspend the group forever instead of surfacing the rank
+        # death to the reconnect path
+        self._raise_pending()
         return self._outbox.can_accept(nbytes)
 
     def try_send(self, msg: Any) -> bool:

@@ -16,7 +16,17 @@ additionally owns the launcher-side bookkeeping of Sec. 4.2.2:
   in-flight group resubmitted to the remaining workers, up to
   ``config.max_group_retries`` times; server ranks are told to forget
   the dead instance's staged partials and replay protection discards
-  whatever the resubmitted run re-sends of already-integrated timesteps.
+  whatever the resubmitted run re-sends of already-integrated timesteps;
+* **server-rank supervision** (Sec. 4.2.3, the launcher protocol) —
+  when a :class:`~repro.net.supervisor.RankSupervisor` is attached, a
+  server rank whose control connection drops or whose heartbeat goes
+  silent is killed and respawned from its per-rank checkpoint.  The
+  replacement re-registers with a fresh data address and reports which
+  groups its restored statistics already contain; the coordinator
+  requeues every group the restored state is missing (data integrated
+  after the last checkpoint died with the old process) and workers
+  re-run them — replay protection on the surviving ranks discards the
+  duplicates, so the statistics stay exact.
 
 The coordinator is transport policy only — statistics never flow through
 it; field data goes worker -> rank over the direct data channels.
@@ -79,6 +89,12 @@ class Coordinator:
         (requires the worker's ``hello`` to carry its pid, which the
         loopback runtime's workers do).  Exercises the resubmission path
         deterministically.
+    supervisor:
+        Optional :class:`~repro.net.supervisor.RankSupervisor`.  Without
+        one, a dead server rank aborts the study (pre-supervision
+        behaviour); with one, the rank is killed and respawned from its
+        checkpoint and the study continues.  Heartbeat staleness for
+        zombie detection lives on the supervisor's policy.
     """
 
     def __init__(
@@ -88,6 +104,7 @@ class Coordinator:
         port: int = 0,
         worker_timeout: Optional[float] = None,
         fault_kill_after: Optional[int] = None,
+        supervisor=None,
     ):
         self.config = config
         self.fingerprint = study_fingerprint(config)
@@ -96,6 +113,7 @@ class Coordinator:
             config.group_timeout if worker_timeout is None else worker_timeout
         )
         self.fault_kill_after = fault_kill_after
+        self.supervisor = supervisor
         self._listener = socket.create_server((host, port), backlog=64)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
 
@@ -107,6 +125,14 @@ class Coordinator:
         self.done: Set[int] = set()
         self.abandoned: List[int] = []
         self.resubmitted: List[int] = []
+        self.interrupted: List[int] = []  # groups aborted by a rank death
+        self.rank_respawns: List[int] = []  # ranks that re-registered
+        self.requeued_after_respawn: List[int] = []
+        # (worker id, group id) attempts that were in flight when a rank
+        # respawned: their outcome proves nothing for the restored rank,
+        # so only the requeued copy may settle the group
+        self._stale_attempts: Set[Tuple[int, int]] = set()
+        self._rank_generations: Dict[int, int] = {}
         self._assign_count = 0
         self._rank_addresses: Dict[int, Tuple[str, int]] = {}
         self._rank_conns: Dict[int, FrameConnection] = {}
@@ -127,6 +153,14 @@ class Coordinator:
 
     # ------------------------------------------------------------------ #
     def start(self) -> "Coordinator":
+        if self.supervisor is not None:
+            # seed liveness for every expected rank: a serve process that
+            # dies BEFORE it ever registers (bind failure, bad restore,
+            # OOM kill) has no connection to drop, so only staleness from
+            # this baseline can expose it for respawn
+            now = time.monotonic()
+            for rank in range(self.config.server_ranks):
+                self.supervisor.beat(rank, now)
         self._accept_thread.start()
         return self
 
@@ -153,10 +187,16 @@ class Coordinator:
                     if self._groups_settled() and not self._finalized:
                         self._finalize_ranks()
                     self._reap_stale_workers()
+                    orphans = self._reap_stale_ranks()
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         raise TimeoutError(self._timeout_message(timeout))
-                    self._changed.wait(timeout=min(poll, remaining))
+                    if not orphans:
+                        self._changed.wait(timeout=min(poll, remaining))
+                for rank in orphans:
+                    # a stale rank with no connection to close: respawn it
+                    # directly (kill + spawn happen outside the lock)
+                    self._respawn_lost_rank(rank)
         finally:
             if len(self.rank_states) == self.config.server_ranks or self._errors:
                 self.close()
@@ -180,7 +220,10 @@ class Coordinator:
             try:
                 conn.send({"op": "finalize"})
             except ConnectionLost:
-                self._errors.append(f"server rank {rank} lost before finalize")
+                # with supervision the rank's reader thread notices the
+                # loss and respawns; the replacement is re-finalized
+                if self.supervisor is None:
+                    self._errors.append(f"server rank {rank} lost before finalize")
 
     def _reap_stale_workers(self) -> None:
         now = time.monotonic()
@@ -190,6 +233,31 @@ class Coordinator:
                 conn = self._worker_conns.get(wid)
                 if conn is not None:
                     conn.close()  # reader thread unblocks and resubmits
+
+    def _reap_stale_ranks(self) -> List[int]:
+        """Flag heartbeat-silent ranks (lock held).
+
+        A connected zombie has its control connection closed so its
+        reader thread runs the loss path (kill + respawn).  A stale rank
+        with NO connection — it died before ever registering — is
+        returned for the wait loop to respawn directly; its liveness
+        entry is dropped so the verdict fires once (the replacement's
+        registration re-arms tracking).  A rank that already shipped its
+        state is lingering on purpose and is never reaped.
+        """
+        if self.supervisor is None:
+            return []
+        orphans: List[int] = []
+        for rank in self.supervisor.stale_ranks(time.monotonic()):
+            if rank in self.rank_states:
+                continue
+            conn = self._rank_conns.get(rank)
+            if conn is not None:
+                conn.close()
+            else:
+                self.supervisor.policy.forget(rank)
+                orphans.append(rank)
+        return orphans
 
     def close(self) -> None:
         if self._closed:
@@ -256,22 +324,41 @@ class Coordinator:
     def _serve_rank_connection(self, conn: FrameConnection, hello: dict) -> None:
         rank = int(hello["rank"])
         with self._changed:
+            self._note_rank_registration(rank, hello)
             self._rank_addresses[rank] = tuple(hello["address"])
             self._rank_conns[rank] = conn
+            if self.supervisor is not None:
+                self.supervisor.watch(rank, hello.get("pid"))
+                # registration counts as liveness: a rank that hangs
+                # before its first heartbeat must still look stale later
+                self.supervisor.beat(rank, time.monotonic())
             self._changed.notify_all()
         try:
             conn.send({"op": "registered"})
             while True:
                 frame = conn.recv()
                 if isinstance(frame, Heartbeat):
+                    if self.supervisor is not None:
+                        self.supervisor.beat(rank, time.monotonic())
                     continue
                 if isinstance(frame, dict) and frame.get("op") == "rank_state":
                     with self._changed:
                         self.rank_states[rank] = frame["state"]
                         self.rank_maps[rank] = frame["maps"]
                         self.rank_widths[rank] = frame["width"]
+                        if self.supervisor is not None:
+                            # the rank now lingers (silent by design) to
+                            # absorb respawn-requeued replays; stop
+                            # watching its heartbeat
+                            self.supervisor.policy.forget(rank)
                         self._changed.notify_all()
-                    return
+                    if self.supervisor is None:
+                        return
+                    # supervised: keep reading so a lingering rank's
+                    # death is still observed — replays of another rank's
+                    # requeued groups must have somewhere to land, so the
+                    # corpse needs a replacement like any other rank
+                    continue
                 if isinstance(frame, dict) and frame.get("op") == "error":
                     with self._changed:
                         self._errors.append(
@@ -280,11 +367,90 @@ class Coordinator:
                         self._changed.notify_all()
                     return
         except (ConnectionLost, TimeoutError):
+            self._on_rank_lost(rank, conn)
+
+    def _note_rank_registration(self, rank: int, hello: dict) -> None:
+        """Respawn bookkeeping for a (re-)registering rank (lock held).
+
+        A re-registration is the second half of the launcher protocol:
+        the replacement process restored its checkpoint and told us which
+        groups that state already contains (``finished``).  Every group
+        the coordinator considers done or in flight that the restored
+        state is missing lost data with the old process — requeue it;
+        replay protection on the other ranks discards the duplicates.
+        """
+        generation = self._rank_generations.get(rank, -1) + 1
+        self._rank_generations[rank] = generation
+        if generation == 0:
+            return
+        self.rank_respawns.append(rank)
+        restored = set(hello.get("finished", ()))
+        at_risk = self.done | set(self._assigned.values())
+        requeue = sorted(g for g in at_risk if g not in restored)
+        for gid in requeue:
+            self.done.discard(gid)
+            if gid not in self._pending:
+                self._pending.append(gid)
+        # in-flight attempts of requeued groups may still "complete" on
+        # pre-crash credits the restored rank never integrated; mark them
+        # stale so their group_done cannot settle the group
+        for wid, gid in self._assigned.items():
+            if gid in requeue:
+                self._stale_attempts.add((wid, gid))
+        self.requeued_after_respawn.extend(requeue)
+        # whether or not anything was requeued, the replacement has never
+        # seen a finalize — arm the wait loop to send it again (lingering
+        # ranks ignore the repeat)
+        self._finalized = False
+
+    def _on_rank_lost(self, rank: int, conn: FrameConnection) -> None:
+        """A server rank's control connection died: abort (no supervisor)
+        or kill-and-respawn (Sec. 4.2.3).
+
+        With supervision this also covers a *lingering* rank — one whose
+        state is already in.  Its death would strand the re-sends of any
+        later respawn-requeued group, so it gets a replacement too; the
+        collected state is dropped and the replacement (restoring the
+        final checkpoint) re-reports an identical one.
+        """
+        with self._changed:
+            if self._closed or len(self.rank_states) == self.config.server_ranks:
+                # shutting down, or every state is in (the study is over
+                # and wait() is about to close us): nothing to recover
+                self._changed.notify_all()
+                return
+            if self.supervisor is None and rank in self.rank_states:
+                self._changed.notify_all()
+                return  # unsupervised: a reported rank's exit is normal
+            if self._rank_conns.get(rank) is not conn:
+                return  # superseded by a newer registration
+            del self._rank_conns[rank]
+            # block new rendezvous replies until the replacement publishes
+            # its fresh data address
+            self._rank_addresses.pop(rank, None)
+            supervisor = self.supervisor
+            if supervisor is None:
+                self._errors.append(
+                    f"server rank {rank} disconnected before reporting its state"
+                )
+                self._changed.notify_all()
+                return
+            self.rank_states.pop(rank, None)
+            self.rank_maps.pop(rank, None)
+            self.rank_widths.pop(rank, None)
+            supervisor.policy.forget(rank)
+            self._changed.notify_all()
+        self._respawn_lost_rank(rank)
+
+    def _respawn_lost_rank(self, rank: int) -> None:
+        """Kill-and-respawn one dead rank (no locks held)."""
+        try:
+            self.supervisor.respawn(rank)
+        except Exception as exc:  # budget exceeded or the spawner failed
             with self._changed:
-                if rank not in self.rank_states and not self._closed:
-                    self._errors.append(
-                        f"server rank {rank} disconnected before reporting its state"
-                    )
+                self._errors.append(
+                    f"server rank {rank} died and could not be respawned: {exc}"
+                )
                 self._changed.notify_all()
 
     # ------------------------------------------------------------------ #
@@ -318,6 +484,11 @@ class Coordinator:
                         os.kill(kill_pid, signal.SIGKILL)  # fault-injection hook
                 elif op == "group_done":
                     self._mark_done(wid, int(frame["group_id"]))
+                elif op == "group_interrupted":
+                    # the worker aborted the group because a server rank
+                    # died under it; requeue without charging the group's
+                    # retry budget (the group is not at fault)
+                    self._requeue_interrupted(wid, int(frame["group_id"]))
                 elif op == "error":
                     with self._changed:
                         self._errors.append(f"worker {name} failed:\n{frame['error']}")
@@ -369,7 +540,12 @@ class Coordinator:
         """Next work item for a worker: a group, idle backoff, or done."""
         with self._changed:
             if self._groups_settled():
-                return {"op": "done"}, None
+                # workers may only leave once every rank has shipped its
+                # state: a rank dying during finalize requeues groups, and
+                # someone has to still be around to run them
+                if len(self.rank_states) == self.config.server_ranks:
+                    return {"op": "done"}, None
+                return {"op": "idle", "delay": 0.1}, None
             if not self._pending:
                 # other workers still hold groups that may yet be
                 # resubmitted; stay around
@@ -391,14 +567,61 @@ class Coordinator:
         with self._changed:
             if self._assigned.get(wid) == gid:
                 del self._assigned[wid]
-            self.done.add(gid)
+            if (wid, gid) in self._stale_attempts:
+                # this attempt was in flight when a rank respawned: its
+                # "completion" may rest on credits the dead rank never
+                # integrated, so only the requeued copy settles the group
+                self._stale_attempts.discard((wid, gid))
+            elif gid not in self._pending:
+                # a respawn may have requeued this group while the worker
+                # was finishing it; the queued duplicate still runs (the
+                # respawned rank needs the re-sent data), so the group is
+                # not done yet
+                self.done.add(gid)
             self._changed.notify_all()
+
+    def _requeue_interrupted(self, wid: int, gid: int) -> None:
+        """A rank died under a running group: re-run it, free of charge.
+
+        Unlike :meth:`_resubmit_if_assigned` this does not count against
+        ``max_group_retries`` — the group did nothing wrong — and it
+        dedupes against the respawn requeue, which may have already put
+        the same group back in the queue.
+        """
+        with self._changed:
+            if self._assigned.get(wid) == gid:
+                del self._assigned[wid]
+            self.interrupted.append(gid)
+            stale = (wid, gid) in self._stale_attempts
+            self._stale_attempts.discard((wid, gid))
+            # a stale attempt needs no requeue: the respawn already
+            # queued a copy, and that copy is the one that counts
+            if not stale and gid not in self.done and gid not in self._pending:
+                self._pending.append(gid)
+            self._changed.notify_all()
+        if stale:
+            # NO forget broadcast here: the requeued copy may already be
+            # mid-stream, and dropping its staged partials would leave a
+            # (group, timestep) forever incomplete on the surviving ranks
+            return
+        for rank, conn in list(self._rank_conns.items()):
+            try:
+                conn.send({"op": "forget", "group_id": gid})
+            except ConnectionLost:
+                pass
 
     def _resubmit_if_assigned(self, wid: int) -> None:
         """Sec. 4.2.2 fault path: the worker died holding a group."""
         with self._changed:
             gid = self._assigned.pop(wid, None)
             if gid is None or gid in self.done:
+                self._changed.notify_all()
+                return
+            if (wid, gid) in self._stale_attempts or gid in self._pending:
+                # a rank respawn already requeued this group; the queued
+                # copy will re-run it — don't double-queue or charge the
+                # group's retry budget for a death that isn't its fault
+                self._stale_attempts.discard((wid, gid))
                 self._changed.notify_all()
                 return
             self._retries[gid] = self._retries.get(gid, 0) + 1

@@ -6,34 +6,94 @@ Melissa Server rank as an independent OS process.  It
 
 * opens a :class:`~repro.net.channel.DataListener` (the rank's ZeroMQ
   PULL socket) feeding a byte-bounded inbox,
-* registers its data address with the coordinator's rendezvous endpoint,
+* registers its data address with the coordinator's rendezvous endpoint
+  — including which groups its restored checkpoint already contains, so
+  a respawned rank lets the coordinator requeue exactly the groups the
+  restored statistics are missing (Sec. 4.2.3),
 * drains the inbox through :meth:`ServerRank.handle` while emitting
   heartbeats and answering control ops (``forget`` on a group fault,
   ``finalize`` at the end of the study),
 * checkpoints its rank state independently of every other rank
   (Sec. 4.2.3 — per-rank files, restored at startup so a restarted
   ``repro serve`` resumes its integrated statistics before new workers
-  connect; live mid-study restart with already-connected workers needs
-  the launcher-driven respawn protocol, which is ROADMAP future work),
-* and finally ships its state + batched index maps + convergence scalar
-  back to the coordinator.
+  connect),
+* ships its state + batched index maps + convergence scalar back to the
+  coordinator, then **lingers**: it keeps accepting and draining data
+  until the coordinator closes the control connection, so replays from a
+  respawn-requeued group still land somewhere (replay protection
+  discards them; the reported state stays exact).
+
+Fault injection: a :class:`~repro.faults.FaultPlan` (or the ``--fault``
+/ ``REPRO_SERVE_FAULT`` spec of a real subprocess) can make this rank
+SIGKILL itself mid-study, hang silently (zombie), or slow down
+(straggler) — the specs the chaos suite and the CI smoke leg drive
+through the supervisor's kill-and-respawn protocol.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import time
 import traceback
 
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import StudyConfig
 from repro.core.server import ServerRank
+from repro.faults import FaultPlan, parse_server_fault
 from repro.mesh.partition import BlockPartition
 from repro.net.channel import DataListener
 from repro.net.coordinator import study_fingerprint
 from repro.net.framing import ConnectionLost, connect_with_retry
-from repro.transport.channel import BoundedChannel
+from repro.transport.channel import BoundedChannel, ChannelClosed
 from repro.transport.message import Heartbeat
+
+FAULT_ENV = "REPRO_SERVE_FAULT"
+
+
+class _FaultInjector:
+    """Applies one rank's share of a fault plan to the serve loop."""
+
+    def __init__(self, plan: FaultPlan, rank_idx: int):
+        self.crash = plan.rank_crash_for(rank_idx)
+        self.zombie = plan.rank_zombie_for(rank_idx)
+        self.straggler = plan.rank_straggler_for(rank_idx)
+        self.handled = 0
+
+    def on_handle(self) -> None:
+        """One data message was just integrated/staged."""
+        self.handled += 1
+        if self.straggler is not None:
+            time.sleep(self.straggler.delay)
+        self.check()
+
+    def check(self) -> None:
+        """Fire any due crash/zombie (called every loop iteration so an
+        ``after_messages=0`` fault fires even before the first message)."""
+        if self.crash is not None and self.handled >= self.crash.after_messages:
+            # the real thing: no cleanup, no goodbye — the OS reaps the
+            # sockets and the supervisor finds out from the broken pipe
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.zombie is not None and self.handled >= self.zombie.after_messages:
+            # alive but silent: no heartbeats, no draining.  Only the
+            # supervisor's staleness detection can end this.
+            while True:
+                time.sleep(3600)
+
+
+def _resolve_fault_plan(fault_plan, fault_spec, rank_idx: int, env_fault: bool):
+    if fault_plan is None and fault_spec is None and env_fault:
+        fault_spec = os.environ.get(FAULT_ENV) or None
+    if fault_spec is not None:
+        if fault_plan is not None:
+            raise ValueError("pass either fault_plan or fault_spec, not both")
+        fault_plan = parse_server_fault(fault_spec, rank_idx)
+    if fault_plan is None:
+        return None
+    injector = _FaultInjector(fault_plan, rank_idx)
+    if injector.crash is None and injector.zombie is None and injector.straggler is None:
+        return None
+    return injector
 
 
 def run_server_rank(
@@ -45,10 +105,20 @@ def run_server_rank(
     checkpoint_dir=None,
     poll_interval: float = 0.005,
     heartbeat_interval=None,
+    fault_plan: FaultPlan = None,
+    fault_spec: str = None,
+    env_fault: bool = True,
 ) -> int:
-    """Run one server rank to study completion; returns an exit code."""
+    """Run one server rank to study completion; returns an exit code.
+
+    ``env_fault=False`` ignores ``$REPRO_SERVE_FAULT`` — the respawn
+    paths use it so an env-injected fault cannot re-fire in a
+    replacement process (a fault models one intermittent failure, and
+    replacements are documented to run clean).
+    """
     if heartbeat_interval is None:
         heartbeat_interval = config.heartbeat_interval
+    fault = _resolve_fault_plan(fault_plan, fault_spec, rank_idx, env_fault)
     partition = BlockPartition(config.ncells, config.server_ranks)
     rank = ServerRank(rank_idx, config, partition)
     manager = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
@@ -75,6 +145,9 @@ def run_server_rank(
             "address": listener.address,
             "fingerprint": study_fingerprint(config),
             "pid": os.getpid(),
+            # what the restored statistics already contain — the
+            # coordinator requeues every done/in-flight group NOT in here
+            "finished": sorted(rank.finished_groups),
         })
         ack = ctrl.recv(timeout=30.0)
         if not (isinstance(ack, dict) and ack.get("op") == "registered"):
@@ -82,10 +155,26 @@ def run_server_rank(
 
         last_beat = time.monotonic()
         last_checkpoint = time.monotonic()
+
+        def maybe_beat() -> None:
+            # called inside the drain loops too: a sustained backlog (or
+            # a straggler's per-message delay) must never starve the
+            # heartbeat, or the supervisor would kill a busy-but-live
+            # rank as a zombie
+            nonlocal last_beat
+            now = time.monotonic()
+            if now - last_beat >= heartbeat_interval:
+                ctrl.send(Heartbeat(sender=sender, time=time.time()))
+                last_beat = now
+
         finalize = False
         while not finalize:
+            if fault is not None:
+                fault.check()
             try:
                 rank.handle(inbox.recv(timeout=poll_interval), time.monotonic())
+                if fault is not None:
+                    fault.on_handle()
             except TimeoutError:
                 pass
             # opportunistically drain whatever else is already queued
@@ -94,10 +183,11 @@ def run_server_rank(
                 if msg is None:
                     break
                 rank.handle(msg, time.monotonic())
+                if fault is not None:
+                    fault.on_handle()
+                maybe_beat()
+            maybe_beat()
             now = time.monotonic()
-            if now - last_beat >= heartbeat_interval:
-                ctrl.send(Heartbeat(sender=sender, time=time.time()))
-                last_beat = now
             while ctrl.poll(0.0):
                 frame = ctrl.recv()
                 if not isinstance(frame, dict):
@@ -123,6 +213,9 @@ def run_server_rank(
             if msg is None:
                 break
             rank.handle(msg, time.monotonic())
+            if fault is not None:
+                fault.on_handle()
+            maybe_beat()
 
         maps = rank.index_maps()
         width = float(rank.sobol.max_interval_width())
@@ -135,6 +228,7 @@ def run_server_rank(
             "maps": maps,
             "width": width,
         })
+        _linger(rank, inbox, ctrl)
         return 0
     except BaseException:
         try:
@@ -146,3 +240,31 @@ def run_server_rank(
         listener.close()
         inbox.close()
         ctrl.close()
+
+
+def _linger(rank: ServerRank, inbox: BoundedChannel, ctrl) -> None:
+    """Post-report phase: stay reachable until the coordinator hangs up.
+
+    If another rank dies after this one reported, the coordinator
+    requeues groups and workers re-run them — re-sending field data to
+    EVERY intersecting rank, this one included.  Everything arriving here
+    is a replay of an already-integrated timestep (a group only counts as
+    done once each rank credited its bytes and the pre-finalize drain
+    integrated them), so handling it is a pure discard and the reported
+    state stays exact; what matters is that the data channels keep
+    crediting so the re-run can finish.
+    """
+    while True:
+        try:
+            if ctrl.poll(0.05):
+                ctrl.recv()  # drained and ignored (repeat finalize, forget)
+        except (ConnectionLost, TimeoutError, OSError):
+            return  # coordinator closed: the study is over
+        try:
+            while True:
+                msg = inbox.try_recv()
+                if msg is None:
+                    break
+                rank.handle(msg, time.monotonic())
+        except ChannelClosed:
+            return

@@ -30,6 +30,7 @@ from repro.core.group import (
 )
 from repro.mesh.partition import BlockPartition
 from repro.net.channel import SocketChannel
+from repro.transport.channel import ChannelClosed
 from repro.net.coordinator import study_fingerprint
 from repro.net.framing import (
     AddressedReply,
@@ -97,11 +98,20 @@ class SocketRouter:
     def _channel(self, rank: int) -> SocketChannel:
         channel = self._channels.get(rank)
         if channel is None:
-            channel = SocketChannel(
-                self._addresses[rank],
-                send_hwm_bytes=self.config.channel_capacity_bytes,
-                name=f"{self.name}->rank{rank}",
-            )
+            try:
+                channel = SocketChannel(
+                    self._addresses[rank],
+                    send_hwm_bytes=self.config.channel_capacity_bytes,
+                    name=f"{self.name}->rank{rank}",
+                )
+            except (OSError, TimeoutError) as exc:
+                # a stale address from before a rank respawn: surface it
+                # as a dead channel so the group-interrupt path re-asks
+                # the rendezvous instead of failing the worker
+                raise ChannelClosed(
+                    f"{self.name}: server rank {rank} unreachable at "
+                    f"{self._addresses[rank]}"
+                ) from exc
             self._channels[rank] = channel
         return channel
 
@@ -130,6 +140,26 @@ class SocketRouter:
         for channel in self._channels.values():
             remaining = None if deadline is None else deadline - time.monotonic()
             channel.flush(timeout=remaining)
+
+    def any_broken(self) -> bool:
+        """Did any open data channel lose its rank?"""
+        return any(channel.broken for channel in self._channels.values())
+
+    def reset(self) -> None:
+        """Forget the rendezvous: close every channel and drop the cached
+        partition/address table.
+
+        This is the client half of the respawn protocol: after a server
+        rank dies, its old data address is garbage, so the next
+        :meth:`connect` re-asks the rendezvous — which blocks until the
+        respawned rank has published a fresh address — and channels are
+        re-opened lazily against the new table.
+        """
+        self.close()
+        self._reply = None
+        self._addresses = None
+        self.server_partition = None
+        self._connected.clear()
 
     def total_stats(self) -> Dict[str, int]:
         agg = {
@@ -205,37 +235,55 @@ def run_worker(
                 raise RuntimeError(f"unexpected assignment frame: {frame!r}")
             group_id = int(frame["group_id"])
             in_group = True
-            executor = GroupExecutor(
-                SimulationGroup.from_design(design, group_id),
-                factory,
-                config,
-                router,
-            )
-            executor.initialize()
-            while executor.state != GroupState.FINISHED:
-                state = executor.process_step()
-                if state == GroupState.BLOCKED:
-                    # ZeroMQ-style suspension: both buffers full, wait
-                    time.sleep(poll_interval)
-                now = time.monotonic()
-                if now - last_beat >= heartbeat_interval:
-                    ctrl.send(Heartbeat(sender=name, time=time.time()))
-                    last_beat = now
-            # GROUP_DONE is a delivery guarantee: only claim it once every
-            # sent byte has been credited back by the receiving ranks.
-            # Flush in heartbeat-sized slices: a long back-pressured drain
-            # must not look like control-plane silence to the coordinator
-            # (which reaps workers after worker_timeout without a frame).
-            flush_deadline = time.monotonic() + config.group_timeout
-            while True:
-                try:
-                    router.flush(timeout=heartbeat_interval)
-                    break
-                except TimeoutError:
-                    if time.monotonic() >= flush_deadline:
-                        raise
-                    ctrl.send(Heartbeat(sender=name, time=time.time()))
-                    last_beat = time.monotonic()
+            if router.any_broken():
+                # a rank died while this worker sat idle: re-ask the
+                # rendezvous up front instead of burning the first
+                # delivery on a dead channel
+                router.reset()
+            try:
+                executor = GroupExecutor(
+                    SimulationGroup.from_design(design, group_id),
+                    factory,
+                    config,
+                    router,
+                )
+                executor.initialize()
+                while executor.state != GroupState.FINISHED:
+                    state = executor.process_step()
+                    if state == GroupState.BLOCKED:
+                        # ZeroMQ-style suspension: both buffers full, wait
+                        time.sleep(poll_interval)
+                    now = time.monotonic()
+                    if now - last_beat >= heartbeat_interval:
+                        ctrl.send(Heartbeat(sender=name, time=time.time()))
+                        last_beat = now
+                # GROUP_DONE is a delivery guarantee: only claim it once
+                # every sent byte has been credited back by the receiving
+                # ranks.  Flush in heartbeat-sized slices: a long
+                # back-pressured drain must not look like control-plane
+                # silence to the coordinator (which reaps workers after
+                # worker_timeout without a frame).
+                flush_deadline = time.monotonic() + config.group_timeout
+                while True:
+                    try:
+                        router.flush(timeout=heartbeat_interval)
+                        break
+                    except TimeoutError:
+                        if time.monotonic() >= flush_deadline:
+                            raise
+                        ctrl.send(Heartbeat(sender=name, time=time.time()))
+                        last_beat = time.monotonic()
+            except ChannelClosed:
+                # a server rank died under this group (Sec. 4.2.3).  Drop
+                # the whole attempt, tell the coordinator (it requeues the
+                # group without charging its retry budget), and forget the
+                # rendezvous so the next connect picks up the respawned
+                # rank's fresh address — blocking until it exists.
+                router.reset()
+                ctrl.send({"op": "group_interrupted", "group_id": group_id})
+                in_group = False
+                last_beat = time.monotonic()
+                continue
             ctrl.send({"op": "group_done", "group_id": group_id})
             in_group = False
         try:

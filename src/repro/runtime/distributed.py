@@ -19,25 +19,37 @@ Statistics parity: each (cell, timestep) lives on exactly one rank and
 group folds commute, so results match the sequential driver to tight
 floating-point tolerance; the integration tests assert rtol 1e-10.
 
-Fault path: a killed group worker drops its control connection; the
-coordinator resubmits the in-flight group, ranks forget its staged
-partials, and replay protection keeps the statistics exact
-(Sec. 4.2.1/4.2.2) — asserted by the kill test.
+Fault paths (Sec. 4.2):
+
+* a killed group worker drops its control connection; the coordinator
+  resubmits the in-flight group, ranks forget its staged partials, and
+  replay protection keeps the statistics exact (Sec. 4.2.1/4.2.2) —
+  asserted by the kill test;
+* a dead or hung *server rank* is caught by the supervisor (lost control
+  connection or stale heartbeat), SIGKILLed, and respawned from its
+  per-rank checkpoint (Sec. 4.2.3); the replacement publishes a fresh
+  data address, the coordinator requeues whatever the restored state is
+  missing, and workers reconnect and re-run — the chaos suite asserts
+  rtol 1e-10 parity through a mid-study SIGKILL.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 from typing import List, Optional
 
 import numpy as np
 
 from repro.core.config import StudyConfig
 from repro.core.group import SimulationFactory
+from repro.core.launcher import RankRespawnPolicy
 from repro.core.results import StudyResults
 from repro.core.server import MelissaServer
+from repro.faults import FaultPlan
 from repro.net.coordinator import Coordinator
 from repro.net.serve import run_server_rank
+from repro.net.supervisor import RankSupervisor
 from repro.net.worker import run_worker
 from repro.sampling.pickfreeze import draw_design
 
@@ -58,6 +70,19 @@ class DistributedRuntime:
     fault_kill_after:
         Test hook forwarded to the coordinator: SIGKILL the worker that
         receives the Nth group assignment, exercising resubmission.
+    supervise:
+        Run the launcher protocol for server ranks (Sec. 4.2.3): a dead
+        or silent rank process is killed and respawned from its
+        checkpoint (up to ``config.max_rank_respawns`` times per rank)
+        instead of failing the study.  On by default.
+    rank_timeout:
+        Heartbeat staleness (seconds) before a silent rank is declared a
+        zombie; defaults to ``config.server_timeout``.
+    fault_plan:
+        Server-rank faults to inject into the forked serve processes
+        (crash/zombie/straggler specs from :mod:`repro.faults`); group
+        faults are rejected — they need the virtual-time driver.
+        Respawned replacement processes always run clean.
     """
 
     def __init__(
@@ -71,9 +96,18 @@ class DistributedRuntime:
         heartbeat_interval: Optional[float] = None,
         checkpoint_dir=None,
         fault_kill_after: Optional[int] = None,
+        supervise: bool = True,
+        rank_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if nworkers < 1:
             raise ValueError("nworkers must be >= 1")
+        if fault_plan is not None and not fault_plan.server_faults_only:
+            raise ValueError(
+                "the distributed runtime injects server-rank faults only; "
+                "group faults and virtual-time ServerCrash specs need the "
+                "sequential runtime"
+            )
         if "fork" not in mp.get_all_start_methods():
             raise RuntimeError(
                 "DistributedRuntime's loopback mode requires the fork start "
@@ -93,12 +127,19 @@ class DistributedRuntime:
         )
         self.checkpoint_dir = checkpoint_dir
         self.fault_kill_after = fault_kill_after
+        self.supervise = supervise
+        self.rank_timeout = (
+            config.server_timeout if rank_timeout is None else rank_timeout
+        )
+        self.fault_plan = fault_plan
         self._ctx = mp.get_context("fork")
+        self._proc_lock = threading.Lock()
         self.design = draw_design(
             config.space, config.ngroups, seed=config.seed,
             method=config.sampling_method,
         )
         self.coordinator: Optional[Coordinator] = None
+        self.supervisor: Optional[RankSupervisor] = None
         self.server_procs: List = []
         self.worker_procs: List = []
 
@@ -112,27 +153,28 @@ class DistributedRuntime:
         if resolve_spec(self.config.kernel) in ("auto", "cext"):
             warm_compiled_backends()
 
+        supervisor = None
+        if self.supervise:
+            supervisor = RankSupervisor(
+                spawner=self._respawn_rank,
+                policy=RankRespawnPolicy(
+                    nranks=self.config.server_ranks,
+                    timeout=self.rank_timeout,
+                    max_respawns=self.config.max_rank_respawns,
+                ),
+            )
+        self.supervisor = supervisor
         coordinator = Coordinator(
             self.config,
             host=self.host,
             port=self.port,
             fault_kill_after=self.fault_kill_after,
+            supervisor=supervisor,
         ).start()
         self.coordinator = coordinator
         ctx = self._ctx
         self.server_procs = [
-            ctx.Process(
-                target=run_server_rank,
-                args=(rank, self.config, coordinator.address),
-                kwargs={
-                    "data_host": self.host,
-                    "checkpoint_dir": self.checkpoint_dir,
-                    "poll_interval": self.poll_interval,
-                    "heartbeat_interval": self.heartbeat_interval,
-                },
-                name=f"repro-serve-{rank}",
-                daemon=True,
-            )
+            self._rank_process(rank, fault_plan=self.fault_plan)
             for rank in range(self.config.server_ranks)
         ]
         nworkers = min(self.nworkers, self.config.ngroups)
@@ -155,14 +197,49 @@ class DistributedRuntime:
             for proc in self.server_procs + self.worker_procs:
                 proc.start()
             coordinator.wait(timeout=timeout)
-            for proc in self.server_procs + self.worker_procs:
+            for proc in self._all_procs():
                 proc.join(timeout=10.0)
         finally:
             coordinator.close()
-            for proc in self.server_procs + self.worker_procs:
+            for proc in self._all_procs():
                 if proc.is_alive():
                     proc.terminate()
         return assemble_results(self.config, coordinator, runtime=self)
+
+    # ------------------------------------------------------------------ #
+    def _rank_process(self, rank: int, fault_plan: Optional[FaultPlan],
+                      env_fault: bool = True):
+        return self._ctx.Process(
+            target=run_server_rank,
+            args=(rank, self.config, self.coordinator.address),
+            kwargs={
+                "data_host": self.host,
+                "checkpoint_dir": self.checkpoint_dir,
+                "poll_interval": self.poll_interval,
+                "heartbeat_interval": self.heartbeat_interval,
+                "fault_plan": fault_plan,
+                "env_fault": env_fault,
+            },
+            name=f"repro-serve-{rank}",
+            daemon=True,
+        )
+
+    def _respawn_rank(self, rank: int) -> None:
+        """Supervisor spawner: fork a clean replacement serve process.
+
+        The replacement restores the rank's checkpoint (when the runtime
+        checkpoints at all) and re-registers; it never re-applies the
+        fault plan — a fault models one intermittent failure, not a
+        permanently broken host.
+        """
+        proc = self._rank_process(rank, fault_plan=None, env_fault=False)
+        with self._proc_lock:
+            self.server_procs.append(proc)
+        proc.start()
+
+    def _all_procs(self) -> List:
+        with self._proc_lock:
+            return list(self.server_procs) + list(self.worker_procs)
 
 
 def assemble_results(

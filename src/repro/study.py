@@ -120,6 +120,11 @@ class SensitivityStudy:
         if runtime == "sequential":
             from repro.runtime import SequentialRuntime
 
+            if fault_plan is not None and fault_plan.has_server_rank_faults:
+                raise ValueError(
+                    "server-rank faults target real serve processes; run "
+                    "them with runtime='distributed'"
+                )
             driver = SequentialRuntime(
                 self.config,
                 self.factory,
@@ -132,24 +137,26 @@ class SensitivityStudy:
         elif runtime == "threaded":
             from repro.runtime import ThreadedRuntime
 
-            if fault_plan is not None and not fault_plan.empty:
-                raise ValueError("fault injection requires the sequential runtime")
+            _reject_fault_plan("threaded", fault_plan)
             driver = ThreadedRuntime(self.config, self.factory, **runtime_kwargs)
             self.results = driver.run()
             self.driver = driver
         elif runtime == "process":
             from repro.runtime import ProcessRuntime
 
-            if fault_plan is not None and not fault_plan.empty:
-                raise ValueError("fault injection requires the sequential runtime")
+            _reject_fault_plan("process", fault_plan)
             driver = ProcessRuntime(self.config, self.factory, **runtime_kwargs)
             self.results = driver.run()
             self.driver = driver
         elif runtime == "distributed":
             from repro.runtime import DistributedRuntime
 
-            if fault_plan is not None and not fault_plan.empty:
-                raise ValueError("fault injection requires the sequential runtime")
+            if fault_plan is not None and not fault_plan.server_faults_only:
+                raise ValueError(
+                    "the distributed runtime injects server-rank faults "
+                    "only; group faults and virtual-time ServerCrash specs "
+                    "require the sequential runtime"
+                )
             run_kwargs = {}
             if "timeout" in runtime_kwargs:
                 run_kwargs["timeout"] = runtime_kwargs.pop("timeout")
@@ -157,6 +164,8 @@ class SensitivityStudy:
                 self.config,
                 self.factory,
                 checkpoint_dir=checkpoint_dir,
+                fault_plan=None if fault_plan is None or fault_plan.empty
+                else fault_plan,
                 **runtime_kwargs,
             )
             self.results = driver.run(**run_kwargs)
@@ -164,3 +173,17 @@ class SensitivityStudy:
         else:
             raise ValueError(f"unknown runtime {runtime!r}")
         return self.results
+
+
+def _reject_fault_plan(runtime: str, fault_plan: Optional[FaultPlan]) -> None:
+    """The threaded/process runtimes inject nothing; point at the right
+    driver per fault kind instead of always naming the sequential one."""
+    if fault_plan is None or fault_plan.empty:
+        return
+    target = (
+        "distributed" if fault_plan.has_server_rank_faults else "sequential"
+    )
+    raise ValueError(
+        f"the {runtime} runtime cannot inject faults; this plan needs "
+        f"runtime={target!r}"
+    )

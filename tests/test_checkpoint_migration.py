@@ -1,0 +1,198 @@
+"""Property-based checkpoint round-trips (ISSUE 4 satellite).
+
+The respawn protocol leans entirely on ``save_rank``/``restore_rank``
+being lossless: a replacement ``repro serve`` process must resume with
+co-moment state BIT-EXACT to what the dead process last wrote, across
+any study shape and integration history — and a format-1 file (no
+``compute_general_stats`` in the fingerprint) must migrate to the same
+state a format-2 round-trip produces.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import StudyConfig
+from repro.core.checkpoint import (
+    CheckpointManager,
+    downgrade_payload,
+    migrate_payload,
+)
+from repro.core.server import ServerRank
+from repro.mesh.partition import BlockPartition
+from repro.sampling import ParameterSpace, Uniform
+from repro.transport.message import GroupFieldMessage
+
+
+def make_config(ncells, ntimesteps, nparams, server_ranks, general):
+    space = ParameterSpace(
+        names=tuple(f"x{i}" for i in range(nparams)),
+        distributions=tuple(Uniform(0, 1) for _ in range(nparams)),
+    )
+    return StudyConfig(
+        space=space, ngroups=6, ntimesteps=ntimesteps, ncells=ncells,
+        server_ranks=server_ranks, client_ranks=1,
+        compute_general_stats=general,
+    )
+
+
+def integrate_random_history(rank, config, rng, ngroups, partial_tail):
+    """Feed a random but valid message history into one rank.
+
+    Some groups run to completion, the last may stop mid-way (the state a
+    crash interrupts), and one finished group is replayed (the state
+    discard-on-replay leaves behind counters for).
+    """
+    lo, hi = rank.cell_lo, rank.cell_hi
+    for g in range(ngroups):
+        last_t = config.ntimesteps - (partial_tail if g == ngroups - 1 else 1)
+        for t in range(max(1, last_t + 1)):
+            data = rng.normal(size=(config.group_size, hi - lo))
+            rank.handle(GroupFieldMessage(g, t, lo, hi, data), now=float(t))
+    if ngroups:
+        replay = rng.normal(size=(config.group_size, hi - lo))
+        rank.handle(GroupFieldMessage(0, 0, lo, hi, replay), now=99.0)
+
+
+def assert_tree_bit_exact(a, b, path="state"):
+    """Recursive bit-exact comparison of nested state payloads."""
+    if isinstance(a, dict):
+        assert isinstance(b, dict) and a.keys() == b.keys(), path
+        for key in a:
+            assert_tree_bit_exact(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, (list, tuple)):
+        assert isinstance(b, (list, tuple)) and len(a) == len(b), path
+        for i, (xa, xb) in enumerate(zip(a, b)):
+            assert_tree_bit_exact(xa, xb, f"{path}[{i}]")
+    elif isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        np.testing.assert_array_equal(np.asarray(a), np.asarray(b),
+                                      err_msg=path)
+    else:
+        assert a == b, path
+
+
+def assert_states_bit_exact(a: dict, b: dict) -> None:
+    assert_tree_bit_exact(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ncells=st.integers(min_value=2, max_value=20),
+    ntimesteps=st.integers(min_value=1, max_value=4),
+    nparams=st.integers(min_value=2, max_value=4),
+    server_ranks=st.integers(min_value=1, max_value=3),
+    rank_idx=st.integers(min_value=0, max_value=2),
+    ngroups=st.integers(min_value=0, max_value=5),
+    partial_tail=st.integers(min_value=1, max_value=3),
+    general=st.booleans(),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_save_restore_across_respawn_is_bit_exact(
+    tmp_path_factory, ncells, ntimesteps, nparams, server_ranks, rank_idx,
+    ngroups, partial_tail, general, seed,
+):
+    """save_rank -> (process death) -> restore_rank preserves every
+    statistic bit-exactly, for arbitrary shapes and histories."""
+    server_ranks = min(server_ranks, ncells)
+    rank_idx = min(rank_idx, server_ranks - 1)
+    config = make_config(ncells, ntimesteps, nparams, server_ranks, general)
+    partition = BlockPartition(ncells, server_ranks)
+    rng = np.random.default_rng(seed)
+
+    rank = ServerRank(rank_idx, config, partition)
+    integrate_random_history(rank, config, rng, ngroups, partial_tail)
+    directory = tmp_path_factory.mktemp("ckpt")
+    manager = CheckpointManager(directory)
+    manager.save_rank(rank, config)
+
+    respawned = ServerRank(rank_idx, config, partition)  # a fresh process
+    assert manager.restore_rank(respawned, config)
+    assert_states_bit_exact(rank.checkpoint_state(), respawned.checkpoint_state())
+    # and the derived statistics agree exactly too
+    for t in range(ntimesteps):
+        np.testing.assert_array_equal(
+            rank.sobol.mean_map(t), respawned.sobol.mean_map(t)
+        )
+        first_a, total_a = rank.sobol.index_maps_at(t)
+        first_b, total_b = respawned.sobol.index_maps_at(t)
+        np.testing.assert_array_equal(first_a, first_b)
+        np.testing.assert_array_equal(total_a, total_b)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ncells=st.integers(min_value=2, max_value=16),
+    ntimesteps=st.integers(min_value=1, max_value=3),
+    nparams=st.integers(min_value=2, max_value=3),
+    general=st.booleans(),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_v1_payload_migrates_to_identical_state(
+    tmp_path_factory, ncells, ntimesteps, nparams, general, seed,
+):
+    """A checkpoint rewritten in the v1 format (fingerprint without
+    ``compute_general_stats``) restores the same state as the v2 file it
+    was downgraded from."""
+    config = make_config(ncells, ntimesteps, nparams, 1, general)
+    partition = BlockPartition(ncells, 1)
+    rng = np.random.default_rng(seed)
+    rank = ServerRank(0, config, partition)
+    integrate_random_history(rank, config, rng, ngroups=3, partial_tail=1)
+
+    directory = tmp_path_factory.mktemp("v1")
+    manager = CheckpointManager(directory)
+    path = manager.save_rank(rank, config)
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+
+    v1 = downgrade_payload(payload)
+    assert v1["fingerprint"]["version"] == 1
+    assert "compute_general_stats" not in v1["fingerprint"]
+    with open(path, "wb") as fh:
+        pickle.dump(v1, fh)
+
+    respawned = ServerRank(0, config, partition)
+    assert manager.restore_rank(respawned, config)
+    assert_states_bit_exact(rank.checkpoint_state(), respawned.checkpoint_state())
+    # the migration itself is idempotent and reproduces the v2 fingerprint
+    migrated = migrate_payload(v1)
+    assert migrated["fingerprint"] == payload["fingerprint"]
+    assert migrate_payload(migrated)["fingerprint"] == payload["fingerprint"]
+
+
+class TestDowngradeEdges:
+    def test_downgrade_then_migrate_is_identity_on_fingerprint(self, tmp_path):
+        config = make_config(4, 1, 2, 1, True)
+        rank = ServerRank(0, config, BlockPartition(4, 1))
+        manager = CheckpointManager(tmp_path)
+        path = manager.save_rank(rank, config)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        assert (
+            migrate_payload(downgrade_payload(payload))["fingerprint"]
+            == payload["fingerprint"]
+        )
+
+    def test_downgrading_a_v1_payload_is_a_no_op(self):
+        payload = {"fingerprint": {"version": 1, "ncells": 4}, "state": {}}
+        assert downgrade_payload(payload) == payload
+
+    def test_v1_general_mismatch_still_rejected(self, tmp_path):
+        """A v1 file whose state has no general stats must not restore
+        into a stats-enabled study (the bug the v2 fingerprint fixed —
+        migration must preserve the rejection)."""
+        config_off = make_config(4, 1, 2, 1, False)
+        rank = ServerRank(0, config_off, BlockPartition(4, 1))
+        manager = CheckpointManager(tmp_path)
+        path = manager.save_rank(rank, config_off)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        with open(path, "wb") as fh:
+            pickle.dump(downgrade_payload(payload), fh)
+        config_on = make_config(4, 1, 2, 1, True)
+        fresh = ServerRank(0, config_on, BlockPartition(4, 1))
+        with pytest.raises(ValueError, match="incompatible study"):
+            manager.restore_rank(fresh, config_on)

@@ -1,0 +1,473 @@
+"""Fault-injection through the real socket path (ISSUE 4 acceptance).
+
+Server-rank crash / zombie / straggler ``FaultPlan``s drive the live
+launcher protocol: the supervisor SIGKILLs what is left of a dead rank,
+respawns ``repro serve --rank K`` from its checkpoint, the coordinator
+requeues whatever the restored statistics are missing, and workers
+reconnect through a fresh rendezvous.  The chaos parity tests assert the
+surviving study matches the sequential runtime to rtol 1e-10.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from net_util import retry_on_eaddrinuse, seeded_rng
+from repro import SensitivityStudy
+from repro.core import StudyConfig
+from repro.core.checkpoint import CheckpointManager
+from repro.core.group import VectorFieldSimulation
+from repro.core.launcher import (
+    LauncherEvent,
+    RankRespawnPolicy,
+    RespawnBudgetExceeded,
+)
+from repro.faults import (
+    FaultPlan,
+    GroupCrash,
+    ServerRankCrash,
+    ServerRankStraggler,
+    ServerRankZombie,
+    parse_server_fault,
+)
+from repro.net.coordinator import StudyAborted
+from repro.net.supervisor import RankSupervisor
+from repro.runtime import DistributedRuntime, SequentialRuntime
+from repro.sobol import IshigamiFunction
+
+NCELLS = 32
+
+
+def make_config(ngroups=24, ncells=NCELLS, server_ranks=2, ntimesteps=2, **kw):
+    fn = IshigamiFunction()
+    kw.setdefault("client_ranks", 1)
+    kw.setdefault("heartbeat_interval", 0.1)
+    config = StudyConfig(
+        space=fn.space(), ngroups=ngroups, ntimesteps=ntimesteps, ncells=ncells,
+        server_ranks=server_ranks, seed=17, **kw,
+    )
+    return fn, config
+
+
+class VectorSim(VectorFieldSimulation):
+    delay = 0.0
+
+    def __init__(self, fn, params, ntimesteps=1, simulation_id=0):
+        super().__init__(fn, params, NCELLS, ntimesteps=ntimesteps,
+                         simulation_id=simulation_id)
+
+    def advance(self):
+        if self.delay:
+            time.sleep(self.delay)
+        return super().advance()
+
+
+class SlowVectorSim(VectorSim):
+    """Slow enough that a mid-study rank kill interrupts in-flight groups."""
+
+    delay = 0.01
+
+
+def vector_factory(fn, ntimesteps=2, cls=VectorSim):
+    def factory(params, sim_id):
+        return cls(fn, params, ntimesteps=ntimesteps, simulation_id=sim_id)
+    return factory
+
+
+def run_distributed(config, fn, cls=VectorSim, timeout=120.0, **kw):
+    """Loopback distributed run with EADDRINUSE-safe construction."""
+    runtime = retry_on_eaddrinuse(lambda: DistributedRuntime(
+        config, vector_factory(fn, ntimesteps=config.ntimesteps, cls=cls), **kw
+    ))
+    return runtime, runtime.run(timeout=timeout)
+
+
+def sequential_reference(ngroups, server_ranks=2, ntimesteps=2, **kw):
+    fn, config = make_config(ngroups, server_ranks=server_ranks,
+                             ntimesteps=ntimesteps, **kw)
+    return SequentialRuntime(
+        config, vector_factory(fn, ntimesteps=ntimesteps)
+    ).run()
+
+
+def assert_parity(distributed, sequential):
+    np.testing.assert_allclose(
+        distributed.first_order, sequential.first_order, rtol=1e-10, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        distributed.total_order, sequential.total_order, rtol=1e-10, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        distributed.variance, sequential.variance, rtol=1e-10
+    )
+    np.testing.assert_allclose(distributed.mean, sequential.mean, rtol=1e-10)
+
+
+class TestServerRankCrash:
+    def test_sigkill_rank_mid_study_matches_sequential(self, tmp_path):
+        """ISSUE 4 acceptance: a server rank SIGKILLed mid-study is
+        respawned from its checkpoint, workers reconnect, and the study
+        still matches the sequential runtime to rtol 1e-10."""
+        fn, config = make_config(24, server_ranks=2, checkpoint_interval=0.05)
+        plan = FaultPlan(server_rank_crashes=[ServerRankCrash(1, after_messages=8)])
+        runtime, results = run_distributed(
+            config, fn, cls=SlowVectorSim, nworkers=2,
+            checkpoint_dir=tmp_path, fault_plan=plan,
+        )
+        assert runtime.coordinator.rank_respawns == [1]
+        assert runtime.supervisor.total_respawns == 1
+        assert results.groups_integrated == 24
+        assert results.abandoned_groups == []
+        assert_parity(results, sequential_reference(24))
+
+    def test_crash_without_checkpoints_requeues_everything(self):
+        """No checkpoint directory: the respawned rank restores nothing,
+        so the coordinator requeues every settled group and the re-run
+        rebuilds the rank's partition exactly."""
+        fn, config = make_config(16, server_ranks=2)
+        plan = FaultPlan(server_rank_crashes=[ServerRankCrash(0, after_messages=6)])
+        runtime, results = run_distributed(
+            config, fn, cls=SlowVectorSim, nworkers=2, fault_plan=plan,
+        )
+        assert runtime.coordinator.rank_respawns == [0]
+        # at least the groups done at crash time had to be re-run
+        assert runtime.coordinator.requeued_after_respawn
+        assert results.groups_integrated == 16
+        assert_parity(results, sequential_reference(16))
+
+    def test_combined_worker_kill_and_rank_crash(self, tmp_path):
+        """Both Sec. 4.2 fault paths in one study: a SIGKILLed group
+        worker (coordinator resubmission) AND a SIGKILLed server rank
+        (supervisor respawn) — the interleaving must still be exact."""
+        fn, config = make_config(16, server_ranks=2, checkpoint_interval=0.05)
+        plan = FaultPlan(server_rank_crashes=[ServerRankCrash(0, after_messages=6)])
+        runtime, results = run_distributed(
+            config, fn, cls=SlowVectorSim, nworkers=3,
+            checkpoint_dir=tmp_path, fault_plan=plan, fault_kill_after=3,
+        )
+        assert runtime.coordinator.rank_respawns == [0]
+        assert results.groups_integrated == 16
+        assert results.abandoned_groups == []
+        assert_parity(results, sequential_reference(16))
+
+    def test_respawn_budget_zero_aborts_loudly(self, tmp_path):
+        fn, config = make_config(12, server_ranks=2, max_rank_respawns=0)
+        plan = FaultPlan(server_rank_crashes=[ServerRankCrash(1, after_messages=4)])
+        with pytest.raises(StudyAborted, match="respawn budget"):
+            run_distributed(config, fn, cls=SlowVectorSim, nworkers=2,
+                            checkpoint_dir=tmp_path, fault_plan=plan,
+                            timeout=60.0)
+
+    def test_unsupervised_rank_death_aborts(self):
+        """supervise=False restores the pre-supervision contract: a dead
+        rank fails the study with a descriptive error."""
+        fn, config = make_config(12, server_ranks=2)
+        plan = FaultPlan(server_rank_crashes=[ServerRankCrash(0, after_messages=4)])
+        with pytest.raises(StudyAborted, match="disconnected before reporting"):
+            run_distributed(config, fn, cls=SlowVectorSim, nworkers=2,
+                            fault_plan=plan, supervise=False, timeout=60.0)
+
+
+class TestServerRankZombie:
+    def test_zombie_rank_detected_killed_and_respawned(self, tmp_path):
+        """A hung rank (alive, silent) is only observable through
+        heartbeat staleness; the supervisor must SIGKILL the stuck pid
+        before the replacement can take over."""
+        fn, config = make_config(16, server_ranks=2, checkpoint_interval=0.05)
+        plan = FaultPlan(server_rank_zombies=[ServerRankZombie(0, after_messages=4)])
+        runtime, results = run_distributed(
+            config, fn, nworkers=2, checkpoint_dir=tmp_path,
+            fault_plan=plan, rank_timeout=3.0, timeout=120.0,
+        )
+        assert runtime.coordinator.rank_respawns == [0]
+        assert runtime.supervisor.killed_pids, "zombie pid was never killed"
+        assert results.groups_integrated == 16
+        assert_parity(results, sequential_reference(16))
+
+
+class TestServerRankStraggler:
+    def test_straggler_rank_slows_but_never_respawns(self):
+        """A slow rank still heartbeats: the supervisor must NOT fire
+        (killing a straggler would be the paper's false-positive case)."""
+        fn, config = make_config(12, server_ranks=2)
+        plan = FaultPlan(
+            server_rank_stragglers=[ServerRankStraggler(1, delay=0.01)]
+        )
+        # generous staleness margin: on a loaded 1-vCPU runner a LIVE
+        # rank can be starved off-CPU for a while; the assertion is that
+        # a straggler never respawns, so the margin must absorb that
+        runtime, results = run_distributed(
+            config, fn, nworkers=2, fault_plan=plan, rank_timeout=4.0,
+        )
+        assert runtime.coordinator.rank_respawns == []
+        assert runtime.supervisor.total_respawns == 0
+        assert results.groups_integrated == 12
+        assert_parity(results, sequential_reference(12))
+
+
+class TestFacadeAndValidation:
+    def test_study_facade_accepts_server_fault_plan(self, tmp_path):
+        fn, config = make_config(10, server_ranks=2, checkpoint_interval=0.05)
+        study = SensitivityStudy(config, vector_factory(fn, cls=SlowVectorSim))
+        plan = FaultPlan(server_rank_crashes=[ServerRankCrash(1, after_messages=3)])
+        results = study.run(
+            runtime="distributed", fault_plan=plan, nworkers=2,
+            checkpoint_dir=tmp_path, timeout=120.0,
+        )
+        assert results.groups_integrated == 10
+        assert study.driver.coordinator.rank_respawns == [1]
+        np.testing.assert_allclose(
+            results.first_order, sequential_reference(10).first_order,
+            rtol=1e-10, atol=1e-12,
+        )
+
+    def test_distributed_runtime_rejects_group_faults(self):
+        fn, config = make_config(6)
+        plan = FaultPlan(group_crashes=[GroupCrash(0, at_timestep=0)])
+        with pytest.raises(ValueError, match="server-rank faults only"):
+            DistributedRuntime(config, vector_factory(fn), fault_plan=plan)
+
+    def test_sequential_rejects_server_rank_faults(self):
+        fn = IshigamiFunction()
+        study = SensitivityStudy.for_function(fn, ngroups=4)
+        plan = FaultPlan(server_rank_crashes=[ServerRankCrash(0)])
+        with pytest.raises(ValueError, match="distributed"):
+            study.run(runtime="sequential", fault_plan=plan)
+
+
+class TestFaultSpecParsing:
+    def test_crash_spec(self):
+        plan = parse_server_fault("crash:after=40", rank=2)
+        assert plan.rank_crash_for(2) == ServerRankCrash(2, after_messages=40)
+        assert plan.rank_crash_for(0) is None
+        assert plan.server_faults_only and not plan.empty
+
+    def test_zombie_default_after(self):
+        plan = parse_server_fault("zombie", rank=0)
+        assert plan.rank_zombie_for(0) == ServerRankZombie(0, after_messages=0)
+
+    def test_straggler_spec(self):
+        plan = parse_server_fault("straggler:delay=0.25", rank=1)
+        assert plan.rank_straggler_for(1) == ServerRankStraggler(1, delay=0.25)
+
+    def test_malformed_specs_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_server_fault("explode", rank=0)
+        with pytest.raises(ValueError, match="missing 'delay'"):
+            parse_server_fault("straggler", rank=0)
+        with pytest.raises(ValueError, match="unknown fault parameter"):
+            parse_server_fault("crash:when=5", rank=0)
+        with pytest.raises(ValueError, match="malformed"):
+            parse_server_fault("crash:after", rank=0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ServerRankStraggler(0, delay=0.0)
+        with pytest.raises(ValueError):
+            ServerRankCrash(0, after_messages=-1)
+
+
+class TestRespawnHygiene:
+    def test_env_fault_is_ignored_on_respawn_paths(self, monkeypatch):
+        """$REPRO_SERVE_FAULT must not re-fire in a replacement process:
+        a fault models one intermittent failure, and a re-armed crash
+        would burn the whole respawn budget."""
+        from repro.net.serve import FAULT_ENV, _resolve_fault_plan
+
+        monkeypatch.setenv(FAULT_ENV, "crash:after=1")
+        armed = _resolve_fault_plan(None, None, 0, env_fault=True)
+        assert armed is not None and armed.crash is not None
+        assert _resolve_fault_plan(None, None, 0, env_fault=False) is None
+
+    def test_rank_dead_before_first_registration_is_respawned(self):
+        """A serve process that dies before it ever registers has no
+        connection to drop — only the seeded heartbeat baseline can
+        expose it, and the wait loop must respawn it directly."""
+        from repro.net.coordinator import Coordinator
+
+        fn, config = make_config(4, server_ranks=1)
+        spawned = []
+        supervisor = RankSupervisor(
+            spawner=spawned.append,
+            policy=RankRespawnPolicy(nranks=1, timeout=0.4, max_respawns=1),
+            kill=lambda pid, sig: None,
+        )
+        coordinator = retry_on_eaddrinuse(
+            lambda: Coordinator(config, supervisor=supervisor).start()
+        )
+        try:
+            # nothing ever registers; the stub replacement doesn't either,
+            # so the supervisor respawns once (the budget), catches the
+            # replacement going silent too, and aborts on the second
+            # verdict instead of stalling until the study timeout
+            with pytest.raises(StudyAborted, match="could not be respawned"):
+                coordinator.wait(timeout=10.0)
+            assert spawned == [0]
+        finally:
+            coordinator.close()
+
+
+class _StubConn:
+    def close(self):
+        pass
+
+
+class TestLingeringRankDeath:
+    def test_lingering_rank_death_is_recovered(self):
+        """A rank that already shipped its state but dies while another
+        rank's requeued groups are still in flight must be replaced: its
+        collected state is dropped (the replacement re-reports an
+        identical one from the final checkpoint) and its stale address
+        removed so re-runs don't dial a corpse."""
+        from repro.net.coordinator import Coordinator
+
+        fn, config = make_config(4, server_ranks=2)
+        spawned = []
+        supervisor = RankSupervisor(
+            spawner=spawned.append,
+            policy=RankRespawnPolicy(nranks=2, timeout=5.0, max_respawns=2),
+            kill=lambda pid, sig: None,
+        )
+        coordinator = retry_on_eaddrinuse(
+            lambda: Coordinator(config, supervisor=supervisor).start()
+        )
+        try:
+            conn = _StubConn()  # identity is all the loss path needs
+            with coordinator._changed:
+                coordinator._rank_conns[0] = conn
+                coordinator._rank_addresses[0] = ("127.0.0.1", 1)
+                coordinator.rank_states[0] = {"stub": True}
+                coordinator.rank_maps[0] = {}
+                coordinator.rank_widths[0] = 0.0
+            coordinator._on_rank_lost(0, conn)
+            assert spawned == [0]
+            assert 0 not in coordinator.rank_states
+            assert 0 not in coordinator._rank_addresses
+        finally:
+            coordinator.close()
+
+    def test_lingering_death_after_study_complete_is_ignored(self):
+        """Once every rank state is in, the study is over — a lingering
+        corpse must not be respawned or its state dropped (wait() is
+        about to assemble results from it)."""
+        from repro.net.coordinator import Coordinator
+
+        fn, config = make_config(4, server_ranks=1)
+        spawned = []
+        supervisor = RankSupervisor(
+            spawner=spawned.append,
+            policy=RankRespawnPolicy(nranks=1, timeout=5.0, max_respawns=2),
+            kill=lambda pid, sig: None,
+        )
+        coordinator = retry_on_eaddrinuse(
+            lambda: Coordinator(config, supervisor=supervisor).start()
+        )
+        try:
+            conn = _StubConn()
+            with coordinator._changed:
+                coordinator._rank_conns[0] = conn
+                coordinator.rank_states[0] = {"stub": True}
+            coordinator._on_rank_lost(0, conn)
+            assert spawned == []
+            assert coordinator.rank_states == {0: {"stub": True}}
+        finally:
+            coordinator.close()
+
+
+class TestSupervisorUnit:
+    def test_kills_tracked_pid_then_spawns(self):
+        killed, spawned = [], []
+        supervisor = RankSupervisor(
+            spawner=spawned.append,
+            policy=RankRespawnPolicy(nranks=2, timeout=5.0, max_respawns=2),
+            kill=lambda pid, sig: killed.append((pid, sig)),
+        )
+        supervisor.watch(1, 4242)
+        supervisor.respawn(1)
+        assert killed == [(4242, 9)]
+        assert spawned == [1]
+        assert supervisor.total_respawns == 1
+        assert supervisor.policy.events[0][1] is LauncherEvent.RANK_RESPAWNED
+
+    def test_budget_exhaustion_raises_before_spawning(self):
+        spawned = []
+        supervisor = RankSupervisor(
+            spawner=spawned.append,
+            policy=RankRespawnPolicy(nranks=1, timeout=5.0, max_respawns=1),
+            kill=lambda pid, sig: None,
+        )
+        supervisor.respawn(0)
+        with pytest.raises(RespawnBudgetExceeded):
+            supervisor.respawn(0)
+        assert spawned == [0]
+
+    def test_vanished_pid_is_not_fatal(self):
+        def kill(pid, sig):
+            raise ProcessLookupError
+
+        spawned = []
+        supervisor = RankSupervisor(
+            spawner=spawned.append,
+            policy=RankRespawnPolicy(nranks=1, timeout=5.0, max_respawns=3),
+            kill=kill,
+        )
+        supervisor.watch(0, 777)
+        supervisor.respawn(0)
+        assert spawned == [0]
+        assert supervisor.killed_pids == []
+
+
+class TestRespawnPolicyUnit:
+    def test_staleness_detection(self):
+        policy = RankRespawnPolicy(nranks=2, timeout=1.0, max_respawns=3)
+        policy.record_heartbeat(0, now=10.0)
+        policy.record_heartbeat(1, now=11.5)
+        assert policy.stale_ranks(now=11.2) == [0]
+        assert policy.stale_ranks(now=13.0) == [0, 1]
+        policy.forget(0)
+        assert policy.stale_ranks(now=13.0) == [1]
+
+    def test_budget_accounting(self):
+        policy = RankRespawnPolicy(nranks=1, timeout=1.0, max_respawns=2)
+        assert policy.may_respawn(0)
+        policy.record_respawn(0, now=0.0)
+        policy.record_respawn(0, now=1.0)
+        assert not policy.may_respawn(0)
+        with pytest.raises(RespawnBudgetExceeded, match="budget"):
+            policy.record_respawn(0, now=2.0)
+        assert policy.total_respawns == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RankRespawnPolicy(nranks=0, timeout=1.0)
+        with pytest.raises(ValueError):
+            RankRespawnPolicy(nranks=1, timeout=0.0)
+        with pytest.raises(ValueError):
+            RankRespawnPolicy(nranks=1, timeout=1.0, max_respawns=-1)
+
+
+class TestCheckpointSurvival:
+    def test_respawned_rank_restores_checkpointed_statistics(self, tmp_path):
+        """After the crash-respawn cycle the on-disk checkpoints match
+        the final reported statistics (save_rank ran on the replacement
+        process too)."""
+        fn, config = make_config(16, server_ranks=2, checkpoint_interval=0.05)
+        plan = FaultPlan(server_rank_crashes=[ServerRankCrash(1, after_messages=6)])
+        runtime, results = run_distributed(
+            config, fn, cls=SlowVectorSim, nworkers=2,
+            checkpoint_dir=tmp_path, fault_plan=plan,
+        )
+        assert runtime.coordinator.rank_respawns == [1]
+        _, config2 = make_config(16, server_ranks=2, checkpoint_interval=0.05)
+        restored = CheckpointManager(tmp_path).restore(config2)
+        np.testing.assert_allclose(
+            restored.assemble_maps()["first"], results.first_order,
+            rtol=1e-12, atol=1e-15,
+        )
+
+
+def test_seeded_rng_is_deterministic():
+    a = seeded_rng("faults-distributed").normal(size=4)
+    b = seeded_rng("faults-distributed").normal(size=4)
+    np.testing.assert_array_equal(a, b)

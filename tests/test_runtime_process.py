@@ -201,6 +201,99 @@ class TestLivenessAndTimeout:
         assert "group(s) unfinished" in message
         assert "server rank(s) not reported" in message
 
+    def test_timeout_during_final_reduction(self, monkeypatch):
+        """Edge case: every group finishes, but a rank worker hangs
+        before shipping its state — the deadline must still fire, and the
+        diagnostic must show zero unfinished groups with the silent rank
+        named (the failure is in the reduction, not the study)."""
+        import repro.runtime.process as proc_mod
+
+        def hanging_server_worker(rank_idx, config, inbox, results, errors,
+                                  beats, beat_interval):
+            import queue as _q
+            import time as _t
+
+            from repro.transport.message import Heartbeat
+
+            while True:
+                try:
+                    msg = inbox.get(timeout=beat_interval)
+                except _q.Empty:
+                    msg = "idle"
+                beats.put(Heartbeat(sender=f"server-rank-{rank_idx}",
+                                    time=_t.monotonic()))
+                if msg is None:
+                    break
+            _t.sleep(120.0)  # alive and beat-less, state never reported
+
+        monkeypatch.setattr(proc_mod, "_server_worker", hanging_server_worker)
+        fn, config = make_config(4)
+        runtime = ProcessRuntime(config, make_factory(fn),
+                                 max_concurrent_groups=2,
+                                 heartbeat_interval=0.1)
+        # timeout generous enough that all 4 groups certainly finish on a
+        # loaded runner — the deadline must fire in the reduction phase
+        with pytest.raises(TimeoutError) as excinfo:
+            runtime.run(timeout=6.0)
+        message = str(excinfo.value)
+        assert "0 group(s) unfinished" in message
+        assert "server rank(s) not reported: [0]" in message
+
+    def test_rank_clean_exit_without_state_fails_fast(self, monkeypatch):
+        """Edge case: a rank worker exits 0 without ever reporting — not
+        a crash, so only heartbeat staleness can expose it, well before
+        the study deadline."""
+        import time as _t
+
+        import repro.runtime.process as proc_mod
+
+        def ghost_server_worker(rank_idx, config, inbox, results, errors,
+                                beats, beat_interval):
+            import os
+
+            os._exit(0)  # clean exit, no state, no heartbeat
+
+        monkeypatch.setattr(proc_mod, "_server_worker", ghost_server_worker)
+        fn, config = make_config(4)
+        runtime = ProcessRuntime(config, make_factory(fn),
+                                 max_concurrent_groups=2,
+                                 heartbeat_interval=0.1)
+        start = _t.monotonic()
+        with pytest.raises(RuntimeError, match="exited without reporting"):
+            runtime.run(timeout=60.0)
+        assert _t.monotonic() - start < 30.0, "did not fail fast"
+
+    def test_dead_worker_during_last_group(self, monkeypatch):
+        """Edge case: the pool's final group kills its worker — the
+        failure must surface as a worker death, not hang the drain or get
+        mistaken for normal completion."""
+        import repro.runtime.process as proc_mod
+
+        real_group_worker = proc_mod._group_worker
+
+        def dying_group_worker(config, factory, design, rank_queues, work,
+                               errors, progress, poll_interval):
+            import os
+
+            class DeathOnLastGroup:
+                def get(self):
+                    gid = work.get()
+                    if gid == config.ngroups - 1:
+                        os._exit(5)  # hard death holding the last group
+                    return gid
+
+            real_group_worker(config, factory, design, rank_queues,
+                              DeathOnLastGroup(), errors, progress,
+                              poll_interval)
+
+        monkeypatch.setattr(proc_mod, "_group_worker", dying_group_worker)
+        fn, config = make_config(6)
+        runtime = ProcessRuntime(config, make_factory(fn),
+                                 max_concurrent_groups=2,
+                                 heartbeat_interval=0.1)
+        with pytest.raises(RuntimeError, match="group worker died with exit code 5"):
+            runtime.run(timeout=60.0)
+
 
 class TestStudyFacade:
     def test_process_runtime_via_facade(self):
