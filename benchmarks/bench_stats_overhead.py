@@ -1,0 +1,135 @@
+"""Statistics-catalog overhead shootout (ISSUE 6 satellite).
+
+The paper's pitch is that in-transit statistics are cheap relative to
+the simulations producing the data; this bench quantifies what each
+catalog entry adds to the server fold path.  It times the per-rank
+``StatisticsPipeline`` fold with 1 / 2 / 4 statistics enabled (against
+an empty-catalog baseline) and measures the counting-sketch quantile
+accuracy against exact ``np.quantile`` as bins grow, emitting
+machine-readable ``BENCH_stats.json`` plus a human table.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.report import format_table
+from repro.stats import StatContext, StatisticsPipeline
+
+NCELLS = 20_000
+NPARAMS = 6
+NGROUPS = 32
+
+CATALOGS = [
+    ("none", []),
+    ("1 statistic", ["moments:order=2"]),
+    ("2 statistics", ["moments:order=2", "exceedance:thresholds=0.5"]),
+    ("4 statistics", [
+        "moments:order=4",
+        "extrema",
+        "exceedance:thresholds=0.5",
+        "quantiles:qs=0.1+0.5+0.9:bins=64:lo=-5:hi=5",
+    ]),
+]
+
+
+def _group_stream(ngroups, ctx, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(ngroups, ctx.nmembers) + ctx.shape)
+
+
+def _time_catalog(specs, ctx, stream):
+    """Seconds per group-fold for one catalog (best of 3 passes)."""
+    best = float("inf")
+    for _ in range(3):
+        pipe = StatisticsPipeline(specs, ctx, ntimesteps=1)
+        start = time.perf_counter()
+        for buf in stream:
+            pipe.update(0, buf)
+        elapsed = (time.perf_counter() - start) / len(stream)
+        best = min(best, elapsed)
+    return best
+
+
+def test_stats_overhead_shootout(results_dir):
+    """Fold-throughput trajectory as the catalog grows, plus sketch
+    accuracy; BENCH_stats.json records both."""
+    ctx = StatContext(shape=(NCELLS,), nparams=NPARAMS)
+    stream = _group_stream(NGROUPS, ctx, seed=2)
+
+    timings = {label: _time_catalog(specs, ctx, stream)
+               for label, specs in CATALOGS}
+    baseline = timings["none"]
+    records = []
+    for label, specs in CATALOGS:
+        t = timings[label]
+        records.append({
+            "catalog": label,
+            "specs": list(StatisticsPipeline(specs, ctx, 1).specs),
+            "ms_per_group_fold": round(t * 1e3, 4),
+            "groups_per_s": round(1.0 / t, 1),
+            "overhead_ms_vs_none": round((t - baseline) * 1e3, 4),
+        })
+
+    # counting-sketch quantile accuracy vs exact, as bins grow
+    rng = np.random.default_rng(7)
+    samples = rng.normal(size=8000)
+    qs = (0.1, 0.5, 0.9)
+    accuracy = []
+    for bins in (32, 64, 256):
+        lo, hi = -5.0, 5.0
+        sketch = StatisticsPipeline(
+            [f"quantiles:qs=0.1+0.5+0.9:bins={bins}:lo={lo}:hi={hi}"],
+            StatContext(shape=(), nparams=NPARAMS), 1,
+        )
+        inst = sketch.instances_at(0)[0]
+        for x in samples:
+            inst.update(np.asarray(x))
+        out = inst.finalize()
+        err = max(
+            abs(float(out[f"quantile_{q:g}"]) - float(np.quantile(samples, q)))
+            for q in qs
+        )
+        width = (hi - lo) / bins
+        accuracy.append({
+            "bins": bins,
+            "bin_width": round(width, 5),
+            "max_abs_error": round(err, 5),
+        })
+        assert err <= 2 * width, (
+            f"sketch error {err:.4f} exceeds two bin widths at {bins} bins"
+        )
+
+    payload = {
+        "experiment": "stats_overhead",
+        "ncells": NCELLS,
+        "nparams": NPARAMS,
+        "ngroups_per_pass": NGROUPS,
+        "fold_overhead": records,
+        "quantile_accuracy": accuracy,
+    }
+    (results_dir / "BENCH_stats.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    table = format_table(
+        ["catalog", "ms / group-fold", "groups/s", "overhead ms"],
+        [[r["catalog"], r["ms_per_group_fold"], r["groups_per_s"],
+          r["overhead_ms_vs_none"]] for r in records],
+        title=f"statistics catalog fold overhead, p={NPARAMS}, {NCELLS} cells",
+    )
+    acc_table = format_table(
+        ["bins", "bin width", "max |error|"],
+        [[a["bins"], a["bin_width"], a["max_abs_error"]] for a in accuracy],
+        title="counting-sketch quantiles vs exact np.quantile (8000 N(0,1) samples)",
+    )
+    (results_dir / "table_stats_overhead.txt").write_text(
+        table + "\n\n" + acc_table + "\n"
+    )
+    print(table)
+    print(acc_table)
+
+    # sanity: the fold stays fast enough to be "in transit" — each extra
+    # statistic costs milliseconds per group at 20k cells, not seconds
+    assert all(r["ms_per_group_fold"] < 1000.0 for r in records)

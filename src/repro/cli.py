@@ -33,13 +33,32 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 
+def _stats_overrides(args: argparse.Namespace) -> dict:
+    """``statistics=[...]`` config override from repeated/comma'd --stats.
+
+    No ``--stats`` flag keeps the study default; ``--stats none`` disables
+    general statistics; anything else is a catalog spec string (see
+    ``repro stats --list``).
+    """
+    raw = getattr(args, "stats", None)
+    if not raw:
+        return {}
+    specs: List[str] = []
+    for chunk in raw:
+        specs.extend(s.strip() for s in chunk.split(",") if s.strip())
+    if specs == ["none"]:
+        return {"statistics": []}
+    return {"statistics": specs}
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     from repro import SensitivityStudy
     from repro.sobol import IshigamiFunction
 
     fn = IshigamiFunction()
     study = SensitivityStudy.for_function(
-        fn, ngroups=args.groups, seed=args.seed, kernel=args.kernel
+        fn, ngroups=args.groups, seed=args.seed, kernel=args.kernel,
+        **_stats_overrides(args),
     )
     results = study.run(runtime=args.runtime)
     print(f"groups integrated: {results.groups_integrated}")
@@ -50,6 +69,10 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
             f"{fn.first_order[k]:8.4f} {results.total_order[k, 0, 0]:8.4f} "
             f"{fn.total_order[k]:9.4f}"
         )
+    if results.statistics:
+        from repro.report import statistics_table
+
+        print(statistics_table(results, title="\nconfigured statistics (t=0)"))
     return 0
 
 
@@ -65,10 +88,15 @@ def _cmd_tube(args: argparse.Namespace) -> int:
         case, ngroups=args.groups, seed=args.seed,
         server_ranks=args.server_ranks, client_ranks=2,
         kernel=args.kernel,
+        **_stats_overrides(args),
     )
     kwargs = {"steps_per_tick": 4} if args.runtime == "sequential" else {}
     results = study.run(runtime=args.runtime, **kwargs)
     print(results.summary())
+    if results.statistics:
+        from repro.report import statistics_table
+
+        print(statistics_table(results, title="\nconfigured statistics (final t)"))
     step = max(0, int(0.8 * case.ntimesteps))
     for k, name in enumerate(results.parameter_names):
         print(render_field_slice(
@@ -143,6 +171,7 @@ def _resolve_study(args: argparse.Namespace):
             IshigamiFunction(), ngroups=args.groups, seed=args.seed,
             ntimesteps=args.timesteps, server_ranks=args.server_ranks,
             kernel=getattr(args, "kernel", None),
+            **_stats_overrides(args),
         )
     if spec == "vector":
         from repro.core.config import StudyConfig
@@ -156,6 +185,7 @@ def _resolve_study(args: argparse.Namespace):
             space=fn.space(), ngroups=args.groups, ntimesteps=ntimesteps,
             ncells=ncells, seed=args.seed, server_ranks=args.server_ranks,
             client_ranks=min(2, ncells), kernel=getattr(args, "kernel", None),
+            **_stats_overrides(args),
         )
 
         def factory(params, sim_id):
@@ -170,6 +200,7 @@ def _resolve_study(args: argparse.Namespace):
             case, ngroups=args.groups, seed=args.seed,
             server_ranks=args.server_ranks,
             kernel=getattr(args, "kernel", None),
+            **_stats_overrides(args),
         )
     if ":" in spec:
         module_name, _, attr = spec.partition(":")
@@ -246,6 +277,8 @@ def _serve_respawn_command(args: argparse.Namespace, rank: int, address) -> List
     ]
     if args.kernel:
         cmd += ["--kernel", args.kernel]
+    for spec in getattr(args, "stats", None) or []:
+        cmd += ["--stats", spec]
     if args.checkpoint_interval is not None:
         cmd += ["--checkpoint-interval", str(args.checkpoint_interval)]
     if args.checkpoint_dir:
@@ -331,6 +364,32 @@ def _cmd_launch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats --list``: the registered streaming-statistics catalog."""
+    from repro.report import format_table
+    from repro.stats import available_statistics
+
+    rows = []
+    for name, cls in available_statistics().items():
+        params = ", ".join(
+            f"{key}={default}" if default is not None else f"{key} (required)"
+            for key, default in cls.PARAMS.items()
+        ) or "-"
+        merge = "exact" if cls.exact_merge else "approximate"
+        rows.append([name, params, merge, cls.description])
+    print(format_table(
+        ["name", "parameters", "merge", "description"], rows,
+        title="streaming-statistics catalog (use with --stats or "
+              "StudyConfig(statistics=[...]))",
+    ))
+    print(
+        "\ncustom plugins: subclass repro.stats.FieldStatistic, decorate "
+        "with @repro.stats.register,\nor reference one directly as "
+        "'my_module:MyStatistic' in any spec position."
+    )
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.perfmodel import CampaignSimulator, paper_campaign
     from repro.report import format_table
@@ -363,12 +422,21 @@ def build_parser() -> argparse.ArgumentParser:
                  "'auto' = autotune on the first fold)",
         )
 
+    def add_stats_arg(sp):
+        sp.add_argument(
+            "--stats", action="append", default=None, metavar="SPEC",
+            help="statistic spec from the catalog (repeat or comma-"
+                 "separate; 'none' disables; see `repro stats --list`); "
+                 "default: the study's configured statistics",
+        )
+
     p = sub.add_parser("quickstart", help="Ishigami study vs closed form")
     p.add_argument("--groups", type=int, default=2000)
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--runtime", choices=runtime_choices, default="sequential",
                    help="execution driver (process = multi-core workers)")
     add_kernel_arg(p)
+    add_stats_arg(p)
     p.set_defaults(func=_cmd_quickstart)
 
     p = sub.add_parser("tube", help="tube-bundle use case with ASCII maps")
@@ -382,11 +450,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runtime", choices=runtime_choices, default="sequential",
                    help="execution driver (process = multi-core workers)")
     add_kernel_arg(p)
+    add_stats_arg(p)
     p.set_defaults(func=_cmd_tube)
 
     p = sub.add_parser("campaign", help="Curie campaign performance model")
     p.add_argument("--server-nodes", type=int, default=32)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("stats", help="the streaming-statistics catalog")
+    p.add_argument("--list", action="store_true", default=True,
+                   help="list registered statistics (default action)")
+    p.set_defaults(func=_cmd_stats)
 
     def add_study_args(sp):
         sp.add_argument(
@@ -404,6 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seconds between rank checkpoints (default: "
                              "the study config's 600s)")
         add_kernel_arg(sp)
+        add_stats_arg(sp)
 
     p = sub.add_parser(
         "serve", help="one Melissa Server rank (distributed deployment)"

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 from repro.sampling import ParameterSpace
 from repro.stats import StatisticsConfig
+
+#: default statistics when neither ``statistics`` nor the deprecated
+#: knobs are given — matches the historical ``compute_general_stats=True``
+#: with a default :class:`StatisticsConfig` (order-2 moments).
+DEFAULT_STATISTICS: Tuple[str, ...] = ("moments:order=2",)
+
+# the deprecation shim warns once per process, not once per StudyConfig
+_LEGACY_STATS_WARNED = False
 
 
 @dataclass
@@ -28,8 +37,16 @@ class StudyConfig:
 
     # --- server shape ----------------------------------------------------
     server_ranks: int = 2
-    compute_general_stats: bool = True
-    stats_config: StatisticsConfig = field(default_factory=StatisticsConfig)
+    #: statistic spec strings from the ``repro.stats`` catalog (e.g.
+    #: ``["moments:order=4", "quantiles:qs=0.5:lo=-5:hi=5", "sobol2"]``).
+    #: ``None`` selects :data:`DEFAULT_STATISTICS`; an empty list disables
+    #: general statistics (the Sobol' engine always runs).  Stored
+    #: canonicalized, so equivalent spellings fingerprint identically.
+    statistics: Optional[Sequence[str]] = None
+    #: DEPRECATED (use ``statistics``): the pre-catalog on/off switch.
+    compute_general_stats: Optional[bool] = None
+    #: DEPRECATED (use ``statistics``): the pre-catalog statistics knobs.
+    stats_config: Optional[StatisticsConfig] = None
     #: co-moment kernel backend for the fold hot path: "auto" (autotune),
     #: "einsum", "blas", "cext", "numba"; None defers to the REPRO_KERNEL
     #: environment variable and then "auto"
@@ -90,6 +107,55 @@ class StudyConfig:
         from repro.kernels import resolve_spec
 
         resolve_spec(self.kernel)  # fail fast on unknown backend names
+        self._resolve_statistics()  # fail fast on unknown statistic specs
+
+    def _resolve_statistics(self) -> None:
+        """Canonicalize ``statistics``, mapping the deprecated knobs onto it.
+
+        After this runs, ``self.statistics`` is a canonical spec tuple (the
+        value checkpoint fingerprints and the distributed coordinator
+        compare) and ``self.compute_general_stats`` is re-derived for any
+        legacy reader as ``bool(self.statistics)``.
+        """
+        from repro.stats import canonicalize_specs, legacy_statistics_specs
+
+        global _LEGACY_STATS_WARNED
+        legacy_used = (
+            self.compute_general_stats is not None or self.stats_config is not None
+        )
+        if self.statistics is not None and legacy_used:
+            raise ValueError(
+                "pass either statistics=[...] or the deprecated "
+                "compute_general_stats/stats_config knobs, not both"
+            )
+        if self.statistics is not None:
+            specs = self.statistics
+        elif legacy_used:
+            if not _LEGACY_STATS_WARNED:
+                warnings.warn(
+                    "StudyConfig(compute_general_stats=..., stats_config=...) "
+                    "is deprecated; pass statistics=[...] spec strings instead "
+                    "(see `repro stats --list`)",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+                _LEGACY_STATS_WARNED = True
+            enabled = (
+                True if self.compute_general_stats is None
+                else bool(self.compute_general_stats)
+            )
+            cfg = self.stats_config or StatisticsConfig()
+            specs = (
+                legacy_statistics_specs(
+                    cfg.moment_order, cfg.track_extrema, cfg.thresholds
+                )
+                if enabled
+                else ()
+            )
+        else:
+            specs = DEFAULT_STATISTICS
+        self.statistics = canonicalize_specs(specs)
+        self.compute_general_stats = bool(self.statistics)
 
     # ------------------------------------------------------------------ #
     @property

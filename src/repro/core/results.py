@@ -34,6 +34,9 @@ class StudyResults:
     provenance: Dict[str, int] = field(default_factory=dict)
     abandoned_groups: List[int] = field(default_factory=list)
     max_interval_width: float = float("nan")
+    #: catalog statistics: result name -> (T, *extra, ncells) array (field
+    #: axis last), as produced by the configured ``statistics=[...]`` specs
+    statistics: Dict[str, np.ndarray] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -72,6 +75,7 @@ class StudyResults:
             provenance=server.provenance_report(),
             abandoned_groups=list(abandoned_groups or []),
             max_interval_width=max_interval_width,
+            statistics=maps.get("stats", {}),
         )
 
     # ------------------------------------------------------------------ #
@@ -84,6 +88,22 @@ class StudyResults:
 
     def total_order_map(self, k: int, timestep: int) -> np.ndarray:
         return self.total_order[k, timestep]
+
+    @property
+    def statistic_names(self) -> tuple:
+        """Names of every catalog-statistic result field present."""
+        return tuple(self.statistics)
+
+    def statistic_map(self, name: str, timestep: int) -> np.ndarray:
+        """One catalog-statistic field at one timestep (field axes last)."""
+        try:
+            stacked = self.statistics[name]
+        except KeyError:
+            known = ", ".join(self.statistic_names) or "none"
+            raise KeyError(
+                f"no statistic result '{name}' (available: {known})"
+            ) from None
+        return stacked[timestep]
 
     def interaction_residual_map(self, timestep: int) -> np.ndarray:
         """1 - sum_k S_k at one timestep (Sec. 5.5 interaction check)."""
@@ -132,6 +152,8 @@ class StudyResults:
             f"Groups integrated: {self.groups_integrated}",
             f"Max CI width: {self.max_interval_width:.4f}",
         ]
+        if self.statistics:
+            lines.append(f"Statistics: {', '.join(self.statistic_names)}")
         if self.abandoned_groups:
             lines.append(f"Abandoned groups: {self.abandoned_groups}")
         for key, value in sorted(self.provenance.items()):

@@ -27,14 +27,15 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.config import StudyConfig
 from repro.mesh.partition import BlockPartition
 from repro.sobol.martinez import UbiquitousSobolField
-from repro.stats.field import FieldStatistics
+from repro.stats.pipeline import StatisticsPipeline
+from repro.stats.protocol import StatContext
 from repro.transport.message import FieldMessage, GroupFieldMessage, split_by_partition
 
 
@@ -74,14 +75,19 @@ class ServerRank:
             ncells=self.ncells_local,
             kernel=config.kernel,
         )
-        # general statistics on the A and B members only (their inputs are
-        # the only independent ones within a group, Sec. 4.1)
-        self.general: Optional[List[FieldStatistics]] = None
-        if config.compute_general_stats:
-            self.general = [
-                FieldStatistics((self.ncells_local,), config.stats_config)
-                for _ in range(config.ntimesteps)
-            ]
+        # the configured statistics catalog: one FieldStatistic instance
+        # per (spec, timestep), driven generically.  Member statistics see
+        # only the A and B members (the only independent inputs within a
+        # group, Sec. 4.1); group statistics consume the whole buffer.
+        self.stats = StatisticsPipeline(
+            config.statistics,
+            StatContext(
+                shape=(self.ncells_local,),
+                nparams=config.nparams,
+                parameter_names=tuple(config.space.names),
+            ),
+            config.ntimesteps,
+        )
         # fault-tolerance accounting (Sec. 4.2.1)
         self.last_integrated: Dict[int, int] = {}
         self.last_message_time: Dict[int, float] = {}
@@ -158,9 +164,8 @@ class ServerRank:
         # batched engine consumes; hand it over by reference (it is about
         # to be discarded) instead of re-slicing it into per-member views
         self.sobol.update_group_buffer(timestep, staging.data)
-        if self.general is not None:
-            self.general[timestep].update(staging.data[0])
-            self.general[timestep].update(staging.data[1])
+        if self.stats:
+            self.stats.update(timestep, staging.data)
         prev = self.last_integrated.get(group_id, -1)
         if timestep > prev:
             self.last_integrated[group_id] = timestep
@@ -212,9 +217,8 @@ class ServerRank:
             "groups_seen": sorted(self.groups_seen),
             "messages_processed": self.messages_processed,
             "messages_discarded": self.messages_discarded,
+            "stats": self.stats.state_dict(),
         }
-        if self.general is not None:
-            state["general"] = [fs.state_dict() for fs in self.general]
         return state
 
     def restore_state(self, state: dict) -> None:
@@ -230,19 +234,19 @@ class ServerRank:
         self.groups_seen = set(state["groups_seen"])
         self.messages_processed = int(state["messages_processed"])
         self.messages_discarded = int(state["messages_discarded"])
-        if self.general is not None:
-            if "general" not in state:
-                # restoring a stats-enabled config from a stats-disabled
-                # checkpoint used to silently zero the A/B-member general
-                # statistics; fail loudly instead (see also the checkpoint
-                # fingerprint, which rejects this earlier with context)
+        stats_state = state.get("stats")
+        if stats_state is None:
+            if self.stats:
+                # restoring a stats-enabled config from a stats-free
+                # checkpoint used to silently zero the general statistics;
+                # fail loudly instead (the checkpoint fingerprint rejects
+                # this earlier with more context)
                 raise ValueError(
-                    "checkpoint contains no general statistics but "
-                    "compute_general_stats is enabled for this study"
+                    "checkpoint contains no statistics state but this "
+                    f"study configures statistics={list(self.stats.specs)}"
                 )
-            self.general = [
-                FieldStatistics.from_state_dict(s) for s in state["general"]
-            ]
+        else:
+            self.stats.load_state(stats_state)
         self._staging.clear()
         self.last_message_time.clear()
 
@@ -268,7 +272,15 @@ class ServerRank:
             first[t], total[t] = self.sobol.index_maps_at(t)
             variance[t] = self.sobol.variance_map(t)
             mean[t] = self.sobol.mean_map(t)
-        return {"first": first, "total": total, "variance": variance, "mean": mean}
+        return {
+            "first": first,
+            "total": total,
+            "variance": variance,
+            "mean": mean,
+            # catalog statistics: name -> (T, *extra, ncells_local), field
+            # axis last so the parent concatenates partitions on axis=-1
+            "stats": self.stats.results(),
+        }
 
     @property
     def staged_entries(self) -> int:
@@ -394,7 +406,21 @@ class MelissaServer:
             total[:, :, lo:hi] = maps["total"].transpose(1, 0, 2)
             variance[:, lo:hi] = maps["variance"]
             mean[:, lo:hi] = maps["mean"]
-        return {"first": first, "total": total, "variance": variance, "mean": mean}
+        # catalog statistics: the per-rank payloads already carry field
+        # axes last, so partitions concatenate along axis=-1 in rank
+        # order (the BlockPartition assigns contiguous ascending ranges)
+        stats: Dict[str, np.ndarray] = {}
+        for name in self.ranks[0].stats.result_names:
+            stats[name] = np.concatenate(
+                [maps["stats"][name] for maps in rank_maps], axis=-1
+            )
+        return {
+            "first": first,
+            "total": total,
+            "variance": variance,
+            "mean": mean,
+            "stats": stats,
+        }
 
     def max_interval_width(self, z: float = 1.96) -> float:
         """Convergence scalar: the largest CI width anywhere (Sec. 4.1.5).

@@ -67,6 +67,7 @@ def study_fingerprint(config: StudyConfig) -> dict:
         "seed": config.seed,
         "server_ranks": config.server_ranks,
         "sampling_method": config.sampling_method,
+        "statistics": list(config.statistics),
     }
 
 

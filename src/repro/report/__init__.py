@@ -8,7 +8,7 @@ EXPERIMENTS.md.
 """
 
 from repro.report.render import ascii_heatmap, ascii_series, render_field_slice
-from repro.report.tables import comparison_table, format_table
+from repro.report.tables import comparison_table, format_table, statistics_table
 
 __all__ = [
     "ascii_heatmap",
@@ -16,4 +16,5 @@ __all__ = [
     "render_field_slice",
     "comparison_table",
     "format_table",
+    "statistics_table",
 ]

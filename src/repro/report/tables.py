@@ -38,6 +38,32 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def statistics_table(results, timestep: int = -1, title: str = "") -> str:
+    """Field summary of every catalog statistic in a StudyResults.
+
+    One row per result field: min / mean / max over the field at one
+    timestep (default: the last).  Catalog-driven — whatever statistics
+    the study configured show up, with no per-statistic code here.
+    """
+    import numpy as np
+
+    rows: List[List[object]] = []
+    for name in results.statistic_names:
+        stacked = results.statistics[name]
+        t = timestep if timestep >= 0 else stacked.shape[0] + timestep
+        field = np.asarray(stacked[t], dtype=np.float64)
+        if field.size == 0 or np.all(np.isnan(field)):
+            rows.append([name, "-", "-", "-"])
+            continue
+        rows.append([
+            name,
+            float(np.nanmin(field)),
+            float(np.nanmean(field)),
+            float(np.nanmax(field)),
+        ])
+    return format_table(["statistic", "min", "mean", "max"], rows, title=title)
+
+
 def comparison_table(
     entries: Sequence[Tuple[str, Number, Number]],
     paper_label: str = "paper",

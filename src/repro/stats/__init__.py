@@ -23,6 +23,22 @@ from repro.stats.moments import IterativeMoments, batch_central_moments
 from repro.stats.covariance import IterativeCovariance, IterativeCorrelation
 from repro.stats.extrema import IterativeExtrema, ThresholdExceedance
 from repro.stats.field import FieldStatistics, StatisticsConfig
+from repro.stats.protocol import (
+    FieldStatistic,
+    StatContext,
+    available_statistics,
+    canonicalize_spec,
+    canonicalize_specs,
+    legacy_statistics_specs,
+    lookup,
+    register,
+)
+from repro.stats.pipeline import StatisticsPipeline
+
+# importing the plugin modules populates the registry
+from repro.stats import plugins as _plugins  # noqa: F401
+from repro.stats import sketches as _sketches  # noqa: F401
+from repro.stats import sobol_pairs as _sobol_pairs  # noqa: F401
 
 __all__ = [
     "IterativeMoments",
@@ -32,5 +48,14 @@ __all__ = [
     "ThresholdExceedance",
     "FieldStatistics",
     "StatisticsConfig",
+    "FieldStatistic",
+    "StatContext",
+    "StatisticsPipeline",
+    "register",
+    "lookup",
+    "available_statistics",
+    "canonicalize_spec",
+    "canonicalize_specs",
+    "legacy_statistics_specs",
     "batch_central_moments",
 ]

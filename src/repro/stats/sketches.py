@@ -1,0 +1,345 @@
+"""Sketch statistics: histogram/PDF fields and online quantile maps.
+
+Two quantile engines ship, with different fault-tolerance contracts:
+
+``quantiles`` / ``histogram``
+    A fixed-bin counting sketch over a user-declared value range.  Counts
+    are integers, so ``merge`` is bit-exact and *order-invariant*: any
+    split of the sample stream — across server ranks, respawns, replay
+    discards, or runtimes — reduces to the identical state.  These are
+    the catalog's default quantile/PDF maps and satisfy the rtol-1e-10
+    cross-runtime parity guarantee.  The price is a declared ``[lo, hi]``
+    range (values outside clamp into the edge bins; exact running min/max
+    are tracked alongside to bound the interpolation).
+
+``p2quantiles``
+    The classic P² algorithm (Jain & Chlamtac 1985): five markers per
+    (quantile, cell), no bins, no range declaration.  Marker updates
+    depend on sample *order*, so its merge is a documented approximation
+    (weighted-CDF recombination) and ``exact_merge`` is False: results
+    are statistically sound but not bit-reproducible across different
+    stream interleavings.  Use it when the output range is unknown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.stats.moments import _as_field
+from repro.stats.protocol import FieldStatistic, StatContext, register
+
+
+class _BinnedSketch(FieldStatistic):
+    """Shared substrate: integer bin counts + exact extrema over a range."""
+
+    def __init__(self, ctx: StatContext, params=None):
+        super().__init__(ctx, params)
+        self.bins = int(self.params["bins"])
+        self.lo = float(self.params["lo"])
+        self.hi = float(self.params["hi"])
+        if not self.hi > self.lo:
+            raise ValueError(f"histogram range [{self.lo}, {self.hi}] is empty")
+        self.size = int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+        self.count = 0
+        self.counts = np.zeros((self.bins, self.size), dtype=np.int64)
+        self.minimum = np.full(self.size, np.inf)
+        self.maximum = np.full(self.size, -np.inf)
+        self._cells = np.arange(self.size)
+
+    @classmethod
+    def canonical_value(cls, key: str, value: str) -> str:
+        if key == "bins":
+            canon = cls._canon_int(value, lo=2)
+            return canon
+        if key in ("lo", "hi"):
+            return cls._canon_float(value)
+        return cls._canon_float_list(value)
+
+    def update(self, sample: np.ndarray) -> None:
+        x = _as_field(sample, self.shape).reshape(self.size)
+        self.count += 1
+        np.minimum(self.minimum, x, out=self.minimum)
+        np.maximum(self.maximum, x, out=self.maximum)
+        scaled = (x - self.lo) * (self.bins / (self.hi - self.lo))
+        idx = np.clip(np.floor(scaled).astype(np.int64), 0, self.bins - 1)
+        self.counts[idx, self._cells] += 1
+
+    def merge(self, other: "_BinnedSketch") -> None:
+        if (other.bins, other.lo, other.hi, other.shape) != (
+            self.bins, self.lo, self.hi, self.shape,
+        ):
+            raise ValueError("cannot merge sketches with different binning")
+        self.count += other.count
+        self.counts += other.counts
+        np.minimum(self.minimum, other.minimum, out=self.minimum)
+        np.maximum(self.maximum, other.maximum, out=self.maximum)
+
+    def state_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "counts": self.counts,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+        }
+
+    def load_state(self, state: dict) -> None:
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != (self.bins, self.size):
+            raise ValueError("sketch state does not match configured binning")
+        self.count = int(state["count"])
+        self.counts = counts.copy()
+        self.minimum = np.asarray(state["minimum"], dtype=np.float64).copy()
+        self.maximum = np.asarray(state["maximum"], dtype=np.float64).copy()
+
+    # ------------------------------------------------------------------ #
+    def _edges(self) -> np.ndarray:
+        return np.linspace(self.lo, self.hi, self.bins + 1)
+
+    def _quantile_map(self, q: float) -> np.ndarray:
+        """Per-cell quantile from the counting sketch (linear in-bin)."""
+        if self.count == 0:
+            return np.full(self.shape, np.nan)
+        target = q * self.count
+        cum = np.cumsum(self.counts, axis=0)  # (bins, size)
+        # first bin whose cumulative count reaches the target
+        b = np.sum(cum < target, axis=0)
+        b = np.clip(b, 0, self.bins - 1)
+        below = np.where(b > 0, cum[np.maximum(b - 1, 0), self._cells], 0)
+        inside = self.counts[b, self._cells]
+        width = (self.hi - self.lo) / self.bins
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(inside > 0, (target - below) / inside, 0.0)
+        value = self.lo + (b + np.clip(frac, 0.0, 1.0)) * width
+        # the exact extrema bound the sketch (also fixes clamped outliers)
+        value = np.clip(value, self.minimum, self.maximum)
+        return value.reshape(self.shape)
+
+
+@register
+class HistogramStatistic(_BinnedSketch):
+    """Per-cell PDF fields over a declared value range."""
+
+    name = "histogram"
+    description = "per-cell PDF over a fixed [lo, hi] range (exact merge)"
+    PARAMS = {"bins": "32", "lo": "0.0", "hi": "1.0"}
+
+    @property
+    def result_names(self) -> Tuple[str, ...]:
+        return ("pdf",)
+
+    def finalize(self) -> Dict[str, np.ndarray]:
+        width = (self.hi - self.lo) / self.bins
+        if self.count == 0:
+            pdf = np.full((self.bins,) + self.shape, np.nan)
+        else:
+            density = self.counts / (self.count * width)
+            pdf = density.reshape((self.bins,) + self.shape)
+        return {"pdf": pdf}
+
+
+@register
+class QuantileStatistic(_BinnedSketch):
+    """Online quantile maps with an exactly-mergeable counting sketch."""
+
+    name = "quantiles"
+    description = "per-cell quantile maps from a fixed-range sketch (exact merge)"
+    PARAMS = {"qs": "0.1+0.5+0.9", "bins": "64", "lo": "0.0", "hi": "1.0"}
+
+    def __init__(self, ctx: StatContext, params=None):
+        super().__init__(ctx, params)
+        self.qs = self._parse_float_list(self.params["qs"])
+        if any(not 0.0 < q < 1.0 for q in self.qs):
+            raise ValueError("quantiles must lie strictly inside (0, 1)")
+
+    @property
+    def result_names(self) -> Tuple[str, ...]:
+        return tuple(f"quantile_{q:g}" for q in self.qs)
+
+    def finalize(self) -> Dict[str, np.ndarray]:
+        return {f"quantile_{q:g}": self._quantile_map(q) for q in self.qs}
+
+
+@register
+class P2QuantileStatistic(FieldStatistic):
+    """P² online quantiles: five markers per (quantile, cell), no binning.
+
+    ``exact_merge`` is False: P² marker positions depend on the order
+    samples arrive, and merging two sketches recombines their marker
+    CDFs approximately.  Accuracy is excellent in practice, but runs
+    split differently across ranks/respawns are not bit-identical.
+    """
+
+    name = "p2quantiles"
+    description = "P^2 marker quantiles, range-free (approximate merge)"
+    PARAMS = {"qs": "0.1+0.5+0.9"}
+    exact_merge = False
+
+    def __init__(self, ctx: StatContext, params=None):
+        super().__init__(ctx, params)
+        self.qs = self._parse_float_list(self.params["qs"])
+        if any(not 0.0 < q < 1.0 for q in self.qs):
+            raise ValueError("quantiles must lie strictly inside (0, 1)")
+        self.size = int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+        self.nq = len(self.qs)
+        self.count = 0
+        # startup buffer: the first five samples seed the markers sorted
+        self._buffer = np.zeros((5, self.size))
+        # marker heights and (1-based) positions, per (quantile, marker, cell)
+        self.heights = np.zeros((self.nq, 5, self.size))
+        self.positions = np.zeros((self.nq, 5, self.size), dtype=np.int64)
+        q = np.asarray(self.qs)[:, None]
+        self._desired_frac = np.concatenate(
+            [np.zeros_like(q), q / 2.0, q, (1.0 + q) / 2.0, np.ones_like(q)],
+            axis=1,
+        )  # (nq, 5)
+
+    # ------------------------------------------------------------------ #
+    def update(self, sample: np.ndarray) -> None:
+        x = _as_field(sample, self.shape).reshape(self.size)
+        if self.count < 5:
+            self._buffer[self.count] = x
+            self.count += 1
+            if self.count == 5:
+                seed = np.sort(self._buffer, axis=0)  # (5, size)
+                self.heights[:] = seed[None, :, :]
+                self.positions[:] = np.arange(1, 6, dtype=np.int64)[None, :, None]
+            return
+        self.count += 1
+        h, pos = self.heights, self.positions
+        xq = np.broadcast_to(x, (self.nq, self.size))
+        # locate the cell k of x among the markers; extremes adjust h0/h4
+        below = xq < h[:, 0, :]
+        above = xq >= h[:, 4, :]
+        h[:, 0, :] = np.where(below, xq, h[:, 0, :])
+        h[:, 4, :] = np.where(above & (xq > h[:, 4, :]), xq, h[:, 4, :])
+        # k in {0,1,2,3}: number of markers 1..3 with h_k <= x, clipped
+        k = np.sum(xq[:, None, :] >= h[:, 1:4, :], axis=1)  # 0..3
+        k = np.where(above, 3, k)
+        # markers above cell k shift right by one observation
+        marker_idx = np.arange(5)[None, :, None]
+        pos += marker_idx > k[:, None, :]
+        desired = 1.0 + (self.count - 1) * self._desired_frac[:, :, None]
+        # adjust the three interior markers toward their desired positions
+        for i in (1, 2, 3):
+            d = desired[:, i, :] - pos[:, i, :]
+            gap_up = pos[:, i + 1, :] - pos[:, i, :]
+            gap_dn = pos[:, i - 1, :] - pos[:, i, :]
+            move_up = (d >= 1.0) & (gap_up > 1)
+            move_dn = (d <= -1.0) & (gap_dn < -1)
+            step = np.where(move_up, 1, np.where(move_dn, -1, 0))
+            active = step != 0
+            if not active.any():
+                continue
+            ns = step.astype(np.float64)
+            npos = pos[:, i, :].astype(np.float64)
+            nprev = pos[:, i - 1, :].astype(np.float64)
+            nnext = pos[:, i + 1, :].astype(np.float64)
+            hq, hp, hn = h[:, i, :], h[:, i - 1, :], h[:, i + 1, :]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                # piecewise-parabolic prediction
+                para = hq + ns / (nnext - nprev) * (
+                    (npos - nprev + ns) * (hn - hq) / (nnext - npos)
+                    + (nnext - npos - ns) * (hq - hp) / (npos - nprev)
+                )
+                # linear fallback when the parabola leaves the bracket
+                lin_anchor = np.where(ns > 0, hn, hp)
+                lin_gap = np.where(ns > 0, nnext - npos, nprev - npos)
+                linear = hq + ns * (lin_anchor - hq) / lin_gap
+            bad = ~((hp < para) & (para < hn))
+            new_h = np.where(bad, linear, para)
+            h[:, i, :] = np.where(active, new_h, hq)
+            pos[:, i, :] += step
+
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "P2QuantileStatistic") -> None:
+        if other.qs != self.qs or other.shape != self.shape:
+            raise ValueError("cannot merge P2 sketches with different quantiles")
+        if other.count == 0:
+            return
+        if other.count < 5:
+            # other is still buffering raw samples: just replay them
+            for i in range(other.count):
+                self.update(other._buffer[i].reshape(self.shape))
+            return
+        if self.count < 5:
+            buffered, nbuf = self._buffer.copy(), self.count
+            self.count = other.count
+            self._buffer = other._buffer.copy()
+            self.heights = other.heights.copy()
+            self.positions = other.positions.copy()
+            for i in range(nbuf):
+                self.update(buffered[i].reshape(self.shape))
+            return
+        # both initialized: recombine the two marker CDFs by weighted
+        # interpolation.  Each marker carries the mass of the observations
+        # it summarizes (half-gaps to its neighbours).
+        na, nb = self.count, other.count
+        n = na + nb
+        points = np.concatenate([self.heights, other.heights], axis=1)  # (nq,10,size)
+        weights = np.concatenate(
+            [self._marker_mass(), other._marker_mass()], axis=1
+        )
+        order = np.argsort(points, axis=1, kind="stable")
+        points = np.take_along_axis(points, order, axis=1)
+        weights = np.take_along_axis(weights, order, axis=1)
+        cum = np.cumsum(weights, axis=1)
+        total = cum[:, -1:, :]
+        # combined marker heights at the five desired cumulative fractions
+        for i in range(5):
+            target = self._desired_frac[:, i, None] * total[:, 0, :]
+            idx = np.sum(cum < target[:, None, :], axis=1)
+            idx = np.clip(idx, 0, points.shape[1] - 1)
+            take = np.take_along_axis(points, idx[:, None, :], axis=1)[:, 0, :]
+            self.heights[:, i, :] = take
+        self.heights.sort(axis=1)
+        self.count = n
+        ideal = np.rint(1.0 + (n - 1) * self._desired_frac).astype(np.int64)
+        self.positions[:] = np.maximum(ideal[:, :, None], 1)
+        self.positions[:, -1, :] = n
+
+    def _marker_mass(self) -> np.ndarray:
+        """Observation mass each marker represents, per (quantile, cell)."""
+        pos = self.positions.astype(np.float64)
+        mass = np.empty_like(pos)
+        mass[:, 0, :] = (pos[:, 1, :] - pos[:, 0, :]) / 2.0 + 0.5
+        mass[:, 4, :] = (pos[:, 4, :] - pos[:, 3, :]) / 2.0 + 0.5
+        for i in (1, 2, 3):
+            mass[:, i, :] = (pos[:, i + 1, :] - pos[:, i - 1, :]) / 2.0
+        return mass
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "buffer": self._buffer,
+            "heights": self.heights,
+            "positions": self.positions,
+        }
+
+    def load_state(self, state: dict) -> None:
+        heights = np.asarray(state["heights"], dtype=np.float64)
+        if heights.shape != (self.nq, 5, self.size):
+            raise ValueError("P2 state does not match configured statistic")
+        self.count = int(state["count"])
+        self._buffer = np.asarray(state["buffer"], dtype=np.float64).copy()
+        self.heights = heights.copy()
+        self.positions = np.asarray(state["positions"], dtype=np.int64).copy()
+
+    @property
+    def result_names(self) -> Tuple[str, ...]:
+        return tuple(f"p2quantile_{q:g}" for q in self.qs)
+
+    def finalize(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for qi, q in enumerate(self.qs):
+            if self.count == 0:
+                value = np.full(self.shape, np.nan)
+            elif self.count < 5:
+                samples = np.sort(self._buffer[: self.count], axis=0)
+                value = np.quantile(samples, q, axis=0).reshape(self.shape)
+            else:
+                value = self.heights[qi, 2, :].reshape(self.shape)
+            out[f"p2quantile_{q:g}"] = value
+        return out

@@ -1,0 +1,172 @@
+"""Closed second-order Sobol' index maps from stacked pair co-moments.
+
+The pick-freeze design already running for first/total-order indices
+(member 0 = A, member 1 = B, member 2+k = C^k: A with column k replaced
+from B) contains second-order information for free: C^i and C^j share
+*all* input columns except {i, j}, so by the Martinez correlation
+identities
+
+    corr(Y_Ci, Y_Cj)          = S^c_{~{i,j}}      (closed complement)
+    ST_{ij} = 1 - corr(Ci,Cj) = sum of S_u over u intersecting {i,j}
+
+Subtracting the single-parameter totals ST_i = 1 - corr(A, Ci) and
+ST_j isolates the terms containing BOTH i and j:
+
+    I_{ij} = ST_i + ST_j - ST_{ij} = sum of S_u over u >= {i,j}
+
+and with S_i = corr(B, Ci) the closed pair index follows:
+
+    S^c_{ij} ~= S_i + S_j + I_{ij}
+
+(exact when no third-order-or-higher term contains both i and j; the
+approximation error is the sum of such terms, each counted once extra).
+
+All of this reduces to maintaining, per timestep: the p+2 member means
+and M2s plus the co-moments C(A, C^k), C(B, C^k), and C(C^i, C^j) for
+i < j — a single vectorized Pebay update per group, with an exact
+Chan-style pairwise merge.  No extra simulations are run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.stats.protocol import FieldStatistic, StatContext, register
+
+
+@register
+class SecondOrderSobolStatistic(FieldStatistic):
+    """Pair total/interaction/closed second-order Sobol' maps."""
+
+    name = "sobol2"
+    description = "second-order Sobol' pair maps from the pick-freeze groups"
+    PARAMS: Dict[str, str] = {}
+    kind = "group"
+
+    def __init__(self, ctx: StatContext, params=None):
+        super().__init__(ctx, params)
+        p = ctx.nparams
+        if p < 2:
+            raise ValueError("sobol2 needs at least two parameters")
+        self.nparams = p
+        self.nmembers = ctx.nmembers
+        self.pairs: Tuple[Tuple[int, int], ...] = tuple(
+            (i, j) for i in range(p) for j in range(i + 1, p)
+        )
+        self._ii = np.array([i for i, _ in self.pairs])
+        self._jj = np.array([j for _, j in self.pairs])
+        shape = self.shape
+        self.count = 0
+        self.mean = np.zeros((self.nmembers,) + shape)
+        self.m2 = np.zeros((self.nmembers,) + shape)
+        self.c_a = np.zeros((p,) + shape)  # C(A,  C^k)
+        self.c_b = np.zeros((p,) + shape)  # C(B,  C^k)
+        self.c_pairs = np.zeros((len(self.pairs),) + shape)  # C(C^i, C^j)
+
+    # ------------------------------------------------------------------ #
+    def update(self, sample: np.ndarray) -> None:
+        raise TypeError(
+            "sobol2 is a group statistic; it consumes whole (p+2, *shape) "
+            "buffers via update_group"
+        )
+
+    def update_group(self, buffer: np.ndarray) -> None:
+        buf = np.asarray(buffer, dtype=np.float64)
+        if buf.shape != (self.nmembers,) + self.shape:
+            raise ValueError(
+                f"group buffer shape {buf.shape} != "
+                f"{(self.nmembers,) + self.shape}"
+            )
+        self.count = n = self.count + 1
+        delta_old = buf - self.mean
+        self.mean += delta_old / n
+        delta_new = buf - self.mean
+        # Pebay co-moment update: C_xy += (x - old mean_x)(y - new mean_y)
+        self.m2 += delta_old * delta_new
+        self.c_a += delta_old[0] * delta_new[2:]
+        self.c_b += delta_old[1] * delta_new[2:]
+        self.c_pairs += delta_old[2 + self._ii] * delta_new[2 + self._jj]
+
+    def merge(self, other: "SecondOrderSobolStatistic") -> None:
+        if other.shape != self.shape or other.nparams != self.nparams:
+            raise ValueError("cannot merge sobol2 statistics of different studies")
+        na, nb = self.count, other.count
+        if nb == 0:
+            return
+        if na == 0:
+            for name in ("mean", "m2", "c_a", "c_b", "c_pairs"):
+                setattr(self, name, getattr(other, name).copy())
+            self.count = nb
+            return
+        n = na + nb
+        dm = other.mean - self.mean
+        scale = na * nb / n
+        self.m2 += other.m2 + dm * dm * scale
+        self.c_a += other.c_a + dm[0] * dm[2:] * scale
+        self.c_b += other.c_b + dm[1] * dm[2:] * scale
+        self.c_pairs += other.c_pairs + dm[2 + self._ii] * dm[2 + self._jj] * scale
+        self.mean += dm * (nb / n)
+        self.count = n
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self.m2,
+            "c_a": self.c_a,
+            "c_b": self.c_b,
+            "c_pairs": self.c_pairs,
+        }
+
+    def load_state(self, state: dict) -> None:
+        mean = np.asarray(state["mean"], dtype=np.float64)
+        if mean.shape != (self.nmembers,) + self.shape:
+            raise ValueError("sobol2 state does not match configured statistic")
+        self.count = int(state["count"])
+        self.mean = mean.copy()
+        for name in ("m2", "c_a", "c_b", "c_pairs"):
+            setattr(self, name, np.asarray(state[name], dtype=np.float64).copy())
+
+    # ------------------------------------------------------------------ #
+    def _corr(self, cxy: np.ndarray, m2x: np.ndarray, m2y: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            denom = np.sqrt(m2x * m2y)
+            ratio = np.where(denom > 0, cxy / denom, np.nan)
+            return np.clip(ratio, -1.0, 1.0)
+
+    def _pair_key(self, i: int, j: int) -> str:
+        names = self.ctx.parameter_names
+        return f"{names[i]}_{names[j]}"
+
+    @property
+    def result_names(self) -> Tuple[str, ...]:
+        names = []
+        for i, j in self.pairs:
+            key = self._pair_key(i, j)
+            names += [f"sobol2_total_{key}", f"sobol2_interaction_{key}",
+                      f"sobol2_closed_{key}"]
+        return tuple(names)
+
+    def finalize(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        if self.count < 2:
+            nanmap = np.full(self.shape, np.nan)
+            return {name: nanmap.copy() for name in self.result_names}
+        m2c = self.m2[2:]
+        # S_k = corr(B, Ck); ST_k = 1 - corr(A, Ck)
+        s_first = self._corr(self.c_b, self.m2[1], m2c)
+        st_single = 1.0 - self._corr(self.c_a, self.m2[0], m2c)
+        for idx, (i, j) in enumerate(self.pairs):
+            st_pair = 1.0 - self._corr(
+                self.c_pairs[idx], m2c[i], m2c[j]
+            )
+            interaction = st_single[i] + st_single[j] - st_pair
+            closed = s_first[i] + s_first[j] + interaction
+            key = self._pair_key(i, j)
+            out[f"sobol2_total_{key}"] = st_pair
+            out[f"sobol2_interaction_{key}"] = interaction
+            out[f"sobol2_closed_{key}"] = closed
+        return out

@@ -35,7 +35,7 @@ def make_config(ncells, ntimesteps, nparams, server_ranks, general):
     return StudyConfig(
         space=space, ngroups=6, ntimesteps=ntimesteps, ncells=ncells,
         server_ranks=server_ranks, client_ranks=1,
-        compute_general_stats=general,
+        statistics=("moments:order=2",) if general else (),
     )
 
 

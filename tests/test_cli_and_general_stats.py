@@ -46,12 +46,12 @@ class TestCli:
 
 
 class TestGeneralStatisticsEndToEnd:
-    def run_study(self, stats_config):
+    def run_study(self, statistics):
         fn = IshigamiFunction()
         config = StudyConfig(
             space=fn.space(), ngroups=120, ntimesteps=1, ncells=1,
             server_ranks=1, client_ranks=1, seed=6,
-            stats_config=stats_config,
+            statistics=statistics,
         )
 
         def factory(params, sim_id):
@@ -59,7 +59,7 @@ class TestGeneralStatisticsEndToEnd:
                                       simulation_id=sim_id)
 
         runtime = SequentialRuntime(config, factory)
-        runtime.run()
+        runtime.results = runtime.run()
         return runtime, fn, config
 
     def reference_ab_outputs(self, fn, config):
@@ -70,33 +70,86 @@ class TestGeneralStatisticsEndToEnd:
         return np.concatenate([fn(design.a), fn(design.b)])
 
     def test_moments_match_batch(self):
-        cfg = StatisticsConfig(moment_order=4, track_extrema=True,
-                               thresholds=(5.0,))
-        runtime, fn, config = self.run_study(cfg)
+        runtime, fn, config = self.run_study(
+            ["moments:order=4", "extrema", "exceedance:thresholds=5.0"]
+        )
         rank = runtime.server.ranks[0]
-        stats = rank.general[0]
+        moments = rank.stats.instances_at(0)[0]
         y = self.reference_ab_outputs(fn, config)
-        assert stats.count == 2 * config.ngroups
-        np.testing.assert_allclose(stats.mean, y.mean(), rtol=1e-10)
-        np.testing.assert_allclose(stats.variance, y.var(ddof=1), rtol=1e-10)
+        assert moments.count == 2 * config.ngroups
+        np.testing.assert_allclose(moments.mean, y.mean(), rtol=1e-10)
+        np.testing.assert_allclose(moments.variance, y.var(ddof=1), rtol=1e-10)
         from scipy.stats import kurtosis, skew
 
-        out = stats.results()
+        out = {key: value[0] for key, value in rank.stats.results().items()}
         np.testing.assert_allclose(out["skewness"], skew(y), rtol=1e-8)
         np.testing.assert_allclose(out["kurtosis"], kurtosis(y), rtol=1e-8)
         np.testing.assert_allclose(out["minimum"], y.min())
         np.testing.assert_allclose(out["maximum"], y.max())
         np.testing.assert_allclose(out["exceedance_5"], (y > 5.0).mean())
 
+    def test_quantile_and_pair_maps_reach_results(self):
+        """Catalog statistics flow through assembly into StudyResults."""
+        runtime, fn, config = self.run_study(
+            ["moments", "quantiles:qs=0.5:lo=-15:hi=15:bins=512", "sobol2"]
+        )
+        results = runtime.results
+        y = self.reference_ab_outputs(fn, config)
+        assert "quantile_0.5" in results.statistic_names
+        np.testing.assert_allclose(
+            results.statistic_map("quantile_0.5", 0),
+            np.quantile(y, 0.5),
+            atol=2 * 30.0 / 512,  # one sketch bin
+        )
+        # the Ishigami x1/x3 interaction is strong, x1/x2 is null
+        i13 = results.statistic_map("sobol2_interaction_x1_x3", 0)
+        i12 = results.statistic_map("sobol2_interaction_x1_x2", 0)
+        assert i13 > 0.1
+        assert abs(i12) < abs(i13)
+
     def test_general_stats_survive_checkpoint(self, tmp_path):
         from repro.core.checkpoint import CheckpointManager
 
-        cfg = StatisticsConfig(moment_order=3, track_extrema=True)
-        runtime, fn, config = self.run_study(cfg)
+        runtime, fn, config = self.run_study(["moments:order=3", "extrema"])
         manager = CheckpointManager(tmp_path)
         manager.save(runtime.server)
         restored = manager.restore(config)
-        orig = runtime.server.ranks[0].general[0].results()
-        back = restored.ranks[0].general[0].results()
+        orig = runtime.server.ranks[0].stats.results()
+        back = restored.ranks[0].stats.results()
+        assert orig.keys() == back.keys()
         for key in orig:
             np.testing.assert_array_equal(orig[key], back[key])
+
+    def test_legacy_knobs_map_to_statistics(self):
+        """The deprecation shim maps StatisticsConfig onto spec strings."""
+        import repro.core.config as config_module
+
+        fn = IshigamiFunction()
+        kwargs = dict(
+            space=fn.space(), ngroups=4, ntimesteps=1, ncells=1,
+            server_ranks=1, client_ranks=1,
+        )
+        config_module._LEGACY_STATS_WARNED = False
+        with pytest.warns(DeprecationWarning, match="statistics"):
+            config = StudyConfig(
+                stats_config=StatisticsConfig(
+                    moment_order=4, track_extrema=True, thresholds=(5.0,)
+                ),
+                **kwargs,
+            )
+        assert config.statistics == (
+            "moments:order=4", "extrema", "exceedance:thresholds=5.0",
+        )
+        assert config.compute_general_stats is True
+        # warn-once: the second legacy construction is silent
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            off = StudyConfig(compute_general_stats=False, **kwargs)
+        assert off.statistics == ()
+        assert off.compute_general_stats is False
+        # mixing old and new knobs is an error
+        with pytest.raises(ValueError, match="deprecated"):
+            StudyConfig(statistics=["moments"],
+                        compute_general_stats=True, **kwargs)

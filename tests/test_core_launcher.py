@@ -201,13 +201,13 @@ class TestCheckpointManager:
         assert manager.bytes_on_disk() > 0
 
     def test_general_stats_mismatch_fails_loudly(self, tmp_path):
-        """A stats-disabled checkpoint must not silently zero the general
+        """A stats-disabled checkpoint must not silently zero the
         statistics of a stats-enabled study (fingerprint regression)."""
-        config = make_config(compute_general_stats=False)
+        config = make_config(statistics=[])
         manager = CheckpointManager(tmp_path)
         manager.save(self.make_server_with_data(config))
-        enabled = make_config(compute_general_stats=True)
-        with pytest.raises(ValueError, match="compute_general_stats"):
+        enabled = make_config(statistics=["moments:order=2"])
+        with pytest.raises(ValueError, match="statistics"):
             manager.restore(enabled)
 
     def test_v1_payload_migrates(self, tmp_path):
@@ -215,20 +215,20 @@ class TestCheckpointManager:
         state) restores through the migration shim."""
         import pickle
 
-        from repro.core.checkpoint import _fingerprint
+        from repro.core.checkpoint import downgrade_payload
         from repro.sobol.martinez import IterativeSobolEstimator
 
         config = make_config()
         server = self.make_server_with_data(config)
         manager = CheckpointManager(tmp_path)
         manager.save(server)
-        # rewrite the rank file as a v1 payload: old fingerprint, forest state
+        # rewrite the rank file as a v1 payload: old fingerprint, legacy
+        # general-statistics layout, and estimator-forest Sobol' state
         path = manager.rank_path(0)
         with open(path, "rb") as fh:
-            payload = pickle.load(fh)
-        v1_fp = {k: v for k, v in _fingerprint(config).items()
-                 if k != "compute_general_stats"}
-        v1_fp["version"] = 1
+            payload = downgrade_payload(pickle.load(fh))
+        v1_fp = payload["fingerprint"]
+        assert v1_fp["version"] == 1
         rng = np.random.default_rng(1)
         forest = []
         for t in range(config.ntimesteps):

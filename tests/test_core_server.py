@@ -119,12 +119,13 @@ class TestStagingAndIntegration:
         rank = server.ranks[0]
         rank.handle(group_message(0, 0, 0, 5, value=2.0), 1.0)
         # A member value 2.0, B member 3.0 -> mean 2.5 after one group
-        np.testing.assert_allclose(rank.general[0].mean, 2.5)
-        assert rank.general[0].count == 2
+        moments = rank.stats.instances_at(0)[0]
+        np.testing.assert_allclose(moments.mean, 2.5)
+        assert moments.count == 2
 
     def test_general_stats_disabled(self):
-        server = MelissaServer(make_config(compute_general_stats=False))
-        assert server.ranks[0].general is None
+        server = MelissaServer(make_config(statistics=[]))
+        assert not server.ranks[0].stats
         server.ranks[0].handle(group_message(0, 0, 0, 5), 1.0)
 
 
