@@ -248,7 +248,37 @@ def _cmd_work(args: argparse.Namespace) -> int:
         study.factory,
         _parse_address(args.coordinator),
         name=args.name,
+        fault_spec=args.fault,
+        elastic=args.elastic,
+        # elastic extras are the remedy, not the disease: a pool spawned
+        # by `repro launch` inherits the launch environment, so a stray
+        # $REPRO_WORK_FAULT must not re-arm in them
+        env_fault=not args.elastic,
     )
+
+
+def _scheduling_spec(args: argparse.Namespace) -> Optional[str]:
+    """Scheduling spec string from the launch flags (None = plain FIFO).
+
+    ``--schedule`` passes a full :func:`repro.scheduler.policy.parse_scheduling`
+    spec; ``--speculate`` / ``--steal`` / ``--elastic`` are sugar for one
+    clause each, optionally with that clause's parameters attached
+    (``--speculate multiple=2.5,min_done=1``).
+    """
+    if args.schedule:
+        if args.speculate is not None or args.steal is not None or args.elastic is not None:
+            raise SystemExit("pass either --schedule or the per-clause flags, not both")
+        return args.schedule
+    clauses = []
+    for kind, value in (
+        ("speculate", args.speculate),
+        ("steal", args.steal),
+        ("elastic", args.elastic),
+    ):
+        if value is None:
+            continue
+        clauses.append(f"{kind}:{value}" if value else kind)
+    return ";".join(clauses) or None
 
 
 def _serve_respawn_command(args: argparse.Namespace, rank: int, address) -> List[str]:
@@ -286,8 +316,43 @@ def _serve_respawn_command(args: argparse.Namespace, rank: int, address) -> List
     return cmd
 
 
+def _work_spawn_command(args: argparse.Namespace, index: int, address) -> List[str]:
+    """The ``repro work --elastic`` invocation the elastic pool spawns.
+
+    Mirrors the study flags the launch was given (fingerprint match) and
+    marks the worker retirable, so the coordinator drains it once the
+    queue empties.  Elastic workers spawn on the launch host; multi-host
+    deployments start extra ``repro work`` processes with their own
+    process manager — the protocol is identical.
+    """
+    cmd = [
+        sys.executable, "-m", "repro.cli", "work",
+        "--study", args.study,
+        "--groups", str(args.groups),
+        "--seed", str(args.seed),
+        "--timesteps", str(args.timesteps),
+        "--cells", str(args.cells),
+        "--server-ranks", str(args.server_ranks),
+        "--coordinator", f"{address[0]}:{address[1]}",
+        "--name", f"elastic-{index}",
+        "--elastic",
+    ]
+    if args.kernel:
+        cmd += ["--kernel", args.kernel]
+    for spec in getattr(args, "stats", None) or []:
+        cmd += ["--stats", spec]
+    return cmd
+
+
 def _cmd_launch(args: argparse.Namespace) -> int:
     study = _resolved_study(args)
+    scheduling = _scheduling_spec(args)
+    if scheduling is not None:
+        from repro.scheduler.policy import parse_scheduling
+
+        study.config.scheduling = parse_scheduling(scheduling)
+    coordinator = None
+    pool = None
     if args.local_workers:
         # loopback single-host mode: fork ranks + workers right here
         from repro.runtime import DistributedRuntime
@@ -300,6 +365,8 @@ def _cmd_launch(args: argparse.Namespace) -> int:
         if args.address_file:
             raise SystemExit("--address-file only applies without --local-workers")
         results = runtime.run(timeout=args.timeout)
+        coordinator = runtime.coordinator
+        pool = runtime.pool
     else:
         import subprocess
 
@@ -318,7 +385,28 @@ def _cmd_launch(args: argparse.Namespace) -> int:
             except OSError:
                 pass
         host, port = _parse_address(args.bind)
-        coordinator = Coordinator(study.config, host=host, port=port)
+        policy = None
+        sched_cfg = study.config.scheduling
+        if sched_cfg is not None and sched_cfg.enabled:
+            from repro.net.supervisor import PoolSupervisor
+            from repro.scheduler.policy import ElasticPoolPolicy, SchedulingPolicy
+
+            policy = SchedulingPolicy(sched_cfg)
+        coordinator = Coordinator(study.config, host=host, port=port, policy=policy)
+        elastic_procs: List = []
+        if policy is not None and sched_cfg.elastic:
+            # elastic ramp: spawn extra `repro work --elastic` subprocesses
+            # on this host while the queue is deep, retire them as it
+            # drains (they exit through the retire op on their own)
+            pool = PoolSupervisor(
+                spawner=lambda index: elastic_procs.append(
+                    subprocess.Popen(
+                        _work_spawn_command(args, index, coordinator.address)
+                    )
+                ),
+                policy=ElasticPoolPolicy(sched_cfg),
+            )
+            coordinator.pool = pool
         if args.respawn_serve:
             from repro.net.serve import FAULT_ENV
 
@@ -358,9 +446,21 @@ def _cmd_launch(args: argparse.Namespace) -> int:
         results = assemble_results(study.config, coordinator)
         if coordinator.rank_respawns:
             print(f"respawned server rank(s): {coordinator.rank_respawns}")
+        for proc in elastic_procs:
+            # retired/finished elastic workers exit through the protocol;
+            # anything still around after the study is surplus
+            if proc.poll() is None:
+                proc.terminate()
     print(results.summary())
     if results.abandoned_groups:
         print(f"abandoned groups: {results.abandoned_groups}")
+    if coordinator is not None and coordinator.speculated:
+        print(f"speculated group(s): {sorted(set(coordinator.speculated))}")
+    if pool is not None:
+        print(
+            f"elastic workers spawned: {pool.spawned_total}, "
+            f"retired: {pool.retired_total}"
+        )
     return 0
 
 
@@ -501,6 +601,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_study_args(p)
     p.add_argument("--coordinator", required=True, metavar="HOST:PORT")
     p.add_argument("--name", default="", help="worker name for logs/liveness")
+    p.add_argument("--fault", default=None, metavar="SPEC",
+                   help="inject a fault into this worker: crash[:after=N] | "
+                        "zombie[:after=N] | straggler:delay=S (seconds per "
+                        "delivered message; also via $REPRO_WORK_FAULT)")
+    p.add_argument("--elastic", action="store_true",
+                   help="mark this worker retirable: the coordinator may "
+                        "drain it once the queue empties (used by the "
+                        "elastic pool's spawned workers)")
     p.set_defaults(func=_cmd_work)
 
     p = sub.add_parser(
@@ -525,6 +633,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="interface a respawned serve binds its data "
                         "listener on (default: the --bind host, so remote "
                         "workers can still reach it)")
+    p.add_argument("--schedule", default=None, metavar="SPEC",
+                   help="full scheduling spec, ';'-separated clauses "
+                        "(e.g. 'speculate:multiple=2.5;steal;elastic:high=6')")
+    p.add_argument("--speculate", nargs="?", const="", default=None,
+                   metavar="PARAMS",
+                   help="speculatively re-run straggler groups (optional "
+                        "clause params, e.g. 'multiple=2.5,min_done=2'); "
+                        "first completion wins, duplicates discard exactly")
+    p.add_argument("--steal", nargs="?", const="", default=None,
+                   metavar="PARAMS",
+                   help="work stealing: hold demonstrably slow workers "
+                        "back from the queue tail (optional 'ratio=R')")
+    p.add_argument("--elastic", nargs="?", const="", default=None,
+                   metavar="PARAMS",
+                   help="elastic pool resize: spawn extra workers while "
+                        "queue depth exceeds the high-water mark, retire "
+                        "them below the low-water mark (optional params, "
+                        "e.g. 'high=6,low=1,max=4,budget=8')")
     p.set_defaults(func=_cmd_launch)
 
     return parser

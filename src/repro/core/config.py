@@ -81,6 +81,15 @@ class StudyConfig:
     #: (server ranks and workers beacon liveness at this period)
     heartbeat_interval: float = 0.5
 
+    # --- scheduling (coordinator-side policy layer) -----------------------
+    #: straggler-aware scheduling for the distributed coordinator: a
+    #: :class:`repro.scheduler.policy.SchedulingConfig`, a spec string for
+    #: :func:`repro.scheduler.policy.parse_scheduling` (e.g.
+    #: ``"speculate;elastic:high=6"``), or None = plain FIFO.  Coordinator
+    #: policy only — serve/work processes ignore it, so it is deliberately
+    #: NOT part of the study fingerprint or checkpoint fingerprint.
+    scheduling: Optional[object] = None
+
     # --- convergence control ----------------------------------------------
     convergence_threshold: Optional[float] = None  # max CI width to stop at
     convergence_check_interval: float = 60.0
@@ -108,6 +117,25 @@ class StudyConfig:
 
         resolve_spec(self.kernel)  # fail fast on unknown backend names
         self._resolve_statistics()  # fail fast on unknown statistic specs
+        self._resolve_scheduling()  # fail fast on malformed scheduling specs
+
+    def _resolve_scheduling(self) -> None:
+        """Canonicalize ``scheduling`` to a SchedulingConfig (or None)."""
+        if self.scheduling is None:
+            return
+        from repro.scheduler.policy import SchedulingConfig, parse_scheduling
+
+        if isinstance(self.scheduling, str):
+            self.scheduling = parse_scheduling(self.scheduling)
+        elif not isinstance(self.scheduling, SchedulingConfig):
+            raise TypeError(
+                "scheduling must be a SchedulingConfig, a spec string "
+                f"(e.g. 'speculate;elastic'), or None — got {self.scheduling!r}"
+            )
+        if self.scheduling.speculate and not self.discard_on_replay:
+            raise ValueError(
+                "scheduling with speculation requires discard_on_replay=True"
+            )
 
     def _resolve_statistics(self) -> None:
         """Canonicalize ``statistics``, mapping the deprecated knobs onto it.

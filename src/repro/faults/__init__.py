@@ -24,9 +24,21 @@ protocol instead of the virtual-time launcher:
 * :class:`ServerRankStraggler` — the rank slows down but stays live (no
   respawn may fire).
 
-:func:`parse_server_fault` turns the ``--fault`` / ``REPRO_SERVE_FAULT``
-spec string of a serve subprocess into a single-rank plan, so the same
-schedule drives unit tests, the loopback chaos suite, and CI.
+Group-*worker* faults target one real ``repro work`` process (the other
+distributed failure unit) and drive the coordinator's resubmission,
+reaping, and straggler-speculation machinery:
+
+* :class:`WorkerCrash` — the worker SIGKILLs itself after N deliveries;
+* :class:`WorkerZombie` — the worker hangs (alive, silent) until the
+  coordinator's staleness reap closes its connection;
+* :class:`WorkerStraggler` — the worker delivers each message ``delay``
+  seconds slower but stays live (speculative re-execution, not
+  resubmission, must absorb it).
+
+:func:`parse_server_fault` / :func:`parse_worker_fault` turn the
+``--fault`` / ``REPRO_SERVE_FAULT`` / ``REPRO_WORK_FAULT`` spec string
+of a real subprocess into a single-process plan, so the same schedule
+drives unit tests, the loopback chaos suite, and CI.
 
 Group faults target a specific *attempt* so a restarted instance runs
 clean — matching real intermittent failures; a respawned server rank
@@ -43,7 +55,11 @@ from repro.faults.plan import (
     ServerRankCrash,
     ServerRankStraggler,
     ServerRankZombie,
+    WorkerCrash,
+    WorkerStraggler,
+    WorkerZombie,
     parse_server_fault,
+    parse_worker_fault,
 )
 
 __all__ = [
@@ -55,6 +71,10 @@ __all__ = [
     "ServerRankCrash",
     "ServerRankZombie",
     "ServerRankStraggler",
+    "WorkerCrash",
+    "WorkerZombie",
+    "WorkerStraggler",
     "DuplicateDelivery",
     "parse_server_fault",
+    "parse_worker_fault",
 ]

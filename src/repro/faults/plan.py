@@ -86,6 +86,48 @@ class ServerRankStraggler:
 
 
 @dataclass(frozen=True)
+class WorkerCrash:
+    """Group worker ``worker`` SIGKILLs itself after delivering
+    ``after_messages`` data messages (the distributed deployment's other
+    failure unit: one ``repro work`` process, Sec. 4.2.2)."""
+
+    worker: int
+    after_messages: int = 0
+
+    def __post_init__(self):
+        if self.after_messages < 0:
+            raise ValueError("after_messages must be >= 0")
+
+
+@dataclass(frozen=True)
+class WorkerZombie:
+    """Group worker ``worker`` hangs after ``after_messages`` deliveries:
+    alive but silent (no heartbeats, no frames), so only the
+    coordinator's worker-staleness reap can expose it."""
+
+    worker: int
+    after_messages: int = 0
+
+    def __post_init__(self):
+        if self.after_messages < 0:
+            raise ValueError("after_messages must be >= 0")
+
+
+@dataclass(frozen=True)
+class WorkerStraggler:
+    """Group worker ``worker`` delivers each data message ``delay``
+    seconds slower (still heartbeats — this is the scheduler's prey, not
+    the reaper's: speculation, not resubmission, must absorb it)."""
+
+    worker: int
+    delay: float
+
+    def __post_init__(self):
+        if self.delay <= 0:
+            raise ValueError("a straggler needs delay > 0")
+
+
+@dataclass(frozen=True)
 class DuplicateDelivery:
     """Every delivered message of ``group_id`` is delivered twice."""
 
@@ -104,6 +146,9 @@ class FaultPlan:
     server_rank_crashes: List[ServerRankCrash] = field(default_factory=list)
     server_rank_zombies: List[ServerRankZombie] = field(default_factory=list)
     server_rank_stragglers: List[ServerRankStraggler] = field(default_factory=list)
+    worker_crashes: List[WorkerCrash] = field(default_factory=list)
+    worker_zombies: List[WorkerZombie] = field(default_factory=list)
+    worker_stragglers: List[WorkerStraggler] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     def crash_for(self, group_id: int, attempt: int) -> Optional[GroupCrash]:
@@ -156,6 +201,27 @@ class FaultPlan:
                 return spec
         return None
 
+    # ------------------------------------------------------------------ #
+    # group-worker faults (the distributed ``repro work`` failure unit)
+    # ------------------------------------------------------------------ #
+    def worker_crash_for(self, worker: int) -> Optional[WorkerCrash]:
+        for spec in self.worker_crashes:
+            if spec.worker == worker:
+                return spec
+        return None
+
+    def worker_zombie_for(self, worker: int) -> Optional[WorkerZombie]:
+        for spec in self.worker_zombies:
+            if spec.worker == worker:
+                return spec
+        return None
+
+    def worker_straggler_for(self, worker: int) -> Optional[WorkerStraggler]:
+        for spec in self.worker_stragglers:
+            if spec.worker == worker:
+                return spec
+        return None
+
     @property
     def has_server_rank_faults(self) -> bool:
         """Any fault targeting a live ``repro serve`` process — THE place
@@ -168,10 +234,18 @@ class FaultPlan:
         )
 
     @property
-    def server_faults_only(self) -> bool:
-        """True when the plan touches only server ranks — the subset the
-        socket runtimes can inject (group faults need the virtual-time
-        driver)."""
+    def has_worker_faults(self) -> bool:
+        """Any fault targeting a live ``repro work`` process."""
+        return bool(
+            self.worker_crashes or self.worker_zombies or self.worker_stragglers
+        )
+
+    @property
+    def socket_only(self) -> bool:
+        """True when the plan targets only real socket processes (server
+        ranks and group workers) — the subset the distributed runtime can
+        inject (group faults and virtual-time ServerCrash specs need the
+        sequential driver)."""
         return not (
             self.group_crashes
             or self.group_zombies
@@ -181,11 +255,58 @@ class FaultPlan:
         )
 
     @property
+    def server_faults_only(self) -> bool:
+        """True when the plan touches nothing but server ranks."""
+        return self.socket_only and not self.has_worker_faults
+
+    @property
     def empty(self) -> bool:
-        return self.server_faults_only and not self.has_server_rank_faults
+        return (
+            self.socket_only
+            and not self.has_server_rank_faults
+            and not self.has_worker_faults
+        )
 
 
 # --------------------------------------------------------------------- #
+def parse_worker_fault(spec: str, worker: int = 0) -> FaultPlan:
+    """Fault plan for one group-worker process from a compact spec.
+
+    Same grammar as :func:`parse_server_fault` — ``crash[:after=N]`` /
+    ``zombie[:after=N]`` (``after`` counts data messages delivered before
+    the fault fires) / ``straggler:delay=S`` (seconds per delivered
+    message).  This is how a real ``repro work`` subprocess is told to
+    misbehave (``--fault`` flag or ``REPRO_WORK_FAULT``), so the same
+    specs drive unit tests, the loopback chaos suite, and CI.
+    """
+    kind, _, rest = spec.partition(":")
+    params = {}
+    for item in filter(None, rest.split(",")):
+        key, eq, value = item.partition("=")
+        if not eq:
+            raise ValueError(f"malformed fault parameter {item!r} in {spec!r}")
+        params[key.strip()] = value.strip()
+    if kind == "crash":
+        after = int(params.pop("after", 0))
+        plan = FaultPlan(worker_crashes=[WorkerCrash(worker, after)])
+    elif kind == "zombie":
+        after = int(params.pop("after", 0))
+        plan = FaultPlan(worker_zombies=[WorkerZombie(worker, after)])
+    elif kind == "straggler":
+        if "delay" not in params:
+            raise ValueError(f"fault spec {spec!r} is missing 'delay'")
+        plan = FaultPlan(worker_stragglers=[
+            WorkerStraggler(worker, delay=float(params.pop("delay")))
+        ])
+    else:
+        raise ValueError(
+            f"unknown fault kind {kind!r} (use crash | zombie | straggler)"
+        )
+    if params:
+        raise ValueError(f"unknown fault parameter(s) {sorted(params)} in {spec!r}")
+    return plan
+
+
 def parse_server_fault(spec: str, rank: int) -> FaultPlan:
     """Fault plan for one serve process from a compact CLI/env spec.
 

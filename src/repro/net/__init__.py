@@ -27,12 +27,16 @@ is the stdlib-only TCP equivalent of that layer:
 
 from repro.net.channel import DataListener, SocketChannel
 from repro.net.coordinator import Coordinator, StudyAborted
-from repro.net.framing import FrameConnection, connect_with_retry
+from repro.net.framing import DialTimeout, FrameConnection, connect_with_retry
+from repro.net.supervisor import PoolSupervisor, RankSupervisor
 
 __all__ = [
     "Coordinator",
     "DataListener",
+    "DialTimeout",
     "FrameConnection",
+    "PoolSupervisor",
+    "RankSupervisor",
     "SocketChannel",
     "StudyAborted",
     "connect_with_retry",

@@ -26,7 +26,23 @@ additionally owns the launcher-side bookkeeping of Sec. 4.2.2:
   requeues every group the restored state is missing (data integrated
   after the last checkpoint died with the old process) and workers
   re-run them — replay protection on the surviving ranks discards the
-  duplicates, so the statistics stay exact.
+  duplicates, so the statistics stay exact;
+* **straggler-aware scheduling** — when a
+  :class:`~repro.scheduler.policy.SchedulingPolicy` is attached, group
+  completions feed per-worker EWMA throughput.  An idle worker facing an
+  empty queue may *speculatively* re-run the longest-overdue in-flight
+  group (running past a multiple of the fleet-median duration): both
+  copies stream byte-identical data, each (group, timestep) integrates
+  exactly once per rank, and the first ``group_done`` wins — the loser
+  is settled silently and its residual frames are replay-discarded, so
+  speculation needs ``discard_on_replay`` and never perturbs any
+  exact-merge statistic.  Work stealing holds a demonstrably slow worker
+  back from the queue tail while faster workers can drain it;
+* **elastic pool resize** — a :class:`~repro.net.supervisor.PoolSupervisor`
+  spawns extra workers while queue depth exceeds the high-water mark
+  (checked from the wait loop) and retires elastic workers asking for
+  work below the low-water mark (the paper's Fig. 6 elastic ramp, driven
+  by the live queue instead of the batch scheduler).
 
 The coordinator is transport policy only — statistics never flow through
 it; field data goes worker -> rank over the direct data channels.
@@ -96,6 +112,17 @@ class Coordinator:
         behaviour); with one, the rank is killed and respawned from its
         checkpoint and the study continues.  Heartbeat staleness for
         zombie detection lives on the supervisor's policy.
+    policy:
+        Optional :class:`~repro.scheduler.policy.SchedulingPolicy`.
+        Without one the queue is plain FIFO; with one, completions feed
+        per-worker EWMA throughput and the policy may speculate straggler
+        groups and hold slow workers back from the queue tail.
+        Speculation requires ``config.discard_on_replay`` — exactness of
+        duplicate completions rests on it.
+    pool:
+        Optional :class:`~repro.net.supervisor.PoolSupervisor` for
+        elastic pool resize (spawn on deep queue, retire elastic workers
+        on drained queue).
     """
 
     def __init__(
@@ -106,7 +133,15 @@ class Coordinator:
         worker_timeout: Optional[float] = None,
         fault_kill_after: Optional[int] = None,
         supervisor=None,
+        policy=None,
+        pool=None,
     ):
+        if policy is not None and policy.config.speculate and not config.discard_on_replay:
+            raise ValueError(
+                "speculative re-execution requires discard_on_replay=True: "
+                "first-completion-wins is only exact because ranks discard "
+                "the losing copy's replayed timesteps"
+            )
         self.config = config
         self.fingerprint = study_fingerprint(config)
         self.partition = BlockPartition(config.ncells, config.server_ranks)
@@ -115,6 +150,8 @@ class Coordinator:
         )
         self.fault_kill_after = fault_kill_after
         self.supervisor = supervisor
+        self.policy = policy
+        self.pool = pool
         self._listener = socket.create_server((host, port), backlog=64)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
 
@@ -133,6 +170,13 @@ class Coordinator:
         # respawned: their outcome proves nothing for the restored rank,
         # so only the requeued copy may settle the group
         self._stale_attempts: Set[Tuple[int, int]] = set()
+        # speculation bookkeeping: re-issued group ids (for reporting),
+        # the duplicate attempts themselves, and elastic-pool state
+        self.speculated: List[int] = []
+        self.retired_workers: List[int] = []
+        self._speculative_attempts: Set[Tuple[int, int]] = set()
+        self._worker_elastic: Dict[int, bool] = {}
+        self._retired_wids: Set[int] = set()
         self._rank_generations: Dict[int, int] = {}
         self._assign_count = 0
         self._rank_addresses: Dict[int, Tuple[str, int]] = {}
@@ -189,6 +233,8 @@ class Coordinator:
                         self._finalize_ranks()
                     self._reap_stale_workers()
                     orphans = self._reap_stale_ranks()
+                    queue_depth = len(self._pending)
+                    active_workers = len(self._worker_conns)
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         raise TimeoutError(self._timeout_message(timeout))
@@ -198,6 +244,12 @@ class Coordinator:
                     # a stale rank with no connection to close: respawn it
                     # directly (kill + spawn happen outside the lock)
                     self._respawn_lost_rank(rank)
+                if self.pool is not None:
+                    # elastic ramp-up (spawning forks — no lock held); the
+                    # ramp-down half lives in _assign, where an elastic
+                    # worker asking for work against a drained queue is
+                    # told to retire instead
+                    self.pool.maybe_spawn(queue_depth, active_workers)
         finally:
             if len(self.rank_states) == self.config.server_ranks or self._errors:
                 self.close()
@@ -462,6 +514,7 @@ class Coordinator:
             self._worker_pids[wid] = hello.get("pid")
             self._worker_names[wid] = str(hello.get("worker", f"worker-{wid}"))
             self._worker_conns[wid] = conn
+            self._worker_elastic[wid] = bool(hello.get("elastic"))
             self._last_seen[wid] = time.monotonic()
         name = self._worker_names[wid]
         kill_pid = None
@@ -508,6 +561,22 @@ class Coordinator:
         finally:
             conn.close()
             self._resubmit_if_assigned(wid)
+            self._forget_worker(wid)
+
+    def _forget_worker(self, wid: int) -> None:
+        """Drop a departed worker's liveness/speed state so elastic
+        active-worker counts and the fleet EWMA describe only the living."""
+        with self._changed:
+            self._worker_conns.pop(wid, None)
+            self._last_seen.pop(wid, None)
+            elastic = self._worker_elastic.pop(wid, False)
+            retired = wid in self._retired_wids
+            self._retired_wids.discard(wid)
+            if self.policy is not None:
+                self.policy.worker_left(wid)
+            self._changed.notify_all()
+        if elastic and not retired and self.pool is not None:
+            self.pool.worker_lost()
 
     def _connection_reply(self, request: ConnectionRequest) -> AddressedReply:
         if request.ncells != self.config.ncells:
@@ -538,8 +607,26 @@ class Coordinator:
         )
 
     def _assign(self, wid: int):
-        """Next work item for a worker: a group, idle backoff, or done."""
+        """Next work item for a worker: a group, a speculative re-run of
+        a straggling group, a retire order (elastic drain), idle backoff,
+        or done."""
         with self._changed:
+            now = time.monotonic()
+            if (
+                self.pool is not None
+                and self._worker_elastic.get(wid)
+                and wid not in self._retired_wids
+                and self.pool.offer_retire(
+                    len(self._pending), len(self._worker_conns), now
+                )
+            ):
+                # elastic ramp-down: the queue is drained below the low
+                # water mark, so this extra worker leaves instead of
+                # idling (its reader thread cleans up on the bye/close)
+                self._retired_wids.add(wid)
+                self.retired_workers.append(wid)
+                self._changed.notify_all()
+                return {"op": "retire"}, None
             if self._groups_settled():
                 # workers may only leave once every rank has shipped its
                 # state: a rank dying during finalize requeues groups, and
@@ -548,11 +635,31 @@ class Coordinator:
                     return {"op": "done"}, None
                 return {"op": "idle", "delay": 0.1}, None
             if not self._pending:
+                gid = self._speculation_candidate(wid, now)
+                if gid is not None:
+                    # straggler re-execution: hand the overdue group to
+                    # this idle worker too; first group_done wins
+                    self._assigned[wid] = gid
+                    self._assign_count += 1
+                    self._speculative_attempts.add((wid, gid))
+                    self.speculated.append(gid)
+                    self.policy.record_speculation(gid)
+                    self.policy.assigned(wid, gid, now)
+                    self._changed.notify_all()
+                    return {"op": "group", "group_id": gid}, None
                 # other workers still hold groups that may yet be
                 # resubmitted; stay around
                 return {"op": "idle", "delay": 0.1}, None
+            if self.policy is not None and self.policy.should_hold_back(
+                wid, len(self._pending)
+            ):
+                # work stealing: this worker is demonstrably slow and the
+                # queue tail fits in the fast workers' hands — defer it
+                return {"op": "idle", "delay": 0.1}, None
             gid = self._pending.popleft()
             self._assigned[wid] = gid
+            if self.policy is not None:
+                self.policy.assigned(wid, gid, now)
             self._assign_count += 1
             kill_pid = None
             if (
@@ -564,21 +671,62 @@ class Coordinator:
             self._changed.notify_all()
             return {"op": "group", "group_id": gid}, kill_pid
 
+    def _speculation_candidate(self, wid: int, now: float) -> Optional[int]:
+        """Straggling group worth re-issuing to idle worker ``wid`` (lock
+        held).  Stale attempts and already-done groups are not worth a
+        second copy, so they are filtered before the policy sees them."""
+        if self.policy is None:
+            return None
+        candidates = {
+            w: g
+            for w, g in self._assigned.items()
+            if (w, g) not in self._stale_attempts and g not in self.done
+        }
+        return self.policy.speculation_candidate(wid, candidates, now)
+
     def _mark_done(self, wid: int, gid: int) -> None:
         with self._changed:
-            if self._assigned.get(wid) == gid:
+            was_mine = self._assigned.get(wid) == gid
+            if was_mine:
                 del self._assigned[wid]
+            speculative = (wid, gid) in self._speculative_attempts
+            self._speculative_attempts.discard((wid, gid))
             if (wid, gid) in self._stale_attempts:
                 # this attempt was in flight when a rank respawned: its
                 # "completion" may rest on credits the dead rank never
                 # integrated, so only the requeued copy settles the group
                 self._stale_attempts.discard((wid, gid))
+                if self.policy is not None:
+                    self.policy.discarded(wid, gid)
             elif gid not in self._pending:
                 # a respawn may have requeued this group while the worker
                 # was finishing it; the queued duplicate still runs (the
                 # respawned rank needs the re-sent data), so the group is
                 # not done yet
+                first = gid not in self.done
                 self.done.add(gid)
+                if self.policy is not None and was_mine:
+                    self.policy.completed(wid, gid, time.monotonic())
+                    if first and speculative:
+                        self.policy.record_win(gid)
+                # first completion wins: settle every other running copy
+                # of this group.  The winner's flush proves each rank
+                # credited (and pre-finalize drains) every byte, so the
+                # statistics already contain the group; the losers'
+                # residual frames are replay-discarded during the ranks'
+                # linger phase.  No forget broadcast — the losers' staged
+                # partials are orphaned (group, timestep) entries the
+                # discard path drops on its own.
+                for other, g in list(self._assigned.items()):
+                    if g == gid and (other, gid) not in self._stale_attempts:
+                        del self._assigned[other]
+                        self._speculative_attempts.discard((other, gid))
+                        if self.policy is not None:
+                            self.policy.discarded(other, gid)
+            elif self.policy is not None:
+                # requeued while finishing: the completion settles nothing
+                # (the queued copy will), so only stop the attempt's clock
+                self.policy.discarded(wid, gid)
             self._changed.notify_all()
 
     def _requeue_interrupted(self, wid: int, gid: int) -> None:
@@ -592,18 +740,29 @@ class Coordinator:
         with self._changed:
             if self._assigned.get(wid) == gid:
                 del self._assigned[wid]
+            if self.policy is not None:
+                self.policy.discarded(wid, gid)
+            self._speculative_attempts.discard((wid, gid))
             self.interrupted.append(gid)
             stale = (wid, gid) in self._stale_attempts
             self._stale_attempts.discard((wid, gid))
-            # a stale attempt needs no requeue: the respawn already
-            # queued a copy, and that copy is the one that counts
-            if not stale and gid not in self.done and gid not in self._pending:
+            live_duplicate = gid in self._assigned.values()
+            # a stale attempt needs no requeue (the respawn already queued
+            # a copy) and neither does a speculation sibling (the other
+            # copy is still running and settles the group itself)
+            if (
+                not stale
+                and not live_duplicate
+                and gid not in self.done
+                and gid not in self._pending
+            ):
                 self._pending.append(gid)
             self._changed.notify_all()
-        if stale:
-            # NO forget broadcast here: the requeued copy may already be
-            # mid-stream, and dropping its staged partials would leave a
-            # (group, timestep) forever incomplete on the surviving ranks
+        if stale or live_duplicate:
+            # NO forget broadcast here: the requeued/surviving copy may
+            # already be mid-stream, and dropping its staged partials
+            # would leave a (group, timestep) forever incomplete on the
+            # surviving ranks
             return
         for rank, conn in list(self._rank_conns.items()):
             try:
@@ -615,7 +774,18 @@ class Coordinator:
         """Sec. 4.2.2 fault path: the worker died holding a group."""
         with self._changed:
             gid = self._assigned.pop(wid, None)
+            if gid is not None:
+                if self.policy is not None:
+                    self.policy.discarded(wid, gid)
+                self._speculative_attempts.discard((wid, gid))
             if gid is None or gid in self.done:
+                self._changed.notify_all()
+                return
+            if gid in self._assigned.values():
+                # a speculation sibling still runs this group; its stream
+                # must keep landing, so no forget broadcast — and no
+                # retry charge or requeue for a death the group survives
+                self._stale_attempts.discard((wid, gid))
                 self._changed.notify_all()
                 return
             if (wid, gid) in self._stale_attempts or gid in self._pending:

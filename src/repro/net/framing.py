@@ -22,6 +22,7 @@ the coordinator protocol (work assignment, rank-state collection).
 from __future__ import annotations
 
 import pickle
+import random
 import select
 import socket
 import struct
@@ -310,19 +311,65 @@ class FrameConnection:
         self._sock.close()
 
 
+class DialTimeout(ConnectionError):
+    """:func:`connect_with_retry` exhausted its deadline dialing a peer."""
+
+
+def backoff_intervals(
+    initial: float = 0.05,
+    cap: float = 2.0,
+    factor: float = 2.0,
+    jitter: float = 0.5,
+    rng: Optional[random.Random] = None,
+):
+    """Jittered exponential backoff delays: ``initial * factor**n``
+    capped at ``cap``, each stretched by up to ``jitter`` of itself.
+
+    The jitter decorrelates retry storms: when a coordinator restarts,
+    every serve/work process that lost it re-dials — without jitter they
+    all hammer the listen backlog on the same schedule.  ``rng`` is
+    injectable so tests can pin the sequence.
+    """
+    rng = random.Random() if rng is None else rng
+    delay = initial
+    while True:
+        yield delay * (1.0 + jitter * rng.random())
+        delay = min(cap, delay * factor)
+
+
 def connect_with_retry(
-    address: Tuple[str, int], timeout: float = 10.0, interval: float = 0.1
+    address: Tuple[str, int],
+    timeout: float = 10.0,
+    interval: float = 0.05,
+    max_interval: float = 2.0,
+    rng: Optional[random.Random] = None,
 ) -> FrameConnection:
     """Dial ``address``, retrying while the endpoint is still coming up.
 
     ``repro serve`` / ``repro work`` processes may legitimately start
-    before ``repro launch`` binds its rendezvous port.
+    before ``repro launch`` binds its rendezvous port.  Retries back off
+    exponentially from ``interval`` to ``max_interval`` with decorrelating
+    jitter (see :func:`backoff_intervals`); past the overall ``timeout``
+    deadline a :class:`DialTimeout` names the address given up on and
+    chains the last connect error.
     """
     deadline = time.monotonic() + timeout
+    delays = backoff_intervals(initial=interval, cap=max_interval, rng=rng)
+    last_error: Optional[OSError] = None
     while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            host, port = address
+            raise DialTimeout(
+                f"gave up dialing {host}:{port} after {timeout:.1f}s "
+                f"(last error: {last_error})"
+            ) from last_error
         try:
-            return FrameConnection(socket.create_connection(address, timeout=timeout))
-        except OSError:
-            if time.monotonic() >= deadline:
-                raise
-            time.sleep(interval)
+            return FrameConnection(
+                socket.create_connection(address, timeout=max(remaining, 0.001))
+            )
+        except OSError as exc:
+            last_error = exc
+            pause = min(next(delays), deadline - time.monotonic())
+            if pause > 0:
+                time.sleep(pause)

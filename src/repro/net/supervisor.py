@@ -33,7 +33,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.launcher import RankRespawnPolicy, RespawnBudgetExceeded
 
-__all__ = ["RankSupervisor", "RespawnBudgetExceeded"]
+__all__ = ["PoolSupervisor", "RankSupervisor", "RespawnBudgetExceeded"]
 
 
 class RankSupervisor:
@@ -106,3 +106,80 @@ class RankSupervisor:
     @property
     def total_respawns(self) -> int:
         return self.policy.total_respawns
+
+
+class PoolSupervisor:
+    """Elastic worker-pool executor over an
+    :class:`~repro.scheduler.policy.ElasticPoolPolicy`.
+
+    The decision/execution split mirrors :class:`RankSupervisor`: the
+    policy is pure watermark bookkeeping (queue depth vs high/low water,
+    spawn budget, cooldown), this class executes its verdicts against
+    real ``repro work`` processes — the paper's Fig. 6 elastic ramp
+    driven by the live queue instead of the batch scheduler.
+
+    Parameters
+    ----------
+    spawner:
+        ``spawner(index)`` starts one extra group-worker process; called
+        with no locks held.  The loopback runtime forks
+        :func:`~repro.net.worker.run_worker` with ``elastic=True``; the
+        CLI launcher spawns a ``repro work --elastic`` subprocess.
+    policy:
+        The resize bookkeeping.
+    """
+
+    def __init__(self, spawner: Callable[[int], None], policy):
+        self.spawner = spawner
+        self.policy = policy
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def maybe_spawn(
+        self, queue_depth: int, active_workers: int, now: Optional[float] = None
+    ) -> bool:
+        """Spawn one extra worker if the policy wants one right now.
+
+        Called from the coordinator's wait loop with no coordinator lock
+        held (the spawner forks/execs).  One worker per call: the
+        cooldown paces the ramp, so a deep queue grows the pool
+        gradually instead of all at once.
+        """
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            if not self.policy.want_spawn(queue_depth, active_workers, now):
+                return False
+            self.policy.record_spawn(now)
+            index = self.policy.spawned - 1
+        self.spawner(index)
+        return True
+
+    def offer_retire(
+        self, queue_depth: int, active_workers: int, now: Optional[float] = None
+    ) -> bool:
+        """Should the elastic worker asking for work be retired instead?
+
+        Pure bookkeeping (safe under the coordinator lock): on True the
+        caller sends the worker a ``retire`` op and it exits cleanly.
+        """
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            if not self.policy.want_retire(queue_depth, active_workers, now):
+                return False
+            self.policy.record_retire(now)
+            return True
+
+    def worker_lost(self, now: Optional[float] = None) -> None:
+        """An elastic worker died without being retired: free its slot so
+        the budgeted remainder can still spawn replacements."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self.policy.extra_lost(now)
+
+    @property
+    def spawned_total(self) -> int:
+        return self.policy.spawned
+
+    @property
+    def retired_total(self) -> int:
+        return self.policy.retired

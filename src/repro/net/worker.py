@@ -12,14 +12,24 @@ handshake goes through the rendezvous (server partition + address
 table), then data channels are opened lazily — only to the ranks whose
 cell ranges the worker's messages actually intersect, the paper's N x M
 pattern — and kept open across the worker's successive groups.
+
+Fault injection: a :class:`~repro.faults.FaultPlan` (or the ``--fault``
+/ ``REPRO_WORK_FAULT`` spec of a real subprocess) can make this worker
+SIGKILL itself after N delivered messages, hang silently (zombie), or
+deliver each message ``delay`` seconds slower (straggler) — the worker
+half of the chaos suite, driving the coordinator's resubmission, reaping,
+and straggler-speculation machinery.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import time
 import traceback
 from typing import Dict, Optional, Set, Tuple
+
+from repro.faults import FaultPlan, parse_worker_fault
 
 from repro.core.config import StudyConfig
 from repro.core.group import (
@@ -47,6 +57,53 @@ from repro.transport.message import (
     split_by_partition,
 )
 
+FAULT_ENV = "REPRO_WORK_FAULT"
+
+
+class _WorkerFaultInjector:
+    """Applies one worker's share of a fault plan to the work loop."""
+
+    def __init__(self, plan: FaultPlan, worker_index: int):
+        self.crash = plan.worker_crash_for(worker_index)
+        self.zombie = plan.worker_zombie_for(worker_index)
+        self.straggler = plan.worker_straggler_for(worker_index)
+        self.delivered = 0
+
+    def on_deliver(self) -> None:
+        """One data message was just fully handed to the channels."""
+        self.delivered += 1
+        if self.straggler is not None:
+            time.sleep(self.straggler.delay)
+        self.check()
+
+    def check(self) -> None:
+        """Fire any due crash/zombie (called every loop iteration so an
+        ``after=0`` fault fires even before the first delivery)."""
+        if self.crash is not None and self.delivered >= self.crash.after_messages:
+            # the real thing: no cleanup, no goodbye — the coordinator
+            # finds out from the dropped control connection and resubmits
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.zombie is not None and self.delivered >= self.zombie.after_messages:
+            # alive but silent: no heartbeats, no frames.  Only the
+            # coordinator's worker-staleness reap can end this.
+            while True:
+                time.sleep(3600)
+
+
+def _resolve_worker_fault(fault_plan, fault_spec, worker_index: int, env_fault: bool):
+    if fault_plan is None and fault_spec is None and env_fault:
+        fault_spec = os.environ.get(FAULT_ENV) or None
+    if fault_spec is not None:
+        if fault_plan is not None:
+            raise ValueError("pass either fault_plan or fault_spec, not both")
+        fault_plan = parse_worker_fault(fault_spec, worker_index)
+    if fault_plan is None:
+        return None
+    injector = _WorkerFaultInjector(fault_plan, worker_index)
+    if injector.crash is None and injector.zombie is None and injector.straggler is None:
+        return None
+    return injector
+
 
 class SocketRouter:
     """Socket-backed client transport (implements ``TransportClient``).
@@ -60,10 +117,17 @@ class SocketRouter:
     whole message cannot re-send chunks that already landed.
     """
 
-    def __init__(self, ctrl: FrameConnection, config: StudyConfig, name: str = "worker"):
+    def __init__(
+        self,
+        ctrl: FrameConnection,
+        config: StudyConfig,
+        name: str = "worker",
+        fault: Optional[_WorkerFaultInjector] = None,
+    ):
         self._ctrl = ctrl
         self.config = config
         self.name = name
+        self._fault = fault
         self.server_partition: Optional[BlockPartition] = None
         self._reply: Optional[ConnectionReply] = None
         self._addresses: Optional[Tuple[Tuple[str, int], ...]] = None
@@ -122,6 +186,8 @@ class SocketRouter:
         if blocking:
             for rank, chunk in chunks:
                 self._channel(rank).send(chunk)
+            if self._fault is not None:
+                self._fault.on_deliver()
             return True
         if len(chunks) > 1 and not all(
             self._channel(rank).can_accept(frame_nbytes(chunk))
@@ -131,6 +197,10 @@ class SocketRouter:
         for rank, chunk in chunks:
             if not self._channel(rank).try_send(chunk):
                 return False
+        # the fault counts whole delivered messages, so it fires only
+        # after every partition chunk was handed to its channel
+        if self._fault is not None:
+            self._fault.on_deliver()
         return True
 
     # ------------------------------------------------------------------ #
@@ -195,8 +265,21 @@ def run_worker(
     poll_interval: float = 0.005,
     heartbeat_interval=None,
     design=None,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_spec: Optional[str] = None,
+    worker_index: int = 0,
+    env_fault: bool = True,
+    elastic: bool = False,
 ) -> int:
-    """Pull groups from the coordinator and run them to completion."""
+    """Pull groups from the coordinator and run them to completion.
+
+    ``fault_plan``/``fault_spec`` inject this worker's share of a chaos
+    plan (``worker_index`` selects it from a multi-worker plan);
+    ``env_fault=False`` ignores ``$REPRO_WORK_FAULT`` so elastic
+    replacements spawned next to an env-injected worker run clean.
+    ``elastic=True`` marks the worker retirable: the coordinator may send
+    it a ``retire`` op when the queue drains, and it exits like ``done``.
+    """
     if heartbeat_interval is None:
         heartbeat_interval = config.heartbeat_interval
     if design is None:
@@ -205,13 +288,15 @@ def run_worker(
             method=config.sampling_method,
         )
     name = name or f"worker-{os.getpid()}"
+    fault = _resolve_worker_fault(fault_plan, fault_spec, worker_index, env_fault)
     ctrl = connect_with_retry(tuple(coordinator_address))
-    router = SocketRouter(ctrl, config, name=name)
+    router = SocketRouter(ctrl, config, name=name, fault=fault)
     try:
         ctrl.send({
             "op": "hello",
             "worker": name,
             "pid": os.getpid(),
+            "elastic": elastic,
             "fingerprint": study_fingerprint(config),
         })
         welcome = ctrl.recv(timeout=30.0)
@@ -221,10 +306,14 @@ def run_worker(
         last_beat = time.monotonic()
         in_group = False
         while True:
+            if fault is not None:
+                fault.check()
             ctrl.send({"op": "next"})
             frame = ctrl.recv(timeout=config.group_timeout)
             op = frame.get("op") if isinstance(frame, dict) else None
-            if op == "done":
+            if op in ("done", "retire"):
+                # retire: the elastic pool is draining and this worker is
+                # surplus — leave exactly like a completed study
                 break
             if op == "idle":
                 time.sleep(float(frame.get("delay", 0.1)))

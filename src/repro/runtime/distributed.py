@@ -49,9 +49,10 @@ from repro.core.server import MelissaServer
 from repro.faults import FaultPlan
 from repro.net.coordinator import Coordinator
 from repro.net.serve import run_server_rank
-from repro.net.supervisor import RankSupervisor
+from repro.net.supervisor import PoolSupervisor, RankSupervisor
 from repro.net.worker import run_worker
 from repro.sampling.pickfreeze import draw_design
+from repro.scheduler.policy import ElasticPoolPolicy, SchedulingPolicy
 
 
 class DistributedRuntime:
@@ -79,10 +80,17 @@ class DistributedRuntime:
         Heartbeat staleness (seconds) before a silent rank is declared a
         zombie; defaults to ``config.server_timeout``.
     fault_plan:
-        Server-rank faults to inject into the forked serve processes
-        (crash/zombie/straggler specs from :mod:`repro.faults`); group
-        faults are rejected — they need the virtual-time driver.
-        Respawned replacement processes always run clean.
+        Server-rank and group-worker faults to inject into the forked
+        serve/work processes (crash/zombie/straggler specs from
+        :mod:`repro.faults`); group faults are rejected — they need the
+        virtual-time driver.  Respawned/elastic replacement processes
+        always run clean.
+
+    Scheduling: ``config.scheduling`` (a
+    :class:`~repro.scheduler.policy.SchedulingConfig` or spec string)
+    attaches the coordinator-side policy layer — speculative re-execution
+    of straggler groups, work stealing, and elastic pool resize (extra
+    workers forked on queue depth, retired when it drains).
     """
 
     def __init__(
@@ -102,9 +110,10 @@ class DistributedRuntime:
     ):
         if nworkers < 1:
             raise ValueError("nworkers must be >= 1")
-        if fault_plan is not None and not fault_plan.server_faults_only:
+        if fault_plan is not None and not fault_plan.socket_only:
             raise ValueError(
-                "the distributed runtime injects server-rank faults only; "
+                "the distributed runtime injects faults into its real "
+                "socket processes (server ranks and group workers) only; "
                 "group faults and virtual-time ServerCrash specs need the "
                 "sequential runtime"
             )
@@ -134,14 +143,18 @@ class DistributedRuntime:
         self.fault_plan = fault_plan
         self._ctx = mp.get_context("fork")
         self._proc_lock = threading.Lock()
+        self._stopping = False
         self.design = draw_design(
             config.space, config.ngroups, seed=config.seed,
             method=config.sampling_method,
         )
         self.coordinator: Optional[Coordinator] = None
         self.supervisor: Optional[RankSupervisor] = None
+        self.scheduling_policy: Optional[SchedulingPolicy] = None
+        self.pool: Optional[PoolSupervisor] = None
         self.server_procs: List = []
         self.worker_procs: List = []
+        self._elastic_spawned = 0
 
     # ------------------------------------------------------------------ #
     def run(self, timeout: float = 300.0) -> StudyResults:
@@ -164,12 +177,25 @@ class DistributedRuntime:
                 ),
             )
         self.supervisor = supervisor
+        policy = pool = None
+        scheduling = self.config.scheduling
+        if scheduling is not None and scheduling.enabled:
+            policy = SchedulingPolicy(scheduling)
+            if scheduling.elastic:
+                pool = PoolSupervisor(
+                    spawner=self._spawn_elastic_worker,
+                    policy=ElasticPoolPolicy(scheduling),
+                )
+        self.scheduling_policy = policy
+        self.pool = pool
         coordinator = Coordinator(
             self.config,
             host=self.host,
             port=self.port,
             fault_kill_after=self.fault_kill_after,
             supervisor=supervisor,
+            policy=policy,
+            pool=pool,
         ).start()
         self.coordinator = coordinator
         ctx = self._ctx
@@ -178,6 +204,11 @@ class DistributedRuntime:
             for rank in range(self.config.server_ranks)
         ]
         nworkers = min(self.nworkers, self.config.ngroups)
+        worker_faults = (
+            self.fault_plan
+            if self.fault_plan is not None and self.fault_plan.has_worker_faults
+            else None
+        )
         self.worker_procs = [
             ctx.Process(
                 target=run_worker,
@@ -187,6 +218,8 @@ class DistributedRuntime:
                     "poll_interval": self.poll_interval,
                     "heartbeat_interval": self.heartbeat_interval,
                     "design": self.design,
+                    "fault_plan": worker_faults,
+                    "worker_index": i,
                 },
                 name=f"repro-work-{i}",
                 daemon=True,
@@ -201,9 +234,18 @@ class DistributedRuntime:
                 proc.join(timeout=10.0)
         finally:
             coordinator.close()
+            # bar further spawns BEFORE the terminate sweep: a respawn or
+            # elastic fork racing shutdown would otherwise start after the
+            # snapshot and leak a process that keeps re-dialing recycled
+            # coordinator ports into whatever binds them next
+            with self._proc_lock:
+                self._stopping = True
             for proc in self._all_procs():
                 if proc.is_alive():
                     proc.terminate()
+            for proc in self._all_procs():
+                if proc.pid is not None:
+                    proc.join(timeout=5.0)
         return assemble_results(self.config, coordinator, runtime=self)
 
     # ------------------------------------------------------------------ #
@@ -224,6 +266,34 @@ class DistributedRuntime:
             daemon=True,
         )
 
+    def _spawn_elastic_worker(self, index: int) -> None:
+        """Pool-supervisor spawner: fork one extra group worker.
+
+        Elastic workers always run clean (no fault plan, no env fault) —
+        they are the remedy, not the disease — and register retirable so
+        the coordinator can drain them once the queue empties.
+        """
+        proc = self._ctx.Process(
+            target=run_worker,
+            args=(self.config, self.factory, self.coordinator.address),
+            kwargs={
+                "name": f"elastic-{index}",
+                "poll_interval": self.poll_interval,
+                "heartbeat_interval": self.heartbeat_interval,
+                "design": self.design,
+                "env_fault": False,
+                "elastic": True,
+            },
+            name=f"repro-work-elastic-{index}",
+            daemon=True,
+        )
+        with self._proc_lock:
+            if self._stopping:
+                return
+            self.worker_procs.append(proc)
+            self._elastic_spawned += 1
+            proc.start()
+
     def _respawn_rank(self, rank: int) -> None:
         """Supervisor spawner: fork a clean replacement serve process.
 
@@ -234,8 +304,10 @@ class DistributedRuntime:
         """
         proc = self._rank_process(rank, fault_plan=None, env_fault=False)
         with self._proc_lock:
+            if self._stopping:
+                return
             self.server_procs.append(proc)
-        proc.start()
+            proc.start()
 
     def _all_procs(self) -> List:
         with self._proc_lock:

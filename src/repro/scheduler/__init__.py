@@ -14,9 +14,30 @@ surface:
   submissions on Curie);
 * virtual time throughout — the driver (sequential runtime or perf model)
   ticks the clock, so tests are deterministic and fast.
+
+:mod:`repro.scheduler.policy` is the *live* counterpart: the
+coordinator-side scheduling policy layer (EWMA straggler detection,
+speculative re-execution, work stealing, elastic pool resize) that gives
+the socket deployment the elasticity the batch substrate models in
+virtual time.
 """
 
 from repro.scheduler.job import Job, JobState
 from repro.scheduler.batch import BatchScheduler, SchedulerError
+from repro.scheduler.policy import (
+    ElasticPoolPolicy,
+    SchedulingConfig,
+    SchedulingPolicy,
+    parse_scheduling,
+)
 
-__all__ = ["Job", "JobState", "BatchScheduler", "SchedulerError"]
+__all__ = [
+    "Job",
+    "JobState",
+    "BatchScheduler",
+    "SchedulerError",
+    "ElasticPoolPolicy",
+    "SchedulingConfig",
+    "SchedulingPolicy",
+    "parse_scheduling",
+]

@@ -120,10 +120,13 @@ class SensitivityStudy:
         if runtime == "sequential":
             from repro.runtime import SequentialRuntime
 
-            if fault_plan is not None and fault_plan.has_server_rank_faults:
+            if fault_plan is not None and (
+                fault_plan.has_server_rank_faults or fault_plan.has_worker_faults
+            ):
                 raise ValueError(
-                    "server-rank faults target real serve processes; run "
-                    "them with runtime='distributed'"
+                    "server-rank and group-worker faults target real "
+                    "serve/work processes; run them with "
+                    "runtime='distributed'"
                 )
             driver = SequentialRuntime(
                 self.config,
@@ -151,9 +154,10 @@ class SensitivityStudy:
         elif runtime == "distributed":
             from repro.runtime import DistributedRuntime
 
-            if fault_plan is not None and not fault_plan.server_faults_only:
+            if fault_plan is not None and not fault_plan.socket_only:
                 raise ValueError(
-                    "the distributed runtime injects server-rank faults "
+                    "the distributed runtime injects faults into its real "
+                    "socket processes (server ranks and group workers) "
                     "only; group faults and virtual-time ServerCrash specs "
                     "require the sequential runtime"
                 )
@@ -181,7 +185,9 @@ def _reject_fault_plan(runtime: str, fault_plan: Optional[FaultPlan]) -> None:
     if fault_plan is None or fault_plan.empty:
         return
     target = (
-        "distributed" if fault_plan.has_server_rank_faults else "sequential"
+        "distributed"
+        if fault_plan.has_server_rank_faults or fault_plan.has_worker_faults
+        else "sequential"
     )
     raise ValueError(
         f"the {runtime} runtime cannot inject faults; this plan needs "

@@ -29,7 +29,11 @@ from repro.faults import (
     ServerRankCrash,
     ServerRankStraggler,
     ServerRankZombie,
+    WorkerCrash,
+    WorkerStraggler,
+    WorkerZombie,
     parse_server_fault,
+    parse_worker_fault,
 )
 from repro.net.coordinator import StudyAborted
 from repro.net.supervisor import RankSupervisor
@@ -225,7 +229,7 @@ class TestFacadeAndValidation:
     def test_distributed_runtime_rejects_group_faults(self):
         fn, config = make_config(6)
         plan = FaultPlan(group_crashes=[GroupCrash(0, at_timestep=0)])
-        with pytest.raises(ValueError, match="server-rank faults only"):
+        with pytest.raises(ValueError, match="socket processes"):
             DistributedRuntime(config, vector_factory(fn), fault_plan=plan)
 
     def test_sequential_rejects_server_rank_faults(self):
@@ -471,3 +475,151 @@ def test_seeded_rng_is_deterministic():
     a = seeded_rng("faults-distributed").normal(size=4)
     b = seeded_rng("faults-distributed").normal(size=4)
     np.testing.assert_array_equal(a, b)
+
+
+# --------------------------------------------------------------------- #
+# ISSUE 7: group-worker chaos (crash / zombie / straggler) + scheduling
+# --------------------------------------------------------------------- #
+class TestWorkerFaultSpecParsing:
+    def test_crash_spec(self):
+        plan = parse_worker_fault("crash:after=5", worker=1)
+        assert plan.worker_crash_for(1) == WorkerCrash(1, after_messages=5)
+        assert plan.worker_crash_for(0) is None
+        assert plan.socket_only and plan.has_worker_faults
+        assert not plan.server_faults_only and not plan.empty
+
+    def test_zombie_default_after(self):
+        plan = parse_worker_fault("zombie")
+        assert plan.worker_zombie_for(0) == WorkerZombie(0, after_messages=0)
+
+    def test_straggler_spec(self):
+        plan = parse_worker_fault("straggler:delay=0.25", worker=2)
+        assert plan.worker_straggler_for(2) == WorkerStraggler(2, delay=0.25)
+
+    def test_malformed_specs_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_worker_fault("crash:after")
+        with pytest.raises(ValueError, match="missing 'delay'"):
+            parse_worker_fault("straggler")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_worker_fault("flakey")
+        with pytest.raises(ValueError, match="unknown fault parameter"):
+            parse_worker_fault("crash:delay=1")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkerStraggler(0, delay=0.0)
+        with pytest.raises(ValueError):
+            WorkerCrash(0, after_messages=-1)
+
+    def test_resolution_is_per_worker_index(self):
+        from repro.net.worker import _resolve_worker_fault
+
+        plan = parse_worker_fault("crash:after=5", worker=0)
+        assert _resolve_worker_fault(plan, None, 2, env_fault=True) is None
+        armed = _resolve_worker_fault(plan, None, 0, env_fault=True)
+        assert armed is not None and armed.crash is not None
+
+    def test_env_fault_is_ignored_on_clean_spawn_paths(self, monkeypatch):
+        """$REPRO_WORK_FAULT must not re-fire in elastic replacement
+        workers (env_fault=False): the remedy runs clean."""
+        from repro.net.worker import FAULT_ENV, _resolve_worker_fault
+
+        monkeypatch.setenv(FAULT_ENV, "crash:after=1")
+        armed = _resolve_worker_fault(None, None, 0, env_fault=True)
+        assert armed is not None and armed.crash is not None
+        assert _resolve_worker_fault(None, None, 0, env_fault=False) is None
+
+    def test_sequential_facade_rejects_worker_faults(self):
+        fn, config = make_config(4)
+        study = SensitivityStudy(config, vector_factory(fn))
+        plan = FaultPlan(worker_crashes=[WorkerCrash(0, after_messages=1)])
+        with pytest.raises(ValueError, match="distributed"):
+            study.run(fault_plan=plan)
+
+
+class TestWorkerCrash:
+    def test_sigkilled_worker_group_resubmitted_exactly(self):
+        """A worker SIGKILLed mid-delivery drops its control connection;
+        the coordinator resubmits the in-flight group to a survivor and
+        replay protection keeps statistics exact."""
+        fn, config = make_config(12)
+        plan = FaultPlan(worker_crashes=[WorkerCrash(0, after_messages=3)])
+        runtime, results = run_distributed(
+            config, fn, cls=SlowVectorSim, nworkers=3, fault_plan=plan,
+        )
+        assert runtime.coordinator.resubmitted  # the kill really hit
+        assert runtime.coordinator.abandoned == []
+        assert results.groups_integrated == 12
+        assert_parity(results, sequential_reference(12))
+
+
+class TestWorkerZombie:
+    def test_zombie_worker_reaped_and_group_rerun(self):
+        """A worker that goes silent (no heartbeats, no frames) is reaped
+        on worker-staleness and its group re-run elsewhere."""
+        fn, config = make_config(8, group_timeout=2.0)
+        plan = FaultPlan(worker_zombies=[WorkerZombie(1, after_messages=1)])
+        runtime, results = run_distributed(
+            config, fn, cls=VectorSim, nworkers=2, fault_plan=plan, timeout=60.0,
+        )
+        assert runtime.coordinator.resubmitted
+        assert results.groups_integrated == 8
+        assert_parity(results, sequential_reference(8))
+
+
+class TestStragglerSpeculation:
+    def test_speculation_rescues_straggler_within_2x_clean_wall(self):
+        """ISSUE 7 acceptance: 2 ranks x 3 workers with one straggler
+        worker finishes within 2x the fault-free wall when speculation is
+        on, speculative copies demonstrably fire, the duplicate is
+        discarded, and statistics stay exact (rtol 1e-10)."""
+        fn, config = make_config(12)
+        t0 = time.monotonic()
+        _, clean = run_distributed(config, fn, nworkers=3)
+        clean_wall = time.monotonic() - t0
+
+        fn, config = make_config(
+            12, scheduling="speculate:multiple=2,min_done=2"
+        )
+        plan = FaultPlan(worker_stragglers=[WorkerStraggler(0, delay=0.5)])
+        t0 = time.monotonic()
+        runtime, straggled = run_distributed(
+            config, fn, nworkers=3, fault_plan=plan, timeout=60.0,
+        )
+        straggled_wall = time.monotonic() - t0
+
+        assert runtime.coordinator.speculated, "speculation never fired"
+        assert runtime.scheduling_policy.duplicates_discarded >= 1
+        assert straggled.groups_integrated == 12
+        # +1s absorbs process startup noise on loaded CI machines
+        assert straggled_wall < 2.0 * clean_wall + 1.0, (
+            f"straggled {straggled_wall:.2f}s vs clean {clean_wall:.2f}s"
+        )
+        reference = sequential_reference(12)
+        assert_parity(clean, reference)
+        assert_parity(straggled, reference)
+
+
+class MediumVectorSim(VectorSim):
+    """Slow enough that a single worker backs the queue up past the
+    elastic high watermark, fast enough to keep the test short."""
+
+    delay = 0.04
+
+
+class TestElasticPool:
+    def test_pool_spawns_under_load_and_retires_on_drain(self):
+        """ISSUE 7 acceptance: the elastic pool demonstrably spawns AND
+        retires extra workers within one study."""
+        fn, config = make_config(
+            16, scheduling="elastic:high=3,low=2,max=2,budget=2,cooldown=0.05"
+        )
+        runtime, results = run_distributed(
+            config, fn, cls=MediumVectorSim, nworkers=1, timeout=120.0,
+        )
+        assert runtime.pool.spawned_total >= 1
+        assert runtime.pool.retired_total >= 1
+        assert runtime.coordinator.retired_workers
+        assert results.groups_integrated == 16
+        assert_parity(results, sequential_reference(16))

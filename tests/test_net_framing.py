@@ -7,6 +7,7 @@ multi-rank straddles) but push every byte through real loopback TCP:
 SocketRouter -> frames -> DataListener -> rank inbox -> ServerRank.
 """
 
+import random
 import socket
 import threading
 import time
@@ -22,7 +23,10 @@ from repro.net.framing import (
     AddressedReply,
     ConnectionLost,
     Credit,
+    DialTimeout,
     FrameConnection,
+    backoff_intervals,
+    connect_with_retry,
     frame_nbytes,
     recv_frame,
     send_frame,
@@ -425,3 +429,51 @@ class TestTransportClientConformance:
         finally:
             router.close()
             fabric.close()
+
+
+class TestBackoffAndDial:
+    """Jittered exponential backoff + named dial timeouts (ISSUE 7)."""
+
+    def test_backoff_doubles_and_caps(self):
+        gen = backoff_intervals(initial=0.05, cap=0.4, factor=2.0, jitter=0.0)
+        first_six = [next(gen) for _ in range(6)]
+        assert first_six == pytest.approx([0.05, 0.1, 0.2, 0.4, 0.4, 0.4])
+
+    def test_jitter_is_bounded_and_seeded(self):
+        def take(seed, n=8):
+            gen = backoff_intervals(
+                initial=0.05, cap=0.4, jitter=0.5, rng=random.Random(seed)
+            )
+            return [next(gen) for _ in range(n)]
+
+        a, b = take(17), take(17)
+        assert a == b  # deterministic under a seeded rng
+        bases = [0.05, 0.1, 0.2, 0.4, 0.4, 0.4, 0.4, 0.4]
+        for delay, base in zip(a, bases):
+            assert base <= delay <= base * 1.5
+        assert take(17) != take(18)  # and jitter actually varies
+
+    def test_dial_timeout_names_the_address(self):
+        # bind-then-close guarantees a port nothing is listening on
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(DialTimeout, match=rf"127\.0\.0\.1:{port}") as exc:
+            connect_with_retry(("127.0.0.1", port), timeout=0.3,
+                               interval=0.01, max_interval=0.05)
+        assert isinstance(exc.value, ConnectionError)
+        assert isinstance(exc.value.__cause__, OSError)
+
+    def test_connects_when_listener_is_up(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        try:
+            conn = connect_with_retry(listener.getsockname(), timeout=5.0)
+            accepted = FrameConnection(listener.accept()[0])
+            try:
+                conn.send({"op": "hello"})
+                assert accepted.recv(timeout=5.0) == {"op": "hello"}
+            finally:
+                conn.close()
+                accepted.close()
+        finally:
+            listener.close()
