@@ -51,6 +51,55 @@ def _stats_overrides(args: argparse.Namespace) -> dict:
     return {"statistics": specs}
 
 
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Apply ``--log-level`` / ``--log-json`` (structured logging, ISSUE 8)."""
+    from repro.telemetry.logs import configure_logging
+
+    configure_logging(
+        level=getattr(args, "log_level", "warning") or "warning",
+        json_mode=bool(getattr(args, "log_json", False)),
+    )
+
+
+def _print_observability_summary(coordinator) -> None:
+    """End-of-run summary: channel suspensions + the launcher event timeline.
+
+    Both are collected unconditionally (the ``bye``/``rank_state`` frames
+    carry final :class:`~repro.transport.channel.ChannelStats` and the
+    coordinator keeps its event list), so this needs no telemetry flags.
+    """
+    worker_stats = getattr(coordinator, "worker_channel_stats", {}) or {}
+    rank_stats = getattr(coordinator, "rank_channel_stats", {}) or {}
+    if worker_stats or rank_stats:
+        print("\nchannel suspension summary (dual-HWM back-pressure):")
+        for name in sorted(worker_stats):
+            st = worker_stats[name]
+            print(
+                f"  {name}: sent {int(st.get('bytes_sent', 0)):,} B in "
+                f"{int(st.get('messages_sent', 0))} message(s), "
+                f"{int(st.get('send_blocks', 0))} suspension(s), "
+                f"{float(st.get('blocked_seconds', 0.0)):.3f}s blocked"
+            )
+        for rank in sorted(rank_stats):
+            st = rank_stats[rank]
+            print(
+                f"  server-rank-{rank}: received "
+                f"{int(st.get('bytes_received', 0)):,} B in "
+                f"{int(st.get('messages_received', 0))} message(s), "
+                f"{int(st.get('recv_blocks', 0))} producer suspension(s), "
+                f"{float(st.get('blocked_seconds', 0.0)):.3f}s blocked"
+            )
+    events = list(getattr(coordinator, "events", None) or [])
+    if events:
+        t0 = events[0][0]
+        print(f"\nrun timeline ({len(events)} event(s)):")
+        for when, kind, detail in events:
+            line = f"  +{when - t0:8.3f}s  {kind}"
+            if detail:
+                line += f"  {detail}"
+            print(line)
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     from repro import SensitivityStudy
     from repro.sobol import IshigamiFunction
@@ -227,6 +276,7 @@ def _resolved_study(args: argparse.Namespace):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.net.serve import run_server_rank
 
+    _configure_logging(args)
     study = _resolved_study(args)
     return run_server_rank(
         args.rank,
@@ -242,6 +292,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_work(args: argparse.Namespace) -> int:
     from repro.net.worker import run_worker
 
+    _configure_logging(args)
     study = _resolved_study(args)
     return run_worker(
         study.config,
@@ -345,12 +396,16 @@ def _work_spawn_command(args: argparse.Namespace, index: int, address) -> List[s
 
 
 def _cmd_launch(args: argparse.Namespace) -> int:
+    _configure_logging(args)
     study = _resolved_study(args)
     scheduling = _scheduling_spec(args)
     if scheduling is not None:
         from repro.scheduler.policy import parse_scheduling
 
         study.config.scheduling = parse_scheduling(scheduling)
+    telemetry_on = bool(
+        args.trace or args.metrics_file or args.metrics_port is not None
+    )
     coordinator = None
     pool = None
     if args.local_workers:
@@ -361,6 +416,9 @@ def _cmd_launch(args: argparse.Namespace) -> int:
         runtime = DistributedRuntime(
             study.config, study.factory, nworkers=args.local_workers,
             host=host, port=port, checkpoint_dir=args.checkpoint_dir,
+            telemetry=telemetry_on, trace_file=args.trace,
+            metrics_file=args.metrics_file, metrics_port=args.metrics_port,
+            metrics_interval=args.metrics_interval,
         )
         if args.address_file:
             raise SystemExit("--address-file only applies without --local-workers")
@@ -392,7 +450,19 @@ def _cmd_launch(args: argparse.Namespace) -> int:
             from repro.scheduler.policy import ElasticPoolPolicy, SchedulingPolicy
 
             policy = SchedulingPolicy(sched_cfg)
-        coordinator = Coordinator(study.config, host=host, port=port, policy=policy)
+        telemetry = tracer = None
+        if telemetry_on:
+            from repro import telemetry as _telemetry
+            from repro.telemetry.aggregate import StudyTelemetry
+            from repro.telemetry.tracer import Tracer
+
+            _telemetry.enable()
+            tracer = Tracer()
+            telemetry = StudyTelemetry(_telemetry.REGISTRY, tracer)
+        coordinator = Coordinator(
+            study.config, host=host, port=port, policy=policy,
+            telemetry=telemetry, tracer=tracer,
+        )
         elastic_procs: List = []
         if policy is not None and sched_cfg.elastic:
             # elastic ramp: spawn extra `repro work --elastic` subprocesses
@@ -439,11 +509,35 @@ def _cmd_launch(args: argparse.Namespace) -> int:
             with open(tmp, "w") as fh:
                 fh.write(f"{coordinator.address[0]}:{coordinator.address[1]}\n")
             os.replace(tmp, args.address_file)
+        metrics_writer = metrics_server = None
+        if telemetry is not None:
+            from repro.telemetry.exporters import (
+                MetricsFileWriter,
+                MetricsHTTPServer,
+            )
+
+            frame_fn = lambda: telemetry.view(coordinator.study_view())  # noqa: E731
+            if args.metrics_file:
+                metrics_writer = MetricsFileWriter(
+                    args.metrics_file, frame_fn,
+                    interval=args.metrics_interval,
+                ).start()
+            if args.metrics_port is not None:
+                metrics_server = MetricsHTTPServer(
+                    frame_fn, host=host, port=args.metrics_port
+                ).start()
+                print(f"metrics endpoint: {metrics_server.url}")
         try:
             coordinator.wait(timeout=args.timeout)
         finally:
             coordinator.close()
+            if metrics_writer is not None:
+                metrics_writer.close()
+            if metrics_server is not None:
+                metrics_server.close()
         results = assemble_results(study.config, coordinator)
+        if tracer is not None and args.trace:
+            tracer.write(args.trace)
         if coordinator.rank_respawns:
             print(f"respawned server rank(s): {coordinator.rank_respawns}")
         for proc in elastic_procs:
@@ -461,7 +555,15 @@ def _cmd_launch(args: argparse.Namespace) -> int:
             f"elastic workers spawned: {pool.spawned_total}, "
             f"retired: {pool.retired_total}"
         )
+    if coordinator is not None:
+        _print_observability_summary(coordinator)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.telemetry.top import run_top
+
+    return run_top(args.source, interval=args.interval, once=args.once)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -562,6 +664,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list registered statistics (default action)")
     p.set_defaults(func=_cmd_stats)
 
+    def add_log_args(sp):
+        sp.add_argument(
+            "--log-level", default="warning",
+            choices=("debug", "info", "warning", "error"),
+            help="structured-log verbosity for this process (default: warning)",
+        )
+        sp.add_argument(
+            "--log-json", action="store_true",
+            help="emit structured logs as one JSON object per line",
+        )
+
     def add_study_args(sp):
         sp.add_argument(
             "--study", default="quickstart",
@@ -595,6 +708,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject a fault into this rank: crash[:after=N] | "
                         "zombie[:after=N] | straggler:delay=S (also via "
                         "$REPRO_SERVE_FAULT)")
+    add_log_args(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("work", help="one group worker (distributed deployment)")
@@ -609,6 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mark this worker retirable: the coordinator may "
                         "drain it once the queue empties (used by the "
                         "elastic pool's spawned workers)")
+    add_log_args(p)
     p.set_defaults(func=_cmd_work)
 
     p = sub.add_parser(
@@ -651,7 +766,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "queue depth exceeds the high-water mark, retire "
                         "them below the low-water mark (optional params, "
                         "e.g. 'high=6,low=1,max=4,budget=8')")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a Chrome trace-event JSON timeline of the "
+                        "study here (open in Perfetto / chrome://tracing)")
+    p.add_argument("--metrics-file", default=None, metavar="FILE",
+                   help="append live dashboard frames (JSONL) here; "
+                        "`repro top FILE` tails it")
+    p.add_argument("--metrics-interval", type=float, default=1.0,
+                   help="seconds between --metrics-file frames (default 1.0)")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="serve /metrics (Prometheus text) and /metrics.json "
+                        "on this port (0 = ephemeral, printed at startup)")
+    add_log_args(p)
     p.set_defaults(func=_cmd_launch)
+
+    p = sub.add_parser(
+        "top", help="live study dashboard from a metrics endpoint or file"
+    )
+    p.add_argument("source",
+                   help="HOST:PORT or http://... of a --metrics-port "
+                        "endpoint, or the path of a --metrics-file JSONL")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh period in seconds (default 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (no screen control)")
+    p.set_defaults(func=_cmd_top)
 
     return parser
 

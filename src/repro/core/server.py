@@ -31,6 +31,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.core.config import StudyConfig
 from repro.mesh.partition import BlockPartition
 from repro.sobol.martinez import UbiquitousSobolField
@@ -97,6 +98,37 @@ class ServerRank:
         self.messages_processed = 0
         self.messages_discarded = 0
         self.groups_seen: Set[int] = set()
+        # telemetry (ISSUE 8): label-bound handles are resolved once here;
+        # every hot-path touch is guarded by the registry's enabled flag
+        # so a telemetry-off study pays one branch per message
+        reg = _telemetry.REGISTRY
+        self._telemetry = reg
+        rank_label = str(rank)
+        self._m_messages = reg.counter(
+            "repro_rank_messages_received",
+            "data-plane messages handled per server rank",
+        ).labels(rank=rank_label)
+        self._m_bytes = reg.counter(
+            "repro_rank_bytes_received",
+            "field payload bytes handled per server rank",
+        ).labels(rank=rank_label)
+        self._m_discarded = reg.counter(
+            "repro_rank_messages_discarded",
+            "replay-discarded messages per server rank",
+        ).labels(rank=rank_label)
+        self._m_fold = reg.histogram(
+            "repro_rank_fold_seconds",
+            "seconds folding one complete (group, timestep) buffer into "
+            "the co-moment engine",
+        ).labels(rank=rank_label)
+        stat_fold = reg.histogram(
+            "repro_stat_fold_seconds",
+            "per-statistic fold seconds (catalog rows, per rank)",
+        )
+        self._m_stat_folds = [
+            stat_fold.labels(rank=rank_label, statistic=spec)
+            for spec in self.stats.specs
+        ]
 
     # ------------------------------------------------------------------ #
     # message handling
@@ -139,6 +171,8 @@ class ServerRank:
             group_id, -1
         ):
             self.messages_discarded += 1
+            if self._telemetry.enabled:
+                self._m_discarded.inc()
             return False
         key = (group_id, timestep)
         staging = self._staging.get(key)
@@ -153,6 +187,9 @@ class ServerRank:
             staging.data[member, lo:hi] = data[row]
             staging.received[member, lo:hi] = True
         self.messages_processed += 1
+        if self._telemetry.enabled:
+            self._m_messages.inc()
+            self._m_bytes.inc(data.nbytes)
         if staging.complete:
             self._integrate(group_id, timestep, staging)
             del self._staging[key]
@@ -163,9 +200,18 @@ class ServerRank:
         # the staging buffer is already the (p+2, ncells) member stack the
         # batched engine consumes; hand it over by reference (it is about
         # to be discarded) instead of re-slicing it into per-member views
-        self.sobol.update_group_buffer(timestep, staging.data)
-        if self.stats:
-            self.stats.update(timestep, staging.data)
+        if self._telemetry.enabled:
+            t0 = _time.perf_counter()
+            self.sobol.update_group_buffer(timestep, staging.data)
+            self._m_fold.observe(_time.perf_counter() - t0)
+            if self.stats:
+                self.stats.update_timed(
+                    timestep, staging.data, self._m_stat_folds
+                )
+        else:
+            self.sobol.update_group_buffer(timestep, staging.data)
+            if self.stats:
+                self.stats.update(timestep, staging.data)
         prev = self.last_integrated.get(group_id, -1)
         if timestep > prev:
             self.last_integrated[group_id] = timestep

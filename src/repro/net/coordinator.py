@@ -50,6 +50,7 @@ it; field data goes worker -> rank over the direct data channels.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import signal
 import threading
@@ -58,6 +59,7 @@ import socket
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import telemetry as _telemetry
 from repro.core.config import StudyConfig
 from repro.core.diagnostics import unfinished_study_message
 from repro.net.framing import (
@@ -66,11 +68,19 @@ from repro.net.framing import (
     FrameConnection,
 )
 from repro.mesh.partition import BlockPartition
+from repro.telemetry.logs import get_logger, ids
 from repro.transport.message import ConnectionReply, ConnectionRequest, Heartbeat
 
 
 class StudyAborted(RuntimeError):
     """A participant failed in a way the study cannot recover from."""
+
+
+def study_id(config: StudyConfig) -> str:
+    """Short stable id naming this study in logs and dashboards."""
+    return hashlib.sha1(
+        repr(sorted(study_fingerprint(config).items())).encode()
+    ).hexdigest()[:12]
 
 
 def study_fingerprint(config: StudyConfig) -> dict:
@@ -135,6 +145,8 @@ class Coordinator:
         supervisor=None,
         policy=None,
         pool=None,
+        telemetry=None,
+        tracer=None,
     ):
         if policy is not None and policy.config.speculate and not config.discard_on_replay:
             raise ValueError(
@@ -152,6 +164,58 @@ class Coordinator:
         self.supervisor = supervisor
         self.policy = policy
         self.pool = pool
+        # observability (ISSUE 8): `telemetry` is an optional
+        # StudyTelemetry aggregating the metric deltas that ranks and
+        # workers piggyback on heartbeats (its presence is advertised in
+        # the registration acks — capability negotiation, so old peers
+        # keep sending plain heartbeats); `tracer` records the group
+        # lifecycle + fault/elastic instants for --trace.  The event
+        # timeline and final channel-stats frames are collected
+        # unconditionally — they are bounded and feed the launch
+        # end-of-run summary even with telemetry off.
+        self.telemetry = telemetry
+        self.tracer = tracer
+        self.study_id = study_id(config)
+        self.events: List[Tuple[float, str, str]] = []
+        self.worker_channel_stats: Dict[str, dict] = {}
+        self.rank_channel_stats: Dict[int, dict] = {}
+        self._attempt_started: Dict[Tuple[int, int], float] = {}
+        self._rank_last_beat: Dict[int, float] = {}
+        self._log = get_logger("coordinator", study=self.study_id)
+        reg = _telemetry.REGISTRY
+        self._m_queue_depth = reg.gauge(
+            "repro_queue_depth", "groups waiting for a worker")
+        self._m_in_flight = reg.gauge(
+            "repro_in_flight", "group attempts currently assigned")
+        self._m_workers_active = reg.gauge(
+            "repro_workers_active", "connected group workers")
+        self._m_staleness = reg.gauge(
+            "repro_heartbeat_staleness_seconds",
+            "seconds since each peer's last heartbeat")
+        self._m_groups_done = reg.counter(
+            "repro_groups_done", "groups settled (first completion wins)")
+        self._m_resubmits = reg.counter(
+            "repro_group_resubmits", "groups requeued after a worker death")
+        self._m_interrupted = reg.counter(
+            "repro_groups_interrupted",
+            "group attempts aborted by a server-rank death")
+        self._m_spec_fired = reg.counter(
+            "repro_speculations_fired", "speculative duplicate attempts issued")
+        self._m_spec_won = reg.counter(
+            "repro_speculations_won",
+            "groups settled first by their speculative copy")
+        self._m_holdbacks = reg.counter(
+            "repro_steal_holdbacks",
+            "assignments withheld from slow workers (work stealing)")
+        self._m_rank_respawns = reg.counter(
+            "repro_rank_respawns", "server-rank respawns (launcher protocol)")
+        self._m_requeued_respawn = reg.counter(
+            "repro_requeued_after_respawn",
+            "groups requeued because a respawned rank's state missed them")
+        self._m_elastic_spawned = reg.gauge(
+            "repro_elastic_spawned", "elastic workers forked so far")
+        self._m_elastic_retired = reg.gauge(
+            "repro_elastic_retired", "elastic workers retired so far")
         self._listener = socket.create_server((host, port), backlog=64)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
 
@@ -206,8 +270,85 @@ class Coordinator:
             now = time.monotonic()
             for rank in range(self.config.server_ranks):
                 self.supervisor.beat(rank, now)
+        self._event(
+            "study_started",
+            f"{self.config.ngroups} groups drawn, "
+            f"{self.config.server_ranks} server ranks",
+        )
         self._accept_thread.start()
         return self
+
+    # ------------------------------------------------------------------ #
+    # observability plumbing
+    # ------------------------------------------------------------------ #
+    def _event(self, kind: str, detail: str = "") -> None:
+        """Study event: timeline entry + optional tracer instant.
+
+        The timeline is always recorded (bounded by study events, and the
+        launch end-of-run summary prints it); the tracer instant only
+        exists under ``--trace``.
+        """
+        now = time.time()
+        self.events.append((now, kind, detail))
+        if self.tracer is not None:
+            self.tracer.instant(
+                kind, "event", t=now, tid="coordinator",
+                args={"detail": detail} if detail else None,
+            )
+        self._log.info("%s %s", kind, detail, extra=ids(event=kind))
+
+    def _start_attempt(self, wid: int, gid: int) -> None:
+        self._attempt_started[(wid, gid)] = time.time()
+
+    def _finish_attempt(self, wid: int, gid: int, outcome: str) -> None:
+        t0 = self._attempt_started.pop((wid, gid), None)
+        if t0 is None or self.tracer is None:
+            return
+        self.tracer.complete(
+            f"group {gid}", "assigned", t0, time.time(),
+            tid=self._worker_names.get(wid, f"worker {wid}"),
+            args={"group": gid, "outcome": outcome},
+        )
+
+    def _refresh_gauges(self) -> None:
+        """Update point-in-time gauges (wait loop, lock held)."""
+        if not _telemetry.REGISTRY.enabled:
+            return
+        self._m_queue_depth.set(len(self._pending))
+        self._m_in_flight.set(len(self._assigned))
+        self._m_workers_active.set(len(self._worker_conns))
+        now = time.monotonic()
+        for wid, last in self._last_seen.items():
+            name = self._worker_names.get(wid, f"worker {wid}")
+            self._m_staleness.set(now - last, peer=name)
+        for rank, last in self._rank_last_beat.items():
+            self._m_staleness.set(now - last, peer=f"server-rank-{rank}")
+        if self.pool is not None:
+            self._m_elastic_spawned.set(self.pool.spawned_total)
+            self._m_elastic_retired.set(self.pool.retired_total)
+
+    def study_view(self) -> dict:
+        """Live study facts for dashboard frames (``repro top``)."""
+        with self._lock:
+            view = {
+                "fingerprint": self.study_id,
+                "ngroups": self.config.ngroups,
+                "groups_done": len(self.done),
+                "queue_depth": len(self._pending),
+                "in_flight": len(self._assigned),
+                "workers_active": len(self._worker_conns),
+                "speculated": len(self.speculated),
+                "resubmitted": len(self.resubmitted),
+                "interrupted": len(self.interrupted),
+                "rank_respawns": len(self.rank_respawns),
+                "abandoned": len(self.abandoned),
+            }
+            if self.policy is not None:
+                view["ewma"] = {
+                    self._worker_names.get(w, str(w)): round(s, 4)
+                    for w, s in self.policy.ewma.items()
+                }
+        return view
 
     # ------------------------------------------------------------------ #
     # lifecycle / main wait loop
@@ -233,6 +374,7 @@ class Coordinator:
                         self._finalize_ranks()
                     self._reap_stale_workers()
                     orphans = self._reap_stale_ranks()
+                    self._refresh_gauges()
                     queue_depth = len(self._pending)
                     active_workers = len(self._worker_conns)
                     remaining = deadline - time.monotonic()
@@ -252,7 +394,26 @@ class Coordinator:
                     self.pool.maybe_spawn(queue_depth, active_workers)
         finally:
             if len(self.rank_states) == self.config.server_ranks or self._errors:
+                if not self._errors:
+                    self._drain_worker_goodbyes()
                 self.close()
+
+    def _drain_worker_goodbyes(self, grace: float = 0.35) -> None:
+        """Give connected workers a moment to ask ``next``, hear ``done``,
+        and say ``bye`` before :meth:`close` cuts them off.
+
+        The ``bye`` frame carries each worker's final send-side
+        :class:`~repro.transport.channel.ChannelStats` (and, under
+        telemetry, its last metric delta rides the preceding heartbeat),
+        so closing eagerly would lose the end-of-run accounting.  Bounded:
+        a worker that never comes back (killed, zombie, mid-straggle)
+        cannot stall shutdown past ``grace`` seconds — idle workers poll
+        every 0.1s, so the healthy case drains in one round trip.
+        """
+        deadline = time.monotonic() + grace
+        with self._changed:
+            while self._worker_conns and time.monotonic() < deadline:
+                self._changed.wait(timeout=0.05)
 
     def _timeout_message(self, timeout: float) -> str:
         return unfinished_study_message(
@@ -269,6 +430,7 @@ class Coordinator:
 
     def _finalize_ranks(self) -> None:
         self._finalized = True
+        self._event("finalize", "every group settled; collecting rank states")
         for rank, conn in list(self._rank_conns.items()):
             try:
                 conn.send({"op": "finalize"})
@@ -387,18 +549,29 @@ class Coordinator:
                 self.supervisor.beat(rank, time.monotonic())
             self._changed.notify_all()
         try:
-            conn.send({"op": "registered"})
+            conn.send({
+                "op": "registered",
+                # capability negotiation: senders only attach telemetry
+                # payloads (v2 heartbeat frames) when we can ingest them
+                "telemetry": self.telemetry is not None,
+            })
             while True:
                 frame = conn.recv()
                 if isinstance(frame, Heartbeat):
                     if self.supervisor is not None:
                         self.supervisor.beat(rank, time.monotonic())
+                    self._rank_last_beat[rank] = time.monotonic()
+                    if frame.metrics is not None and self.telemetry is not None:
+                        self.telemetry.ingest(frame.sender, frame.metrics)
                     continue
                 if isinstance(frame, dict) and frame.get("op") == "rank_state":
                     with self._changed:
                         self.rank_states[rank] = frame["state"]
                         self.rank_maps[rank] = frame["maps"]
                         self.rank_widths[rank] = frame["width"]
+                        if frame.get("channel_stats") is not None:
+                            self.rank_channel_stats[rank] = frame["channel_stats"]
+                        self._event("rank_state", f"rank {rank} reported")
                         if self.supervisor is not None:
                             # the rank now lingers (silent by design) to
                             # absorb respawn-requeued replays; stop
@@ -435,8 +608,14 @@ class Coordinator:
         generation = self._rank_generations.get(rank, -1) + 1
         self._rank_generations[rank] = generation
         if generation == 0:
+            self._event("rank_registered", f"rank {rank} (pid {hello.get('pid')})")
             return
         self.rank_respawns.append(rank)
+        self._m_rank_respawns.inc(rank=str(rank))
+        self._event(
+            "rank_respawned",
+            f"rank {rank} generation {generation} (pid {hello.get('pid')})",
+        )
         restored = set(hello.get("finished", ()))
         at_risk = self.done | set(self._assigned.values())
         requeue = sorted(g for g in at_risk if g not in restored)
@@ -451,6 +630,12 @@ class Coordinator:
             if gid in requeue:
                 self._stale_attempts.add((wid, gid))
         self.requeued_after_respawn.extend(requeue)
+        if requeue:
+            self._m_requeued_respawn.inc(len(requeue))
+            self._event(
+                "requeued_after_respawn",
+                f"rank {rank} restore missed groups {requeue}",
+            )
         # whether or not anything was requeued, the replacement has never
         # seen a finalize — arm the wait loop to send it again (lingering
         # ranks ignore the repeat)
@@ -517,13 +702,19 @@ class Coordinator:
             self._worker_elastic[wid] = bool(hello.get("elastic"))
             self._last_seen[wid] = time.monotonic()
         name = self._worker_names[wid]
+        self._event("worker_joined", name + (" (elastic)" if hello.get("elastic") else ""))
         kill_pid = None
         try:
-            conn.send({"op": "welcome", "worker_id": wid})
+            conn.send({
+                "op": "welcome", "worker_id": wid,
+                "telemetry": self.telemetry is not None,
+            })
             while True:
                 frame = conn.recv()
                 self._last_seen[wid] = time.monotonic()
                 if isinstance(frame, Heartbeat):
+                    if frame.metrics is not None and self.telemetry is not None:
+                        self.telemetry.ingest(frame.sender, frame.metrics)
                     continue
                 if isinstance(frame, ConnectionRequest):
                     conn.send(self._connection_reply(frame))
@@ -549,6 +740,8 @@ class Coordinator:
                         self._changed.notify_all()
                     return
                 elif op == "bye":
+                    if frame.get("channel_stats") is not None:
+                        self.worker_channel_stats[name] = frame["channel_stats"]
                     return
                 else:
                     raise StudyAborted(f"unknown op from {name}: {op!r}")
@@ -567,8 +760,13 @@ class Coordinator:
         """Drop a departed worker's liveness/speed state so elastic
         active-worker counts and the fleet EWMA describe only the living."""
         with self._changed:
+            departed = wid in self._worker_conns
             self._worker_conns.pop(wid, None)
             self._last_seen.pop(wid, None)
+            if departed and not self._closed:
+                self._event(
+                    "worker_left", str(self._worker_names.get(wid, wid))
+                )
             elastic = self._worker_elastic.pop(wid, False)
             retired = wid in self._retired_wids
             self._retired_wids.discard(wid)
@@ -625,6 +823,10 @@ class Coordinator:
                 # idling (its reader thread cleans up on the bye/close)
                 self._retired_wids.add(wid)
                 self.retired_workers.append(wid)
+                self._event(
+                    "worker_retired",
+                    f"{self._worker_names.get(wid, wid)} (queue drained)",
+                )
                 self._changed.notify_all()
                 return {"op": "retire"}, None
             if self._groups_settled():
@@ -645,6 +847,13 @@ class Coordinator:
                     self.speculated.append(gid)
                     self.policy.record_speculation(gid)
                     self.policy.assigned(wid, gid, now)
+                    self._m_spec_fired.inc()
+                    self._start_attempt(wid, gid)
+                    self._event(
+                        "speculation",
+                        f"group {gid} re-issued to "
+                        f"{self._worker_names.get(wid, wid)}",
+                    )
                     self._changed.notify_all()
                     return {"op": "group", "group_id": gid}, None
                 # other workers still hold groups that may yet be
@@ -655,11 +864,13 @@ class Coordinator:
             ):
                 # work stealing: this worker is demonstrably slow and the
                 # queue tail fits in the fast workers' hands — defer it
+                self._m_holdbacks.inc()
                 return {"op": "idle", "delay": 0.1}, None
             gid = self._pending.popleft()
             self._assigned[wid] = gid
             if self.policy is not None:
                 self.policy.assigned(wid, gid, now)
+            self._start_attempt(wid, gid)
             self._assign_count += 1
             kill_pid = None
             if (
@@ -696,6 +907,7 @@ class Coordinator:
                 # "completion" may rest on credits the dead rank never
                 # integrated, so only the requeued copy settles the group
                 self._stale_attempts.discard((wid, gid))
+                self._finish_attempt(wid, gid, "stale")
                 if self.policy is not None:
                     self.policy.discarded(wid, gid)
             elif gid not in self._pending:
@@ -705,6 +917,13 @@ class Coordinator:
                 # not done yet
                 first = gid not in self.done
                 self.done.add(gid)
+                if first:
+                    self._m_groups_done.inc()
+                if first and speculative:
+                    self._m_spec_won.inc()
+                self._finish_attempt(
+                    wid, gid, "speculation-won" if speculative else "done"
+                )
                 if self.policy is not None and was_mine:
                     self.policy.completed(wid, gid, time.monotonic())
                     if first and speculative:
@@ -721,12 +940,15 @@ class Coordinator:
                     if g == gid and (other, gid) not in self._stale_attempts:
                         del self._assigned[other]
                         self._speculative_attempts.discard((other, gid))
+                        self._finish_attempt(other, gid, "settled-by-duplicate")
                         if self.policy is not None:
                             self.policy.discarded(other, gid)
-            elif self.policy is not None:
+            else:
                 # requeued while finishing: the completion settles nothing
                 # (the queued copy will), so only stop the attempt's clock
-                self.policy.discarded(wid, gid)
+                self._finish_attempt(wid, gid, "superseded-by-requeue")
+                if self.policy is not None:
+                    self.policy.discarded(wid, gid)
             self._changed.notify_all()
 
     def _requeue_interrupted(self, wid: int, gid: int) -> None:
@@ -744,6 +966,13 @@ class Coordinator:
                 self.policy.discarded(wid, gid)
             self._speculative_attempts.discard((wid, gid))
             self.interrupted.append(gid)
+            self._m_interrupted.inc()
+            self._finish_attempt(wid, gid, "interrupted")
+            self._event(
+                "group_interrupted",
+                f"group {gid} aborted on "
+                f"{self._worker_names.get(wid, wid)} (rank died under it)",
+            )
             stale = (wid, gid) in self._stale_attempts
             self._stale_attempts.discard((wid, gid))
             live_duplicate = gid in self._assigned.values()
@@ -775,6 +1004,7 @@ class Coordinator:
         with self._changed:
             gid = self._assigned.pop(wid, None)
             if gid is not None:
+                self._finish_attempt(wid, gid, "worker-lost")
                 if self.policy is not None:
                     self.policy.discarded(wid, gid)
                 self._speculative_attempts.discard((wid, gid))
@@ -796,11 +1026,20 @@ class Coordinator:
                 self._changed.notify_all()
                 return
             self._retries[gid] = self._retries.get(gid, 0) + 1
+            name = self._worker_names.get(wid, wid)
             if self._retries[gid] > self.config.max_group_retries:
                 self.abandoned.append(gid)
+                self._event(
+                    "group_abandoned",
+                    f"group {gid} out of retries after {name} died",
+                )
             else:
                 self.resubmitted.append(gid)
                 self._pending.append(gid)
+                self._m_resubmits.inc()
+                self._event(
+                    "group_resubmitted", f"group {gid} requeued ({name} died)"
+                )
             self._changed.notify_all()
         # tell the ranks to drop the dead instance's staged partials;
         # integrated timesteps stay and replay protection discards their

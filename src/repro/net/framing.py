@@ -49,6 +49,7 @@ TAG_GROUP_FIELD = b"G"
 TAG_CONN_REQUEST = b"Q"
 TAG_CONN_REPLY = b"R"
 TAG_HEARTBEAT = b"H"
+TAG_HEARTBEAT_V2 = b"h"
 TAG_CREDIT = b"C"
 TAG_CONTROL = b"P"
 
@@ -57,6 +58,11 @@ _GROUP_HEADER = struct.Struct("<qqqqq")  # group, step, lo, hi, nmembers
 _CONN_REQUEST = struct.Struct("<qqq")  # group, ncells, nranks_client
 _CREDIT = struct.Struct("<q")  # granted bytes (-1 = unlimited initial window)
 _HEARTBEAT = struct.Struct("<d")  # time, then utf-8 sender
+# v2 (telemetry piggyback): time, sender length, then sender + pickled
+# payload.  Only sent after the peer advertises support (see Heartbeat
+# docstring) — a metrics-free Heartbeat still encodes as the v1 layout,
+# so old decoders never meet this tag.
+_HEARTBEAT_V2 = struct.Struct("<dH")
 
 
 class ConnectionLost(ConnectionError):
@@ -119,8 +125,14 @@ def encode_frame(msg: Any) -> List[Any]:
             body += struct.pack("<Hq", len(encoded), int(port)) + encoded
         return [_PREFIX.pack(1 + len(body)) + TAG_CONN_REPLY + body]
     if isinstance(msg, Heartbeat):
-        body = _HEARTBEAT.pack(msg.time) + msg.sender.encode("utf-8")
-        return [_PREFIX.pack(1 + len(body)) + TAG_HEARTBEAT + body]
+        sender = msg.sender.encode("utf-8")
+        if msg.metrics is None:
+            # legacy layout, byte-for-byte: old peers keep decoding it
+            body = _HEARTBEAT.pack(msg.time) + sender
+            return [_PREFIX.pack(1 + len(body)) + TAG_HEARTBEAT + body]
+        payload = pickle.dumps(msg.metrics, protocol=pickle.HIGHEST_PROTOCOL)
+        body = _HEARTBEAT_V2.pack(msg.time, len(sender)) + sender + payload
+        return [_PREFIX.pack(1 + len(body)) + TAG_HEARTBEAT_V2 + body]
     if isinstance(msg, Credit):
         body = _CREDIT.pack(msg.nbytes)
         return [_PREFIX.pack(1 + len(body)) + TAG_CREDIT + body]
@@ -233,6 +245,12 @@ def recv_frame(sock: socket.socket) -> Any:
     if tag == TAG_HEARTBEAT:
         (t,) = _HEARTBEAT.unpack_from(body)
         return Heartbeat(sender=body[_HEARTBEAT.size :].decode("utf-8"), time=t)
+    if tag == TAG_HEARTBEAT_V2:
+        t, sender_len = _HEARTBEAT_V2.unpack_from(body)
+        pos = _HEARTBEAT_V2.size
+        sender = body[pos : pos + sender_len].decode("utf-8")
+        metrics = pickle.loads(body[pos + sender_len :])
+        return Heartbeat(sender=sender, time=t, metrics=metrics)
     if tag == TAG_CREDIT:
         (nbytes,) = _CREDIT.unpack(body)
         return Credit(nbytes)
@@ -353,6 +371,11 @@ def connect_with_retry(
     deadline a :class:`DialTimeout` names the address given up on and
     chains the last connect error.
     """
+    from repro import telemetry
+
+    retries = telemetry.REGISTRY.counter(
+        "repro_dial_retries", "connect attempts that had to be retried"
+    )
     deadline = time.monotonic() + timeout
     delays = backoff_intervals(initial=interval, cap=max_interval, rng=rng)
     last_error: Optional[OSError] = None
@@ -370,6 +393,7 @@ def connect_with_retry(
             )
         except OSError as exc:
             last_error = exc
+            retries.inc()
             pause = min(next(delays), deadline - time.monotonic())
             if pause > 0:
                 time.sleep(pause)

@@ -37,14 +37,18 @@ import signal
 import time
 import traceback
 
+from repro import telemetry as _telemetry
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import StudyConfig
 from repro.core.server import ServerRank
 from repro.faults import FaultPlan, parse_server_fault
 from repro.mesh.partition import BlockPartition
 from repro.net.channel import DataListener
-from repro.net.coordinator import study_fingerprint
+from repro.net.coordinator import study_fingerprint, study_id
 from repro.net.framing import ConnectionLost, connect_with_retry
+from repro.telemetry.logs import get_logger
+from repro.telemetry.registry import delta as _metrics_delta
+from repro.telemetry.tracer import span_record
 from repro.transport.channel import BoundedChannel, ChannelClosed
 from repro.transport.message import Heartbeat
 
@@ -118,14 +122,22 @@ def run_server_rank(
     """
     if heartbeat_interval is None:
         heartbeat_interval = config.heartbeat_interval
+    log = get_logger("serve", rank=rank_idx, study=study_id(config))
     fault = _resolve_fault_plan(fault_plan, fault_spec, rank_idx, env_fault)
     partition = BlockPartition(config.ncells, config.server_ranks)
     rank = ServerRank(rank_idx, config, partition)
     manager = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
-    if manager is not None and manager.restore_rank(rank, config):
-        # restarted rank: integrated statistics survive; replay
-        # protection absorbs whatever reconnecting workers re-send
-        pass
+    restore_seconds = None
+    if manager is not None:
+        t0 = time.perf_counter()
+        if manager.restore_rank(rank, config):
+            # restarted rank: integrated statistics survive; replay
+            # protection absorbs whatever reconnecting workers re-send
+            restore_seconds = time.perf_counter() - t0
+            log.info(
+                "restored checkpoint in %.3fs (%d finished groups)",
+                restore_seconds, len(rank.finished_groups),
+            )
     inbox = BoundedChannel(
         capacity_bytes=config.channel_capacity_bytes,
         name=f"server-rank-{rank_idx}",
@@ -152,6 +164,48 @@ def run_server_rank(
         ack = ctrl.recv(timeout=30.0)
         if not (isinstance(ack, dict) and ack.get("op") == "registered"):
             raise RuntimeError(f"rendezvous rejected rank {rank_idx}: {ack!r}")
+        log.info("registered with coordinator", extra={"repro_ids": {"pid": os.getpid()}})
+
+        # capability negotiation (ISSUE 8): only a telemetry-aware
+        # coordinator acks with telemetry=True, and only then do we turn
+        # the registry on and piggyback metric deltas on heartbeats — an
+        # old coordinator keeps receiving plain v1 heartbeat frames
+        telemetry_on = bool(ack.get("telemetry"))
+        reg = _telemetry.REGISTRY
+        if telemetry_on:
+            _telemetry.enable()
+            # loopback ranks are forked from the runtime process and
+            # inherit its registry contents (coordinator counters, and on
+            # respawn a mid-study snapshot); shipping those back would
+            # double-count, so this process starts from a clean slate
+            reg.reset()
+        rank_label = str(rank_idx)
+        g_recv_blocks = reg.gauge(
+            "repro_rank_recv_blocks",
+            "data-producer suspensions on this rank's inbox (dual-HWM "
+            "flow control)",
+        )
+        g_recv_blocked = reg.gauge(
+            "repro_rank_recv_blocked_seconds",
+            "seconds data producers spent suspended on this rank's inbox",
+        )
+        g_ci_width = reg.gauge(
+            "repro_rank_max_ci_width",
+            "live convergence scalar: widest Sobol confidence interval "
+            "on this rank's partition",
+        )
+        h_checkpoint = reg.histogram(
+            "repro_rank_checkpoint_seconds",
+            "checkpoint save/restore seconds per rank",
+        )
+        if telemetry_on and restore_seconds is not None:
+            h_checkpoint.observe(restore_seconds, rank=rank_label, op="restore")
+        spans: list = []
+        last_snapshot = None
+        # the convergence scalar is a full CI-width reduction — cheap at
+        # 1/s but not per-message, so it gets its own throttle
+        ci_interval = max(heartbeat_interval * 2.0, 1.0)
+        last_ci = -ci_interval
 
         last_beat = time.monotonic()
         last_checkpoint = time.monotonic()
@@ -161,10 +215,31 @@ def run_server_rank(
             # a straggler's per-message delay) must never starve the
             # heartbeat, or the supervisor would kill a busy-but-live
             # rank as a zombie
-            nonlocal last_beat
+            nonlocal last_beat, last_snapshot, last_ci
             now = time.monotonic()
             if now - last_beat >= heartbeat_interval:
-                ctrl.send(Heartbeat(sender=sender, time=time.time()))
+                payload = None
+                if telemetry_on:
+                    stats = inbox.stats
+                    g_recv_blocks.set(stats.send_blocks, rank=rank_label)
+                    g_recv_blocked.set(
+                        stats.blocked_seconds, rank=rank_label
+                    )
+                    if now - last_ci >= ci_interval:
+                        g_ci_width.set(
+                            float(rank.sobol.max_interval_width()),
+                            rank=rank_label,
+                        )
+                        last_ci = now
+                    snapshot = reg.snapshot()
+                    changes = _metrics_delta(last_snapshot, snapshot)
+                    last_snapshot = snapshot
+                    if changes or spans:
+                        payload = {"metrics": changes, "spans": spans[:]}
+                        spans.clear()
+                ctrl.send(
+                    Heartbeat(sender=sender, time=time.time(), metrics=payload)
+                )
                 last_beat = now
 
         finalize = False
@@ -194,7 +269,12 @@ def run_server_rank(
                     continue
                 op = frame.get("op")
                 if op == "forget":
-                    rank.forget_group(int(frame["group_id"]))
+                    gid = int(frame["group_id"])
+                    rank.forget_group(gid)
+                    log.info(
+                        "forgot staged partials",
+                        extra={"repro_ids": {"group": gid}},
+                    )
                 elif op == "finalize":
                     finalize = True
                 elif op == "error":
@@ -203,7 +283,16 @@ def run_server_rank(
                 manager is not None
                 and now - last_checkpoint >= config.checkpoint_interval
             ):
+                t0 = time.perf_counter()
                 manager.save_rank(rank, config)
+                saved = time.perf_counter() - t0
+                if telemetry_on:
+                    h_checkpoint.observe(saved, rank=rank_label, op="save")
+                    spans.append(span_record(
+                        "checkpoint save", "rank",
+                        time.time() - saved, time.time(), tid=sender,
+                    ))
+                log.debug("checkpoint saved in %.3fs", saved)
                 last_checkpoint = now
 
         # all workers flushed before the coordinator finalized, so every
@@ -220,15 +309,39 @@ def run_server_rank(
         maps = rank.index_maps()
         width = float(rank.sobol.max_interval_width())
         if manager is not None:
+            t0 = time.perf_counter()
             manager.save_rank(rank, config)
+            if telemetry_on:
+                h_checkpoint.observe(
+                    time.perf_counter() - t0, rank=rank_label, op="save"
+                )
+        # final flush so the coordinator's study view includes this
+        # rank's complete accounting even if no further beat would fire
+        last_beat = -1e18
+        maybe_beat()
+        inbox_stats = inbox.stats
         ctrl.send({
             "op": "rank_state",
             "rank": rank_idx,
             "state": rank.checkpoint_state(),
             "maps": maps,
             "width": width,
+            # receive-side ChannelStats: the end-of-run summary surfaces
+            # suspension counts/bytes without needing telemetry enabled
+            "channel_stats": {
+                "messages_received": inbox_stats.messages_received,
+                "bytes_received": inbox_stats.bytes_received,
+                "recv_blocks": inbox_stats.send_blocks,
+                "blocked_seconds": inbox_stats.blocked_seconds,
+                "high_water_bytes": inbox_stats.high_water_bytes,
+            },
         })
+        log.info(
+            "rank state shipped (%d messages, %d discarded, width %.4g)",
+            rank.messages_processed, rank.messages_discarded, width,
+        )
         _linger(rank, inbox, ctrl)
+        log.info("coordinator hung up; exiting")
         return 0
     except BaseException:
         try:

@@ -29,6 +29,7 @@ import time
 import traceback
 from typing import Dict, Optional, Set, Tuple
 
+from repro import telemetry as _telemetry
 from repro.faults import FaultPlan, parse_worker_fault
 
 from repro.core.config import StudyConfig
@@ -41,7 +42,7 @@ from repro.core.group import (
 from repro.mesh.partition import BlockPartition
 from repro.net.channel import SocketChannel
 from repro.transport.channel import ChannelClosed
-from repro.net.coordinator import study_fingerprint
+from repro.net.coordinator import study_fingerprint, study_id
 from repro.net.framing import (
     AddressedReply,
     ConnectionLost,
@@ -50,6 +51,9 @@ from repro.net.framing import (
     frame_nbytes,
 )
 from repro.sampling.pickfreeze import draw_design
+from repro.telemetry.logs import get_logger
+from repro.telemetry.registry import delta as _metrics_delta
+from repro.telemetry.tracer import span_record
 from repro.transport.message import (
     ConnectionReply,
     ConnectionRequest,
@@ -288,6 +292,7 @@ def run_worker(
             method=config.sampling_method,
         )
     name = name or f"worker-{os.getpid()}"
+    log = get_logger("work", worker=name, study=study_id(config))
     fault = _resolve_worker_fault(fault_plan, fault_spec, worker_index, env_fault)
     ctrl = connect_with_retry(tuple(coordinator_address))
     router = SocketRouter(ctrl, config, name=name, fault=fault)
@@ -302,8 +307,56 @@ def run_worker(
         welcome = ctrl.recv(timeout=30.0)
         if not (isinstance(welcome, dict) and welcome.get("op") == "welcome"):
             raise RuntimeError(f"coordinator rejected worker {name}: {welcome!r}")
+        log.info("joined study", extra={"repro_ids": {"pid": os.getpid()}})
+
+        # capability negotiation (ISSUE 8): same protocol as serve.py —
+        # metric deltas piggyback on heartbeats only when the coordinator
+        # advertised telemetry support, so old coordinators see v1 frames
+        telemetry_on = bool(welcome.get("telemetry"))
+        reg = _telemetry.REGISTRY
+        if telemetry_on:
+            _telemetry.enable()
+            # forked loopback workers inherit the runtime registry; reset
+            # so heartbeat deltas carry only this worker's own series
+            reg.reset()
+        h_group = reg.histogram(
+            "repro_worker_group_seconds",
+            "wall seconds per simulation group on this worker",
+        )
+        g_bytes_sent = reg.gauge(
+            "repro_worker_bytes_sent",
+            "field-data bytes this worker has pushed to server ranks",
+        )
+        g_blocked = reg.gauge(
+            "repro_worker_blocked_seconds",
+            "seconds this worker spent suspended on full data channels",
+        )
+        g_blocks = reg.gauge(
+            "repro_worker_send_blocks",
+            "channel suspensions (dual-HWM back-pressure) on this worker",
+        )
+        spans: list = []
+        last_snapshot = None
 
         last_beat = time.monotonic()
+
+        def beat() -> None:
+            nonlocal last_beat, last_snapshot
+            payload = None
+            if telemetry_on:
+                stats = router.total_stats()
+                g_bytes_sent.set(stats["bytes_sent"], worker=name)
+                g_blocked.set(stats["blocked_seconds"], worker=name)
+                g_blocks.set(stats["send_blocks"], worker=name)
+                snapshot = reg.snapshot()
+                changes = _metrics_delta(last_snapshot, snapshot)
+                last_snapshot = snapshot
+                if changes or spans:
+                    payload = {"metrics": changes, "spans": spans[:]}
+                    spans.clear()
+            ctrl.send(Heartbeat(sender=name, time=time.time(), metrics=payload))
+            last_beat = time.monotonic()
+
         in_group = False
         while True:
             if fault is not None:
@@ -329,6 +382,7 @@ def run_worker(
                 # rendezvous up front instead of burning the first
                 # delivery on a dead channel
                 router.reset()
+            group_started = time.time()
             try:
                 executor = GroupExecutor(
                     SimulationGroup.from_design(design, group_id),
@@ -342,10 +396,8 @@ def run_worker(
                     if state == GroupState.BLOCKED:
                         # ZeroMQ-style suspension: both buffers full, wait
                         time.sleep(poll_interval)
-                    now = time.monotonic()
-                    if now - last_beat >= heartbeat_interval:
-                        ctrl.send(Heartbeat(sender=name, time=time.time()))
-                        last_beat = now
+                    if time.monotonic() - last_beat >= heartbeat_interval:
+                        beat()
                 # GROUP_DONE is a delivery guarantee: only claim it once
                 # every sent byte has been credited back by the receiving
                 # ranks.  Flush in heartbeat-sized slices: a long
@@ -360,8 +412,7 @@ def run_worker(
                     except TimeoutError:
                         if time.monotonic() >= flush_deadline:
                             raise
-                        ctrl.send(Heartbeat(sender=name, time=time.time()))
-                        last_beat = time.monotonic()
+                        beat()
             except ChannelClosed:
                 # a server rank died under this group (Sec. 4.2.3).  Drop
                 # the whole attempt, tell the coordinator (it requeues the
@@ -369,16 +420,37 @@ def run_worker(
                 # rendezvous so the next connect picks up the respawned
                 # rank's fresh address — blocking until it exists.
                 router.reset()
+                log.warning(
+                    "group interrupted by a dead rank channel",
+                    extra={"repro_ids": {"group": group_id}},
+                )
                 ctrl.send({"op": "group_interrupted", "group_id": group_id})
                 in_group = False
                 last_beat = time.monotonic()
                 continue
+            group_seconds = time.time() - group_started
+            if telemetry_on:
+                h_group.observe(group_seconds, worker=name)
+                spans.append(span_record(
+                    f"simulate group {group_id}", "worker",
+                    group_started, time.time(), tid=name,
+                    args={"group": group_id},
+                ))
+            log.info(
+                "group done in %.3fs", group_seconds,
+                extra={"repro_ids": {"group": group_id}},
+            )
             ctrl.send({"op": "group_done", "group_id": group_id})
             in_group = False
         try:
-            ctrl.send({"op": "bye"})
+            # final metric flush, then the goodbye carries this worker's
+            # aggregate send-side ChannelStats for the end-of-run summary
+            if telemetry_on:
+                beat()
+            ctrl.send({"op": "bye", "channel_stats": router.total_stats()})
         except (ConnectionLost, OSError):
             pass  # coordinator already gone: nothing left to say
+        log.info("leaving study")
         return 0
     except (ConnectionLost, OSError):
         # the coordinator went away.  Between groups (idle backoff, next

@@ -53,6 +53,10 @@ from repro.net.supervisor import PoolSupervisor, RankSupervisor
 from repro.net.worker import run_worker
 from repro.sampling.pickfreeze import draw_design
 from repro.scheduler.policy import ElasticPoolPolicy, SchedulingPolicy
+from repro import telemetry as _telemetry
+from repro.telemetry.aggregate import StudyTelemetry
+from repro.telemetry.exporters import MetricsFileWriter, MetricsHTTPServer
+from repro.telemetry.tracer import Tracer
 
 
 class DistributedRuntime:
@@ -107,6 +111,11 @@ class DistributedRuntime:
         supervise: bool = True,
         rank_timeout: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
+        telemetry: bool = False,
+        trace_file=None,
+        metrics_file=None,
+        metrics_port: Optional[int] = None,
+        metrics_interval: float = 1.0,
     ):
         if nworkers < 1:
             raise ValueError("nworkers must be >= 1")
@@ -141,6 +150,17 @@ class DistributedRuntime:
             config.server_timeout if rank_timeout is None else rank_timeout
         )
         self.fault_plan = fault_plan
+        # any telemetry surface implies the telemetry layer itself
+        self.telemetry_enabled = bool(
+            telemetry or trace_file or metrics_file or metrics_port is not None
+        )
+        self.trace_file = trace_file
+        self.metrics_file = metrics_file
+        self.metrics_port = metrics_port
+        self.metrics_interval = metrics_interval
+        self.telemetry: Optional[StudyTelemetry] = None
+        self.tracer: Optional[Tracer] = None
+        self.metrics_server: Optional[MetricsHTTPServer] = None
         self._ctx = mp.get_context("fork")
         self._proc_lock = threading.Lock()
         self._stopping = False
@@ -188,6 +208,15 @@ class DistributedRuntime:
                 )
         self.scheduling_policy = policy
         self.pool = pool
+        telemetry = tracer = None
+        if self.telemetry_enabled:
+            # enable before forking so rank/worker children inherit a live
+            # registry for pre-negotiation instruments (dial retries)
+            _telemetry.enable()
+            tracer = Tracer()
+            telemetry = StudyTelemetry(_telemetry.REGISTRY, tracer)
+        self.telemetry = telemetry
+        self.tracer = tracer
         coordinator = Coordinator(
             self.config,
             host=self.host,
@@ -196,8 +225,21 @@ class DistributedRuntime:
             supervisor=supervisor,
             policy=policy,
             pool=pool,
+            telemetry=telemetry,
+            tracer=tracer,
         ).start()
         self.coordinator = coordinator
+        metrics_writer = None
+        if telemetry is not None:
+            frame_fn = lambda: telemetry.view(coordinator.study_view())  # noqa: E731
+            if self.metrics_file:
+                metrics_writer = MetricsFileWriter(
+                    self.metrics_file, frame_fn, interval=self.metrics_interval
+                ).start()
+            if self.metrics_port is not None:
+                self.metrics_server = MetricsHTTPServer(
+                    frame_fn, host=self.host, port=self.metrics_port
+                ).start()
         ctx = self._ctx
         self.server_procs = [
             self._rank_process(rank, fault_plan=self.fault_plan)
@@ -246,6 +288,19 @@ class DistributedRuntime:
             for proc in self._all_procs():
                 if proc.pid is not None:
                     proc.join(timeout=5.0)
+            if metrics_writer is not None:
+                metrics_writer.close()
+            if self.metrics_server is not None:
+                self.metrics_server.close()
+                self.metrics_server = None
+        if tracer is not None:
+            with tracer.span("assemble results", "coordinator",
+                             tid="coordinator"):
+                results = assemble_results(self.config, coordinator,
+                                           runtime=self)
+            if self.trace_file:
+                tracer.write(self.trace_file)
+            return results
         return assemble_results(self.config, coordinator, runtime=self)
 
     # ------------------------------------------------------------------ #

@@ -32,10 +32,12 @@ on (Sec. 3.1).
 
 from __future__ import annotations
 
+import time as _time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.kernels import make_kernel
 from repro.sobol.confidence import (
     first_order_confidence_interval,
@@ -436,6 +438,20 @@ class UbiquitousSobolField:
     # the fold: batch contraction + exact pairwise merge
     # ------------------------------------------------------------------ #
     def _fold(self, t: int) -> None:
+        if _telemetry.REGISTRY.enabled:
+            # per-backend fold timing: folds are batched (one per
+            # batch_size groups), so labelling by the live kernel name
+            # here is off the per-message hot path
+            t0 = _time.perf_counter()
+            self._fold_impl(t)
+            _telemetry.REGISTRY.histogram(
+                "repro_kernel_fold_seconds",
+                "co-moment batch fold seconds per kernel backend",
+            ).observe(_time.perf_counter() - t0, backend=self.kernel_name)
+        else:
+            self._fold_impl(t)
+
+    def _fold_impl(self, t: int) -> None:
         slabs = self._staged[t]
         nb = len(slabs)
         if nb == 0:

@@ -10,6 +10,7 @@ checkpoint, and assembly layers never name a concrete statistic.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -74,6 +75,22 @@ class StatisticsPipeline:
         """Fold one complete group buffer into every statistic at ``timestep``."""
         for row in self._rows:
             row[timestep].update_group(group_buffer)
+
+    def update_timed(
+        self, timestep: int, group_buffer: np.ndarray, observers
+    ) -> None:
+        """:meth:`update` with per-spec duration observation.
+
+        ``observers`` aligns with :attr:`specs`; each element needs an
+        ``observe(seconds)`` method (telemetry histogram children).  The
+        telemetry-off path keeps using :meth:`update` so the timer cost
+        exists only when someone is watching.
+        """
+        perf = time.perf_counter
+        for row, observer in zip(self._rows, observers):
+            t0 = perf()
+            row[timestep].update_group(group_buffer)
+            observer.observe(perf() - t0)
 
     def merge(self, other: "StatisticsPipeline") -> None:
         """Absorb a disjoint pipeline (cross-rank / cross-shard reduction)."""

@@ -1,0 +1,113 @@
+"""Structured logging for the distributed processes.
+
+Every serve / work / launch process logs through here with its identity
+bound once (study fingerprint prefix, rank or worker name); per-event
+ids (group, pid) ride on individual calls.  Two formats:
+
+* text (default): ``HH:MM:SS.mmm LEVEL logger | key=value ... msg`` —
+  compact and greppable per entity (``grep 'rank=0' serve.log``);
+* JSON (``--log-json``): one object per line with ``ts``, ``level``,
+  ``logger``, ``msg`` and every bound/per-call id as a top-level key —
+  machine-parseable for multi-process log aggregation.
+
+Uses stdlib :mod:`logging` only.  Library modules obtain loggers with
+:func:`get_logger` and attach ids via ``extra=ids(...)``;
+:func:`configure_logging` is called once per process from the CLI
+(``--log-level`` / ``--log-json``) or test harness.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger", "ids"]
+
+_ID_FIELDS = ("study", "rank", "worker", "group", "pid", "peer", "event")
+_CONFIGURED = False
+
+
+def ids(**kv) -> dict:
+    """``extra=`` dict carrying entity ids on one log record."""
+    return {"repro_ids": {k: v for k, v in kv.items() if v is not None}}
+
+
+class _TextFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        t = time.localtime(record.created)
+        stamp = time.strftime("%H:%M:%S", t) + f".{int(record.msecs):03d}"
+        bound = getattr(record, "repro_ids", None) or {}
+        pairs = " ".join(f"{k}={bound[k]}" for k in sorted(bound))
+        prefix = f"{stamp} {record.levelname:<7} {record.name}"
+        msg = record.getMessage()
+        if record.exc_info:
+            msg += " | " + self.formatException(record.exc_info).splitlines()[-1]
+        return f"{prefix} | {pairs + ' | ' if pairs else ''}{msg}"
+
+
+class _JSONFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        out = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        bound = getattr(record, "repro_ids", None) or {}
+        for key, value in bound.items():
+            out.setdefault(key, value)
+        if record.exc_info:
+            out["exc"] = self.formatException(record.exc_info)
+        return json.dumps(out, default=str)
+
+
+class _BoundAdapter(logging.LoggerAdapter):
+    """Adapter merging bound ids with per-call ``extra=ids(...)``."""
+
+    def process(self, msg, kwargs):
+        bound = dict(self.extra.get("repro_ids", {}))
+        call = kwargs.get("extra") or {}
+        bound.update(call.get("repro_ids", {}))
+        kwargs["extra"] = {"repro_ids": bound}
+        return msg, kwargs
+
+
+def configure_logging(
+    level: str = "warning",
+    json_mode: bool = False,
+    stream=None,
+) -> None:
+    """Install the repro handler/formatter on the ``repro`` logger tree.
+
+    Idempotent per process: reconfiguring replaces the handler (so tests
+    and respawned processes can switch format/level freely).  Only the
+    ``repro`` namespace is touched — user application logging is left
+    alone.
+    """
+    global _CONFIGURED
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(_JSONFormatter() if json_mode else _TextFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, str(level).upper(), logging.WARNING))
+    logger.propagate = False
+    _CONFIGURED = True
+
+
+def get_logger(name: str, **bound_ids) -> logging.LoggerAdapter:
+    """Logger under the ``repro`` namespace with ids bound once.
+
+    ``get_logger("serve", rank=0, study="ab12cd")`` stamps every record
+    with ``rank=0 study=ab12cd``.  Safe before :func:`configure_logging`
+    — records then flow to the root logger's last-resort handler at
+    WARNING+, matching previous (print-free) behaviour.
+    """
+    base = logging.getLogger(
+        name if name.startswith("repro") else f"repro.{name}"
+    )
+    return _BoundAdapter(base, ids(**bound_ids))

@@ -219,7 +219,18 @@ class ConnectionReply:
 
 @dataclass(frozen=True)
 class Heartbeat:
-    """Liveness beacon (server -> launcher and group -> server)."""
+    """Liveness beacon (server -> launcher and group -> server).
+
+    ``metrics`` optionally piggybacks a compact telemetry payload
+    (snapshot delta + trace spans, see :mod:`repro.telemetry`) on the
+    beacon.  Version tolerance lives in the framing layer: a heartbeat
+    with ``metrics=None`` encodes byte-identically to the historical
+    format, and senders only attach metrics after the coordinator
+    advertises support in its registration ack — so old and new peers
+    interoperate in both directions (asserted by the mixed-version
+    framing tests).
+    """
 
     sender: str
     time: float
+    metrics: Optional[dict] = None
