@@ -270,6 +270,9 @@ def _resolved_study(args: argparse.Namespace):
     interval = getattr(args, "checkpoint_interval", None)
     if interval is not None:
         study.config.checkpoint_interval = interval
+    transport = getattr(args, "transport", None)
+    if transport is not None:
+        study.config.transport = transport
     return study
 
 
@@ -362,6 +365,8 @@ def _serve_respawn_command(args: argparse.Namespace, rank: int, address) -> List
         cmd += ["--stats", spec]
     if args.checkpoint_interval is not None:
         cmd += ["--checkpoint-interval", str(args.checkpoint_interval)]
+    if getattr(args, "transport", None):
+        cmd += ["--transport", args.transport]
     if args.checkpoint_dir:
         cmd += ["--checkpoint-dir", args.checkpoint_dir]
     return cmd
@@ -392,6 +397,8 @@ def _work_spawn_command(args: argparse.Namespace, index: int, address) -> List[s
         cmd += ["--kernel", args.kernel]
     for spec in getattr(args, "stats", None) or []:
         cmd += ["--stats", spec]
+    if getattr(args, "transport", None):
+        cmd += ["--transport", args.transport]
     return cmd
 
 
@@ -690,6 +697,13 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--checkpoint-interval", type=float, default=None,
                         help="seconds between rank checkpoints (default: "
                              "the study config's 600s)")
+        sp.add_argument("--transport", choices=("auto", "tcp", "shm"),
+                        default=None,
+                        help="data-plane fabric: auto negotiates a "
+                             "shared-memory ring per channel when worker "
+                             "and rank share a host, falling back to TCP; "
+                             "tcp/shm pin the fabric (per-process knob, "
+                             "not fingerprinted)")
         add_kernel_arg(sp)
         add_stats_arg(sp)
 

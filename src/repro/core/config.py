@@ -58,6 +58,14 @@ class StudyConfig:
     # --- transport -------------------------------------------------------
     channel_capacity_bytes: Optional[int] = None  # None = unbounded buffers
     two_stage_transfer: bool = True
+    #: data-plane fabric for the distributed runtime: "auto" negotiates a
+    #: shared-memory ring per channel when worker and rank share a host
+    #: (proved by actually attaching the segment) and falls back to TCP
+    #: framing otherwise; "tcp"/"shm" pin the fabric.  A per-process
+    #: deployment knob like ``scheduling`` — each side may be launched
+    #: with its own setting and negotiation reconciles them — so it is
+    #: deliberately NOT part of the study fingerprint.
+    transport: str = "auto"
 
     # --- batch resources (virtual nodes, for the scheduler) --------------
     nodes_per_group: int = 4
@@ -113,6 +121,11 @@ class StudyConfig:
             raise ValueError("max_group_retries must be >= 0")
         if self.max_rank_respawns < 0:
             raise ValueError("max_rank_respawns must be >= 0")
+        if self.transport not in ("auto", "tcp", "shm"):
+            raise ValueError(
+                f"transport must be 'auto', 'tcp', or 'shm' — got "
+                f"{self.transport!r}"
+            )
         from repro.kernels import resolve_spec
 
         resolve_spec(self.kernel)  # fail fast on unknown backend names

@@ -1,4 +1,4 @@
-"""Socket data channels with the paper's dual high-water-mark semantics.
+"""Data channels with the paper's dual high-water-mark semantics.
 
 ZeroMQ buffers on both sides of a connection and only blocks the sending
 application when *both* buffers are full (Sec. 4.1.3).  Over a real
@@ -18,28 +18,51 @@ socket we reproduce that with credit-based flow control:
   ``try_send`` starts returning False — the group suspends, exactly the
   Fig. 6a/b mechanism, now spanning hosts.
 
-A :class:`SocketChannel` satisfies the
+Same-host channels can skip the wire entirely: :func:`open_data_channel`
+negotiates the fabric per channel at connect time.  The receiver offers
+a shared-memory ring (:mod:`repro.net.shm`); if the client can attach
+the segment — the attach *is* the same-host test, no hostname heuristics
+— data flows through the ring and the socket stays on as liveness probe
+and doorbell.  Otherwise (cross-host, or ``transport="tcp"`` on either
+side) the channel falls back to the TCP framing above.  Either way a
+:class:`SocketChannel`/:class:`~repro.net.shm.ShmChannel` satisfies the
 :class:`~repro.transport.base.Channel` send surface; the receive side
 lives in the owning rank's inbox (ZeroMQ PULL fan-in: every connected
 client pushes into the one queue of the rank that owns the cells).
+
+The listener is a single ``selectors`` event loop, not a
+thread-per-connection fan — one rank services hundreds of worker
+channels with one thread, and disconnected peers are pruned from the
+connection table (they used to accumulate forever across elastic
+spawn/retire cycles).
 """
 
 from __future__ import annotations
 
+import selectors
 import socket
 import threading
 import time
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.net.framing import (
     ConnectionLost,
     Credit,
-    FrameConnection,
+    Doorbell,
+    FrameReader,
+    ProtocolError,
     frame_nbytes,
     recv_frame,
     send_frame,
 )
+from repro.net.shm import ShmChannel, ShmRing, read_ring_frame, ring_bytes_for
 from repro.transport.channel import BoundedChannel, ChannelClosed, ChannelStats
+
+_UNSET = object()
+
+
+class TransportNegotiationError(RuntimeError):
+    """``transport="shm"`` was forced but the peer cannot provide it."""
 
 
 class SocketChannel:
@@ -48,25 +71,44 @@ class SocketChannel:
     Parameters
     ----------
     address:
-        The server rank's data listener address.
+        The server rank's data listener address (ignored when ``sock``
+        is given).
     send_hwm_bytes:
         Sender-side buffer budget (``None`` = unbounded) — the client
         half of the dual high-water mark.
     connect_timeout:
         Dial timeout in seconds.
+    sock:
+        Optional already-connected socket (the fabric-negotiation path
+        dials and reads the initial credit itself).
+    initial_window:
+        The receiver window when the initial credit frame was already
+        consumed during negotiation; leave unset to read it off the
+        socket.
     """
 
     def __init__(
         self,
-        address: Tuple[str, int],
+        address: Optional[Tuple[str, int]] = None,
         send_hwm_bytes: Optional[int] = None,
         name: str = "",
         connect_timeout: float = 10.0,
+        sock: Optional[socket.socket] = None,
+        initial_window: Any = _UNSET,
     ):
-        self.name = name or f"tcp://{address[0]}:{address[1]}"
-        self._sock = socket.create_connection(address, timeout=connect_timeout)
-        self._sock.settimeout(None)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if sock is None:
+            if address is None:
+                raise ValueError("SocketChannel needs an address or a socket")
+            self.name = name or f"tcp://{address[0]}:{address[1]}"
+            sock = socket.create_connection(address, timeout=connect_timeout)
+        else:
+            self.name = name or "tcp://<negotiated>"
+        sock.settimeout(None)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self._sock = sock
         self._outbox = BoundedChannel(
             capacity_bytes=send_hwm_bytes, sizer=frame_nbytes, name=self.name
         )
@@ -83,6 +125,9 @@ class SocketChannel:
         # not yet recorded it in _unacked.
         self._uncredited = 0
         self._error: Optional[BaseException] = None
+        if initial_window is not _UNSET:
+            self._window_limit = initial_window
+            self._window_ready.set()
         self._reader = threading.Thread(
             target=self._read_credits, name=f"{self.name}-reader", daemon=True
         )
@@ -203,6 +248,11 @@ class SocketChannel:
                             return
                         self._window_changed.wait(timeout=0.1)
                     self._unacked += nbytes
+                # the wire write happens OUTSIDE the window lock: a send
+                # stalled on a full TCP buffer must not block try_send /
+                # can_accept / the credit reader on the lock — that would
+                # break the non-blocking contract the suspension
+                # semantics (and the reconnect path) depend on
                 send_frame(self._sock, msg)
         except ChannelClosed:
             pass  # local close with the outbox drained
@@ -217,14 +267,115 @@ class SocketChannel:
             self._window_changed.notify_all()
 
 
-class DataListener:
-    """Server-rank data endpoint: TCP fan-in into one bounded inbox.
+# --------------------------------------------------------------------- #
+# fabric negotiation (client side)
+# --------------------------------------------------------------------- #
+def open_data_channel(
+    address: Tuple[str, int],
+    transport: str = "auto",
+    send_hwm_bytes: Optional[int] = None,
+    name: str = "",
+    connect_timeout: float = 10.0,
+    max_frame_hint: int = 0,
+):
+    """Dial a rank's data listener and negotiate the channel fabric.
 
-    Every accepted connection gets a reader thread that grants the
-    initial credit window, then moves frames into ``inbox`` —
-    *blocking* when the inbox is full, which is precisely what makes the
-    sender-side window exhaust and the remote simulation suspend.
-    Credits are granted only after a frame has entered the inbox.
+    ``auto`` asks the listener for a shared-memory ring and proves
+    same-hostness by actually attaching the offered segment; any failure
+    (cross-host, listener pinned to ``tcp``, segment gone) falls back to
+    the TCP framing.  ``shm`` makes fallback a hard
+    :class:`TransportNegotiationError`; ``tcp`` skips the offer.
+
+    Returns a :class:`SocketChannel` or :class:`~repro.net.shm.ShmChannel`
+    — both satisfy the :class:`~repro.transport.base.Channel` protocol.
+    """
+    if transport not in ("auto", "tcp", "shm"):
+        raise ValueError(f"unknown transport {transport!r}")
+    sock = socket.create_connection(address, timeout=connect_timeout)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(connect_timeout)
+        try:
+            first = recv_frame(sock)
+        except (TimeoutError, ConnectionLost) as exc:
+            raise TimeoutError(
+                f"{name or address}: no initial credit from receiver"
+            ) from exc
+        if not isinstance(first, Credit):
+            raise ProtocolError(
+                f"expected the initial credit frame, got {first!r}"
+            )
+        window = None if first.nbytes < 0 else int(first.nbytes)
+        if transport in ("auto", "shm"):
+            send_frame(sock, {
+                "op": "shm_request",
+                "ring_bytes": ring_bytes_for(send_hwm_bytes, max_frame_hint),
+            })
+            offer = recv_frame(sock)
+            ring = None
+            if isinstance(offer, dict) and offer.get("op") == "shm_offer":
+                try:
+                    ring = ShmRing.attach(offer["name"])
+                except (OSError, ValueError):
+                    ring = None  # cross-host (or the segment vanished)
+                send_frame(
+                    sock, {"op": "shm_ack" if ring is not None else "shm_nack"}
+                )
+            if ring is not None:
+                sock.settimeout(None)
+                return ShmChannel(
+                    sock, ring, send_hwm_bytes=send_hwm_bytes, name=name
+                )
+            if transport == "shm":
+                raise TransportNegotiationError(
+                    f"{name or address}: transport pinned to shm but the "
+                    f"listener offered none (cross-host peer, or it is "
+                    f"pinned to tcp)"
+                )
+        sock.settimeout(None)
+        return SocketChannel(
+            send_hwm_bytes=send_hwm_bytes,
+            name=name,
+            sock=sock,
+            initial_window=window,
+        )
+    except BaseException:
+        sock.close()
+        raise
+
+
+class _DataConn:
+    """Per-connection event-loop state inside :class:`DataListener`."""
+
+    __slots__ = ("sock", "peer", "reader", "ring", "pending_ring")
+
+    def __init__(self, sock: socket.socket, peer: str):
+        self.sock = sock
+        self.peer = peer
+        self.reader = FrameReader()
+        self.ring: Optional[ShmRing] = None  # accepted shm fabric
+        self.pending_ring: Optional[ShmRing] = None  # offered, not acked
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+
+class DataListener:
+    """Server-rank data endpoint: fan-in into one bounded inbox.
+
+    One ``selectors`` event loop accepts connections, grants the initial
+    credit window, and moves frames into ``inbox`` — *blocking* (in
+    short, shutdown-aware slices) when the inbox is full, which is
+    precisely what makes the sender-side window exhaust and the remote
+    simulation suspend.  Credits are granted only after a frame has
+    entered the inbox.
+
+    With ``transport`` "auto"/"shm" the loop also answers shm requests:
+    it creates a ring segment per requesting connection, drains accepted
+    rings into the same inbox (advancing each ring's head only after the
+    inbox took the frame), and wakes on doorbell frames so idle rings
+    cost nothing.  Dead connections are unregistered, their sockets
+    closed, and their segments unlinked.
     """
 
     def __init__(
@@ -234,73 +385,279 @@ class DataListener:
         port: int = 0,
         recv_hwm_bytes: Optional[int] = None,
         on_disconnect: Optional[Callable[[str], None]] = None,
+        transport: str = "auto",
     ):
+        if transport not in ("auto", "tcp", "shm"):
+            raise ValueError(f"unknown transport {transport!r}")
         self.inbox = inbox
         self.recv_hwm_bytes = recv_hwm_bytes
+        self.transport = transport
         self._on_disconnect = on_disconnect
         self._listener = socket.create_server((host, port), backlog=64)
+        self._listener.setblocking(False)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
         self._closed = False
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._sel = selectors.DefaultSelector()
+        self._sel.register(self._listener, selectors.EVENT_READ, "listener")
+        self._sel.register(self._waker_r, selectors.EVENT_READ, "waker")
         self._conn_lock = threading.Lock()
-        self._conns: list = []
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"data-accept-{self.address[1]}", daemon=True
+        self._conns: Dict[int, _DataConn] = {}  # fd -> conn (loop-owned)
+        self._thread = threading.Thread(
+            target=self._loop, name=f"data-loop-{self.address[1]}", daemon=True
         )
-        self._accept_thread.start()
+        self._thread.start()
+
+    @property
+    def open_connections(self) -> int:
+        """Live accepted connections (regression hook: must not grow
+        across connect/disconnect cycles — disconnects prune)."""
+        with self._conn_lock:
+            return len(self._conns)
 
     # ------------------------------------------------------------------ #
-    def _accept_loop(self) -> None:
-        while not self._closed:
-            try:
-                conn, peer = self._listener.accept()
-            except OSError:
-                return  # listener closed
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            with self._conn_lock:
-                self._conns.append(conn)
-            threading.Thread(
-                target=self._serve_connection,
-                args=(conn, f"{peer[0]}:{peer[1]}"),
-                name=f"data-conn-{peer[1]}",
-                daemon=True,
-            ).start()
-
-    def _serve_connection(self, conn: socket.socket, peer: str) -> None:
+    def _loop(self) -> None:
+        rings_busy = False
         try:
-            window = -1 if self.recv_hwm_bytes is None else int(self.recv_hwm_bytes)
-            send_frame(conn, Credit(window))
             while True:
-                msg = recv_frame(conn)
-                nbytes = frame_nbytes(msg)
-                self.inbox.send(msg)  # blocks when the inbox is full
-                send_frame(conn, Credit(nbytes))
-        except (ConnectionLost, OSError):
-            pass  # sender went away (normal teardown or a killed worker)
-        except ChannelClosed:
-            pass  # rank is shutting down
+                if self._closed:
+                    return
+                if rings_busy:
+                    timeout = 0.0
+                else:
+                    rings = [c.ring for c in self._conns.values() if c.ring]
+                    if rings:
+                        # announce intent to sleep, then re-check: the
+                        # producer rings the doorbell for any publish
+                        # into a waiting ring, so a frame that lands
+                        # between the drain pass and the select can
+                        # never be stranded.  The timeout is only a
+                        # backstop for exotic memory-ordering races.
+                        for ring in rings:
+                            ring.set_consumer_waiting(True)
+                        timeout = 0.0 if any(r.used() for r in rings) else 0.05
+                    else:
+                        timeout = 0.5
+                events = self._sel.select(timeout)
+                if self._closed:
+                    return
+                for key, _ in events:
+                    if key.data == "listener":
+                        self._accept_ready()
+                    elif key.data == "waker":
+                        self._drain_waker()
+                    else:
+                        self._service(key.data)
+                rings_busy = False
+                for conn in [c for c in self._conns.values() if c.ring]:
+                    rings_busy |= self._drain_ring(conn)
         finally:
+            self._teardown()
+
+    def _accept_ready(self) -> None:
+        while True:
             try:
-                conn.close()
+                sock, peer = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             except OSError:
                 pass
-            if self._on_disconnect is not None:
-                self._on_disconnect(peer)
+            conn = _DataConn(sock, f"{peer[0]}:{peer[1]}")
+            with self._conn_lock:
+                self._conns[sock.fileno()] = conn
+            self._sel.register(sock, selectors.EVENT_READ, conn)
+            window = -1 if self.recv_hwm_bytes is None else int(self.recv_hwm_bytes)
+            try:
+                send_frame(sock, Credit(window))
+            except (OSError, ConnectionError):
+                self._drop(conn)
+
+    def _drain_waker(self) -> None:
+        try:
+            while self._waker_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _service(self, conn: _DataConn) -> None:
+        try:
+            frames = conn.reader.pump(conn.sock)
+        except (ConnectionLost, OSError, ProtocolError, ValueError):
+            self._drop(conn)
+            return
+        for msg in frames:
+            if isinstance(msg, Doorbell):
+                continue  # the ring pass after the event batch drains it
+            if isinstance(msg, dict) and str(msg.get("op", "")).startswith("shm_"):
+                if not self._negotiate(conn, msg):
+                    self._drop(conn)
+                    return
+                continue
+            nbytes = frame_nbytes(msg)
+            if not self._deliver(msg):
+                return  # shutting down
+            try:
+                send_frame(conn.sock, Credit(nbytes))
+            except (OSError, ConnectionError):
+                self._drop(conn)
+                return
+
+    def _negotiate(self, conn: _DataConn, msg: dict) -> bool:
+        op = msg.get("op")
+        if op == "shm_request":
+            if self.transport == "tcp":
+                return self._send_ctl(conn, {"op": "shm_unavailable"})
+            try:
+                ring = ShmRing.create(int(msg.get("ring_bytes", 0)))
+            except (OSError, ValueError):
+                return self._send_ctl(conn, {"op": "shm_unavailable"})
+            conn.pending_ring = ring
+            return self._send_ctl(conn, {
+                "op": "shm_offer", "name": ring.name, "capacity": ring.capacity,
+            })
+        if op == "shm_ack" and conn.pending_ring is not None:
+            conn.ring = conn.pending_ring
+            conn.pending_ring = None
+            return True
+        if op == "shm_nack" and conn.pending_ring is not None:
+            conn.pending_ring.close()
+            conn.pending_ring.unlink()
+            conn.pending_ring = None
+            return True
+        return True  # unknown shm op: ignore (forward compatibility)
+
+    def _send_ctl(self, conn: _DataConn, msg: dict) -> bool:
+        try:
+            send_frame(conn.sock, msg)
+            return True
+        except (OSError, ConnectionError):
+            return False
+
+    def _deliver(self, msg: Any) -> bool:
+        """Move one frame into the inbox; False means we are shutting
+        down (the rank closed its inbox or the listener is closing)."""
+        while True:
+            try:
+                self.inbox.send(msg, timeout=0.1)
+                return True
+            except TimeoutError:
+                if self._closed:
+                    return False
+            except ChannelClosed:
+                return False
+
+    def _deliver_many(self, batch: list) -> bool:
+        """Move a batch into the inbox under one lock round trip; False
+        means we are shutting down.  ``send_many`` consumes the batch
+        from the front, so a timeout slice never double-delivers."""
+        while batch:
+            try:
+                self.inbox.send_many(batch, timeout=0.1)
+                return True
+            except TimeoutError:
+                if self._closed:
+                    return False
+            except ChannelClosed:
+                return False
+        return True
+
+    def _drain_ring(
+        self, conn: _DataConn, max_frames: int = 256, batch_frames: int = 64
+    ) -> bool:
+        """Drain up to ``max_frames`` frames; True when more remain (the
+        loop then re-selects with a zero timeout instead of starving the
+        other connections behind one saturated ring).
+
+        Frames are decoded and delivered in batches: one inbox lock
+        round trip and one head advance per ``batch_frames``, while the
+        head still only moves after the inbox accepted the messages.
+        """
+        conn.ring.set_consumer_waiting(False)
+        drained = 0
+        while drained < max_frames:
+            batch: list = []
+            nbytes = 0
+            while len(batch) < batch_frames:
+                try:
+                    item = read_ring_frame(conn.ring, offset=nbytes)
+                except (ProtocolError, ValueError):
+                    self._drop(conn)
+                    return False
+                if item is None:
+                    break
+                msg, total = item
+                batch.append(msg)
+                nbytes += total
+            if not batch:
+                return False
+            drained += len(batch)
+            if not self._deliver_many(batch):
+                return False
+            conn.ring.advance(nbytes)
+        return True
+
+    def _drop(self, conn: _DataConn) -> None:
+        """Disconnect path: prune the connection table, close the socket,
+        and retire the shm segment (drain what the producer published
+        first — those frames were complete, even through a SIGKILL)."""
+        with self._conn_lock:
+            self._conns.pop(conn.sock.fileno(), None)
+        try:
+            self._sel.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        if conn.ring is not None:
+            try:
+                while True:
+                    item = read_ring_frame(conn.ring)
+                    if item is None:
+                        break
+                    msg, total = item
+                    if not self._deliver(msg):
+                        break
+                    conn.ring.advance(total)
+            except (ProtocolError, ValueError):
+                pass  # corrupt trailing frame: keep what already landed
+        for ring in (conn.ring, conn.pending_ring):
+            if ring is not None:
+                try:
+                    ring.close_consumer()
+                except (OSError, ValueError):
+                    pass
+                ring.close()
+                ring.unlink()
+        conn.ring = conn.pending_ring = None
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        if self._on_disconnect is not None:
+            self._on_disconnect(conn.peer)
+
+    def _teardown(self) -> None:
+        with self._conn_lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            self._drop(conn)
+        try:
+            self._sel.close()
+        except OSError:
+            pass
+        for sock in (self._listener, self._waker_r, self._waker_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         self._closed = True
         try:
-            self._listener.close()
+            self._waker_w.send(b"x")
         except OSError:
             pass
-        with self._conn_lock:
-            for conn in self._conns:
-                try:
-                    conn.shutdown(socket.SHUT_RDWR)
-                except OSError:
-                    pass
-                try:
-                    conn.close()
-                except OSError:
-                    pass
-            self._conns.clear()
+        self._thread.join(timeout=5.0)

@@ -52,12 +52,13 @@ from __future__ import annotations
 
 import hashlib
 import os
+import selectors
 import signal
 import threading
 import time
 import socket
 from collections import deque
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro import telemetry as _telemetry
 from repro.core.config import StudyConfig
@@ -65,7 +66,9 @@ from repro.core.diagnostics import unfinished_study_message
 from repro.net.framing import (
     AddressedReply,
     ConnectionLost,
-    FrameConnection,
+    FrameReader,
+    ProtocolError,
+    send_frame,
 )
 from repro.mesh.partition import BlockPartition
 from repro.telemetry.logs import get_logger, ids
@@ -74,6 +77,46 @@ from repro.transport.message import ConnectionReply, ConnectionRequest, Heartbea
 
 class StudyAborted(RuntimeError):
     """A participant failed in a way the study cannot recover from."""
+
+
+class _Peer:
+    """One control connection multiplexed onto the coordinator loop.
+
+    The event loop owns the file descriptor: foreign threads (the wait
+    loop's reaps, :meth:`Coordinator.close`) only ``shutdown`` the
+    socket via :meth:`close`, which the loop observes as EOF and runs
+    the loss path for — closing an fd that is still registered in the
+    selector from another thread would race the loop's ``select``.
+    """
+
+    __slots__ = (
+        "sock", "peername", "reader", "kind", "rank", "wid",
+        "hello_deadline", "detached", "_wlock",
+    )
+
+    def __init__(self, sock: socket.socket, peername: str):
+        self.sock = sock
+        self.peername = peername
+        self.reader = FrameReader()
+        self.kind: Optional[str] = None  # None (pre-hello), "rank", "worker"
+        self.rank: Optional[int] = None
+        self.wid: Optional[int] = None
+        self.hello_deadline: Optional[float] = None
+        self.detached = False
+        self._wlock = threading.Lock()
+
+    def send(self, msg: Any) -> None:
+        try:
+            with self._wlock:
+                send_frame(self.sock, msg)
+        except (OSError, ConnectionError) as exc:
+            raise ConnectionLost(str(exc)) from exc
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
 
 
 def study_id(config: StudyConfig) -> str:
@@ -217,7 +260,20 @@ class Coordinator:
         self._m_elastic_retired = reg.gauge(
             "repro_elastic_retired", "elastic workers retired so far")
         self._listener = socket.create_server((host, port), backlog=64)
+        self._listener.setblocking(False)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        # single multiplexed control plane: selectors scales past
+        # FD_SETSIZE and one loop thread replaces a thread per peer
+        self._sel = selectors.DefaultSelector()
+        self._sel.register(self._listener, selectors.EVENT_READ, "listener")
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._sel.register(self._waker_r, selectors.EVENT_READ, "waker")
+        self._peers: Set[_Peer] = set()  # registered in the selector
+        self._detached: List[_Peer] = []  # done reading, fd kept open
+        # rendezvous requests waiting for the full rank address table:
+        # (peer, request, deadline) serviced from the loop's tick
+        self._parked: List[Tuple[_Peer, ConnectionRequest, float]] = []
 
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
@@ -244,20 +300,20 @@ class Coordinator:
         self._rank_generations: Dict[int, int] = {}
         self._assign_count = 0
         self._rank_addresses: Dict[int, Tuple[str, int]] = {}
-        self._rank_conns: Dict[int, FrameConnection] = {}
+        self._rank_conns: Dict[int, Any] = {}
         self.rank_states: Dict[int, dict] = {}
         self.rank_maps: Dict[int, dict] = {}
         self.rank_widths: Dict[int, float] = {}
         self._worker_pids: Dict[int, Optional[int]] = {}
         self._worker_names: Dict[int, str] = {}
         self._last_seen: Dict[int, float] = {}
-        self._worker_conns: Dict[int, FrameConnection] = {}
+        self._worker_conns: Dict[int, Any] = {}
         self._next_worker_id = 0
         self._errors: List[str] = []
         self._finalized = False
         self._closed = False
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="coordinator-accept", daemon=True
+        self._loop_thread = threading.Thread(
+            target=self._loop, name="coordinator-loop", daemon=True
         )
 
     # ------------------------------------------------------------------ #
@@ -275,7 +331,7 @@ class Coordinator:
             f"{self.config.ngroups} groups drawn, "
             f"{self.config.server_ranks} server ranks",
         )
-        self._accept_thread.start()
+        self._loop_thread.start()
         return self
 
     # ------------------------------------------------------------------ #
@@ -447,7 +503,7 @@ class Coordinator:
             if now - last > self.worker_timeout:
                 conn = self._worker_conns.get(wid)
                 if conn is not None:
-                    conn.close()  # reader thread unblocks and resubmits
+                    conn.close()  # shutdown: the loop sees EOF and resubmits
 
     def _reap_stale_ranks(self) -> List[int]:
         """Flag heartbeat-silent ranks (lock held).
@@ -478,70 +534,213 @@ class Coordinator:
         if self._closed:
             return
         self._closed = True
-        try:
-            self._listener.close()
-        except OSError:
-            pass
         for conn in list(self._rank_conns.values()) + list(
             self._worker_conns.values()
         ):
             try:
-                conn.close()
+                conn.close()  # shutdown: the loop owns the final fd close
             except OSError:
                 pass
-
-    # ------------------------------------------------------------------ #
-    # connection handling
-    # ------------------------------------------------------------------ #
-    def _accept_loop(self) -> None:
-        while not self._closed:
-            try:
-                sock, _ = self._listener.accept()
-            except OSError:
-                return
-            conn = FrameConnection(sock)
-            threading.Thread(
-                target=self._serve_connection, args=(conn,),
-                name="coordinator-conn", daemon=True,
-            ).start()
-
-    def _serve_connection(self, conn: FrameConnection) -> None:
         try:
-            hello = conn.recv(timeout=self.worker_timeout)
-        except (ConnectionLost, TimeoutError):
-            conn.close()
+            self._waker_w.send(b"x")
+        except OSError:
+            pass
+        if self._loop_thread.is_alive():
+            self._loop_thread.join(timeout=5.0)
+        elif not self._loop_thread.ident:
+            self._teardown()  # never started: nothing else closes the fds
+
+    # ------------------------------------------------------------------ #
+    # connection handling: one selectors event loop for every peer
+    # ------------------------------------------------------------------ #
+    def _loop(self) -> None:
+        try:
+            while not self._closed:
+                events = self._sel.select(0.1)
+                if self._closed:
+                    return
+                for key, _ in events:
+                    if key.data == "listener":
+                        self._accept_ready()
+                    elif key.data == "waker":
+                        self._drain_waker()
+                    else:
+                        self._pump_peer(key.data)
+                self._tick(time.monotonic())
+        finally:
+            self._teardown()
+
+    def _accept_ready(self) -> None:
+        while True:
+            try:
+                sock, peer_addr = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            peer = _Peer(sock, f"{peer_addr[0]}:{peer_addr[1]}")
+            peer.hello_deadline = time.monotonic() + self.worker_timeout
+            self._peers.add(peer)
+            self._sel.register(sock, selectors.EVENT_READ, peer)
+
+    def _drain_waker(self) -> None:
+        try:
+            while self._waker_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _pump_peer(self, peer: _Peer) -> None:
+        try:
+            frames = peer.reader.pump(peer.sock)
+        except (ConnectionLost, ProtocolError, OSError, ValueError):
+            self._peer_lost(peer)
             return
+        for frame in frames:
+            if not self._dispatch(peer, frame):
+                return  # the peer finished, detached, or was dropped
+
+    def _dispatch(self, peer: _Peer, frame: Any) -> bool:
+        """Route one frame; False when the peer should pump no further."""
+        if peer.kind is None:
+            return self._handle_hello(peer, frame)
+        if peer.kind == "rank":
+            return self._on_rank_frame(peer, frame)
+        return self._on_worker_frame(peer, frame)
+
+    def _handle_hello(self, peer: _Peer, hello: Any) -> bool:
         if not isinstance(hello, dict):
-            conn.close()
-            return
+            self._drop_fd(peer)
+            return False
         if hello.get("fingerprint") != self.fingerprint:
             with self._changed:
                 self._errors.append(
-                    f"{hello.get('op')} from {conn.peername} joined with a "
+                    f"{hello.get('op')} from {peer.peername} joined with a "
                     f"mismatched study configuration: {hello.get('fingerprint')}"
                     f" != {self.fingerprint}"
                 )
                 self._changed.notify_all()
             try:
-                conn.send({"op": "error", "error": "study fingerprint mismatch"})
+                peer.send({"op": "error", "error": "study fingerprint mismatch"})
             except ConnectionLost:
                 pass
-            conn.close()
-            return
+            self._drop_fd(peer)
+            return False
+        peer.hello_deadline = None
         if hello.get("op") == "register":
-            self._serve_rank_connection(conn, hello)
-        elif hello.get("op") == "hello":
-            self._serve_worker_connection(conn, hello)
-        else:
-            conn.close()
+            return self._register_rank(peer, hello)
+        if hello.get("op") == "hello":
+            return self._register_worker(peer, hello)
+        self._drop_fd(peer)
+        return False
+
+    # -- loop-side peer lifecycle -------------------------------------- #
+    def _drop_fd(self, peer: _Peer) -> None:
+        """Remove a peer from the loop and close its descriptor."""
+        self._peers.discard(peer)
+        try:
+            self._sel.unregister(peer.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            peer.sock.close()
+        except OSError:
+            pass
+
+    def _detach(self, peer: _Peer) -> None:
+        """Stop reading a peer but keep its socket open (the equivalent
+        of the old per-connection thread returning): a lingering rank
+        that reported its state, or one that shipped a fatal error,
+        stays connected until the coordinator itself closes."""
+        self._peers.discard(peer)
+        try:
+            self._sel.unregister(peer.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        peer.detached = True
+        self._detached.append(peer)
+
+    def _peer_lost(self, peer: _Peer) -> None:
+        """EOF/reset/protocol violation on a registered peer."""
+        kind, rank, wid = peer.kind, peer.rank, peer.wid
+        self._drop_fd(peer)
+        if kind == "rank":
+            self._on_rank_lost(rank, peer)
+        elif kind == "worker":
+            self._resubmit_if_assigned(wid)
+            self._forget_worker(wid)
+
+    def _worker_teardown(self, peer: _Peer) -> None:
+        """The old worker-thread ``finally``: close, resubmit, forget."""
+        self._drop_fd(peer)
+        self._resubmit_if_assigned(peer.wid)
+        self._forget_worker(peer.wid)
+
+    def _tick(self, now: float) -> None:
+        """Deadline work between select() batches: peers that never said
+        hello, and parked rendezvous requests (fulfil or expire)."""
+        for peer in list(self._peers):
+            if (
+                peer.kind is None
+                and peer.hello_deadline is not None
+                and now > peer.hello_deadline
+            ):
+                self._drop_fd(peer)
+        if not self._parked:
+            return
+        with self._changed:
+            nregistered = len(self._rank_addresses)
+        ready = nregistered >= self.config.server_ranks
+        still_parked: List[Tuple[_Peer, ConnectionRequest, float]] = []
+        for peer, request, deadline in self._parked:
+            if peer not in self._peers:
+                continue  # the worker died while waiting
+            if ready:
+                try:
+                    peer.send(self._addressed_reply())
+                except ConnectionLost:
+                    self._worker_teardown(peer)
+            elif now >= deadline:
+                with self._changed:
+                    self._errors.append(
+                        f"only {nregistered} of {self.config.server_ranks} "
+                        f"server ranks registered"
+                    )
+                    self._changed.notify_all()
+                self._worker_teardown(peer)
+            else:
+                still_parked.append((peer, request, deadline))
+        self._parked = still_parked
+
+    def _teardown(self) -> None:
+        for peer in list(self._peers) + list(self._detached):
+            try:
+                peer.sock.close()
+            except OSError:
+                pass
+        self._peers.clear()
+        self._detached.clear()
+        try:
+            self._sel.close()
+        except OSError:
+            pass
+        for sock in (self._listener, self._waker_r, self._waker_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------ #
-    def _serve_rank_connection(self, conn: FrameConnection, hello: dict) -> None:
+    def _register_rank(self, peer: _Peer, hello: dict) -> bool:
         rank = int(hello["rank"])
+        peer.kind, peer.rank = "rank", rank
         with self._changed:
             self._note_rank_registration(rank, hello)
             self._rank_addresses[rank] = tuple(hello["address"])
-            self._rank_conns[rank] = conn
+            self._rank_conns[rank] = peer
             if self.supervisor is not None:
                 self.supervisor.watch(rank, hello.get("pid"))
                 # registration counts as liveness: a rank that hangs
@@ -549,51 +748,60 @@ class Coordinator:
                 self.supervisor.beat(rank, time.monotonic())
             self._changed.notify_all()
         try:
-            conn.send({
+            peer.send({
                 "op": "registered",
                 # capability negotiation: senders only attach telemetry
                 # payloads (v2 heartbeat frames) when we can ingest them
                 "telemetry": self.telemetry is not None,
             })
-            while True:
-                frame = conn.recv()
-                if isinstance(frame, Heartbeat):
-                    if self.supervisor is not None:
-                        self.supervisor.beat(rank, time.monotonic())
-                    self._rank_last_beat[rank] = time.monotonic()
-                    if frame.metrics is not None and self.telemetry is not None:
-                        self.telemetry.ingest(frame.sender, frame.metrics)
-                    continue
-                if isinstance(frame, dict) and frame.get("op") == "rank_state":
-                    with self._changed:
-                        self.rank_states[rank] = frame["state"]
-                        self.rank_maps[rank] = frame["maps"]
-                        self.rank_widths[rank] = frame["width"]
-                        if frame.get("channel_stats") is not None:
-                            self.rank_channel_stats[rank] = frame["channel_stats"]
-                        self._event("rank_state", f"rank {rank} reported")
-                        if self.supervisor is not None:
-                            # the rank now lingers (silent by design) to
-                            # absorb respawn-requeued replays; stop
-                            # watching its heartbeat
-                            self.supervisor.policy.forget(rank)
-                        self._changed.notify_all()
-                    if self.supervisor is None:
-                        return
-                    # supervised: keep reading so a lingering rank's
-                    # death is still observed — replays of another rank's
-                    # requeued groups must have somewhere to land, so the
-                    # corpse needs a replacement like any other rank
-                    continue
-                if isinstance(frame, dict) and frame.get("op") == "error":
-                    with self._changed:
-                        self._errors.append(
-                            f"server rank {rank} failed:\n{frame['error']}"
-                        )
-                        self._changed.notify_all()
-                    return
-        except (ConnectionLost, TimeoutError):
-            self._on_rank_lost(rank, conn)
+        except ConnectionLost:
+            self._peer_lost(peer)
+            return False
+        return True
+
+    def _on_rank_frame(self, peer: _Peer, frame: Any) -> bool:
+        rank = peer.rank
+        if isinstance(frame, Heartbeat):
+            if self.supervisor is not None:
+                self.supervisor.beat(rank, time.monotonic())
+            self._rank_last_beat[rank] = time.monotonic()
+            if frame.metrics is not None and self.telemetry is not None:
+                self.telemetry.ingest(frame.sender, frame.metrics)
+            return True
+        if isinstance(frame, dict) and frame.get("op") == "rank_state":
+            with self._changed:
+                self.rank_states[rank] = frame["state"]
+                self.rank_maps[rank] = frame["maps"]
+                self.rank_widths[rank] = frame["width"]
+                if frame.get("channel_stats") is not None:
+                    self.rank_channel_stats[rank] = frame["channel_stats"]
+                self._event("rank_state", f"rank {rank} reported")
+                if self.supervisor is not None:
+                    # the rank now lingers (silent by design) to absorb
+                    # respawn-requeued replays; stop watching its
+                    # heartbeat
+                    self.supervisor.policy.forget(rank)
+                self._changed.notify_all()
+            if self.supervisor is None:
+                # unsupervised: a reported rank's eventual exit is
+                # normal — stop reading it (its EOF must not be treated
+                # as a loss) but keep the socket open as before
+                self._detach(peer)
+                return False
+            # supervised: keep reading so a lingering rank's death is
+            # still observed — replays of another rank's requeued groups
+            # must have somewhere to land, so the corpse needs a
+            # replacement like any other rank
+            return True
+        if isinstance(frame, dict) and frame.get("op") == "error":
+            with self._changed:
+                self._errors.append(
+                    f"server rank {rank} failed:\n{frame['error']}"
+                )
+                self._changed.notify_all()
+            self._detach(peer)
+            return False
+        return True  # unknown rank frames are ignored, as before
 
     def _note_rank_registration(self, rank: int, hello: dict) -> None:
         """Respawn bookkeeping for a (re-)registering rank (lock held).
@@ -641,7 +849,7 @@ class Coordinator:
         # ranks ignore the repeat)
         self._finalized = False
 
-    def _on_rank_lost(self, rank: int, conn: FrameConnection) -> None:
+    def _on_rank_lost(self, rank: int, conn: Any) -> None:
         """A server rank's control connection died: abort (no supervisor)
         or kill-and-respawn (Sec. 4.2.3).
 
@@ -692,69 +900,96 @@ class Coordinator:
                 self._changed.notify_all()
 
     # ------------------------------------------------------------------ #
-    def _serve_worker_connection(self, conn: FrameConnection, hello: dict) -> None:
+    def _register_worker(self, peer: _Peer, hello: dict) -> bool:
         with self._changed:
             wid = self._next_worker_id
             self._next_worker_id += 1
             self._worker_pids[wid] = hello.get("pid")
             self._worker_names[wid] = str(hello.get("worker", f"worker-{wid}"))
-            self._worker_conns[wid] = conn
+            self._worker_conns[wid] = peer
             self._worker_elastic[wid] = bool(hello.get("elastic"))
             self._last_seen[wid] = time.monotonic()
+        peer.kind, peer.wid = "worker", wid
         name = self._worker_names[wid]
         self._event("worker_joined", name + (" (elastic)" if hello.get("elastic") else ""))
-        kill_pid = None
         try:
-            conn.send({
+            peer.send({
                 "op": "welcome", "worker_id": wid,
                 "telemetry": self.telemetry is not None,
             })
-            while True:
-                frame = conn.recv()
-                self._last_seen[wid] = time.monotonic()
-                if isinstance(frame, Heartbeat):
-                    if frame.metrics is not None and self.telemetry is not None:
-                        self.telemetry.ingest(frame.sender, frame.metrics)
-                    continue
-                if isinstance(frame, ConnectionRequest):
-                    conn.send(self._connection_reply(frame))
-                    continue
-                if not isinstance(frame, dict):
-                    raise StudyAborted(f"unexpected frame from {name}: {frame!r}")
-                op = frame.get("op")
-                if op == "next":
-                    reply, kill_pid = self._assign(wid)
-                    conn.send(reply)
-                    if kill_pid is not None:
-                        os.kill(kill_pid, signal.SIGKILL)  # fault-injection hook
-                elif op == "group_done":
-                    self._mark_done(wid, int(frame["group_id"]))
-                elif op == "group_interrupted":
-                    # the worker aborted the group because a server rank
-                    # died under it; requeue without charging the group's
-                    # retry budget (the group is not at fault)
-                    self._requeue_interrupted(wid, int(frame["group_id"]))
-                elif op == "error":
-                    with self._changed:
-                        self._errors.append(f"worker {name} failed:\n{frame['error']}")
-                        self._changed.notify_all()
-                    return
-                elif op == "bye":
-                    if frame.get("channel_stats") is not None:
-                        self.worker_channel_stats[name] = frame["channel_stats"]
-                    return
+        except ConnectionLost:
+            self._worker_teardown(peer)
+            return False
+        return True
+
+    def _on_worker_frame(self, peer: _Peer, frame: Any) -> bool:
+        wid = peer.wid
+        name = self._worker_names.get(wid, str(wid))
+        self._last_seen[wid] = time.monotonic()
+        try:
+            if isinstance(frame, Heartbeat):
+                if frame.metrics is not None and self.telemetry is not None:
+                    self.telemetry.ingest(frame.sender, frame.metrics)
+                return True
+            if isinstance(frame, ConnectionRequest):
+                if frame.ncells != self.config.ncells:
+                    raise StudyAborted(
+                        f"group {frame.group_id} has {frame.ncells} cells, "
+                        f"study configured {self.config.ncells}"
+                    )
+                with self._changed:
+                    ready = (
+                        len(self._rank_addresses) >= self.config.server_ranks
+                    )
+                if ready:
+                    peer.send(self._addressed_reply())
                 else:
-                    raise StudyAborted(f"unknown op from {name}: {op!r}")
-        except (ConnectionLost, TimeoutError):
-            pass  # dead worker: resubmission handled in finally
+                    # the handshake waits until every rank has registered
+                    # its data address — a group can only open channels
+                    # to a complete server.  Parked, not blocked: the
+                    # loop's tick fulfils or expires it.
+                    self._parked.append(
+                        (peer, frame, time.monotonic() + self.worker_timeout)
+                    )
+                return True
+            if not isinstance(frame, dict):
+                raise StudyAborted(f"unexpected frame from {name}: {frame!r}")
+            op = frame.get("op")
+            if op == "next":
+                reply, kill_pid = self._assign(wid)
+                peer.send(reply)
+                if kill_pid is not None:
+                    os.kill(kill_pid, signal.SIGKILL)  # fault-injection hook
+            elif op == "group_done":
+                self._mark_done(wid, int(frame["group_id"]))
+            elif op == "group_interrupted":
+                # the worker aborted the group because a server rank
+                # died under it; requeue without charging the group's
+                # retry budget (the group is not at fault)
+                self._requeue_interrupted(wid, int(frame["group_id"]))
+            elif op == "error":
+                with self._changed:
+                    self._errors.append(f"worker {name} failed:\n{frame['error']}")
+                    self._changed.notify_all()
+                self._worker_teardown(peer)
+                return False
+            elif op == "bye":
+                if frame.get("channel_stats") is not None:
+                    self.worker_channel_stats[name] = frame["channel_stats"]
+                self._worker_teardown(peer)
+                return False
+            else:
+                raise StudyAborted(f"unknown op from {name}: {op!r}")
+            return True
+        except ConnectionLost:
+            self._worker_teardown(peer)
+            return False
         except StudyAborted as exc:
             with self._changed:
                 self._errors.append(str(exc))
                 self._changed.notify_all()
-        finally:
-            conn.close()
-            self._resubmit_if_assigned(wid)
-            self._forget_worker(wid)
+            self._worker_teardown(peer)
+            return False
 
     def _forget_worker(self, wid: int) -> None:
         """Drop a departed worker's liveness/speed state so elastic
@@ -776,23 +1011,9 @@ class Coordinator:
         if elastic and not retired and self.pool is not None:
             self.pool.worker_lost()
 
-    def _connection_reply(self, request: ConnectionRequest) -> AddressedReply:
-        if request.ncells != self.config.ncells:
-            raise StudyAborted(
-                f"group {request.group_id} has {request.ncells} cells, "
-                f"study configured {self.config.ncells}"
-            )
-        # the handshake blocks until every rank has registered its data
-        # address — a group can only open channels to a complete server
-        deadline = time.monotonic() + self.worker_timeout
+    def _addressed_reply(self) -> AddressedReply:
+        """Rendezvous reply once the rank address table is complete."""
         with self._changed:
-            while len(self._rank_addresses) < self.config.server_ranks:
-                if time.monotonic() >= deadline:
-                    raise StudyAborted(
-                        f"only {len(self._rank_addresses)} of "
-                        f"{self.config.server_ranks} server ranks registered"
-                    )
-                self._changed.wait(timeout=0.05)
             addresses = tuple(
                 self._rank_addresses[r] for r in range(self.config.server_ranks)
             )

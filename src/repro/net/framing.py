@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import pickle
 import random
-import select
+import selectors
 import socket
 import struct
 import threading
@@ -52,6 +52,7 @@ TAG_HEARTBEAT = b"H"
 TAG_HEARTBEAT_V2 = b"h"
 TAG_CREDIT = b"C"
 TAG_CONTROL = b"P"
+TAG_DOORBELL = b"D"
 
 _FIELD_HEADER = struct.Struct("<qqqqq")  # group, member, step, lo, hi
 _GROUP_HEADER = struct.Struct("<qqqqq")  # group, step, lo, hi, nmembers
@@ -67,6 +68,26 @@ _HEARTBEAT_V2 = struct.Struct("<dH")
 
 class ConnectionLost(ConnectionError):
     """Peer closed the connection (EOF mid-stream or on a frame edge)."""
+
+
+class ProtocolError(ValueError):
+    """A frame's header contradicts its length prefix (corrupt stream).
+
+    The length prefix is the framing ground truth: decoding must never
+    allocate from header fields (``hi - lo``, ``nmembers``) that the
+    prefix does not corroborate, or a corrupt header silently desyncs
+    the stream — or feeds numpy a negative/huge shape.
+    """
+
+
+@dataclass(frozen=True)
+class Doorbell:
+    """Wakeup ping on a data connection whose payload rides a shm ring.
+
+    Sent by a shared-memory sender when its write made an empty ring
+    non-empty, so the receiving rank's event loop drains the ring now
+    instead of on its next safety-timeout tick.
+    """
 
 
 @dataclass(frozen=True)
@@ -136,6 +157,8 @@ def encode_frame(msg: Any) -> List[Any]:
     if isinstance(msg, Credit):
         body = _CREDIT.pack(msg.nbytes)
         return [_PREFIX.pack(1 + len(body)) + TAG_CREDIT + body]
+    if isinstance(msg, Doorbell):
+        return [_PREFIX.pack(1) + TAG_DOORBELL]
     if isinstance(msg, dict):
         body = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
         return [_PREFIX.pack(1 + len(body)) + TAG_CONTROL + body]
@@ -157,15 +180,118 @@ def frame_nbytes(msg: Any) -> int:
 
 
 # --------------------------------------------------------------------- #
+# header validation (the prefix is ground truth — satellite of ISSUE 9)
+# --------------------------------------------------------------------- #
+def field_payload_cells(body_len: int, lo: int, hi: int) -> int:
+    """Validated cell count of a ``TAG_FIELD`` payload.
+
+    Cross-checks the header's ``[lo, hi)`` range against the frame's
+    length prefix before anything is allocated from it.
+    """
+    if lo < 0 or hi <= lo:
+        raise ProtocolError(f"field header has invalid cell range [{lo}, {hi})")
+    ncells = hi - lo
+    expected = 1 + _FIELD_HEADER.size + 8 * ncells
+    if body_len != expected:
+        raise ProtocolError(
+            f"field header claims {ncells} cells ({expected} body bytes) "
+            f"but the frame prefix says {body_len}"
+        )
+    return ncells
+
+
+def group_payload_shape(
+    body_len: int, lo: int, hi: int, nmembers: int
+) -> Tuple[int, int]:
+    """Validated ``(nmembers, ncells)`` shape of a ``TAG_GROUP_FIELD``
+    payload, cross-checked against the frame's length prefix."""
+    if lo < 0 or hi <= lo or nmembers <= 0:
+        raise ProtocolError(
+            f"group header has invalid shape: range [{lo}, {hi}), "
+            f"{nmembers} members"
+        )
+    ncells = hi - lo
+    expected = 1 + _GROUP_HEADER.size + 8 * nmembers * ncells
+    if body_len != expected:
+        raise ProtocolError(
+            f"group header claims {nmembers}x{ncells} cells ({expected} "
+            f"body bytes) but the frame prefix says {body_len}"
+        )
+    return nmembers, ncells
+
+
+def check_body_len(body_len: int) -> int:
+    if not 1 <= body_len <= _MAX_FRAME:
+        raise ProtocolError(f"invalid frame length {body_len}")
+    return body_len
+
+
+def decode_control_body(tag: bytes, body: bytes) -> Any:
+    """Decode a non-field frame body (shared by every transport fabric)."""
+    if tag == TAG_CONN_REQUEST:
+        group, ncells, nranks_client = _CONN_REQUEST.unpack(body)
+        return ConnectionRequest(group, ncells, nranks_client)
+    if tag == TAG_CONN_REPLY:
+        (n,) = struct.unpack_from("<q", body)
+        offsets = struct.unpack_from(f"<{n + 1}q", body, 8)
+        pos = 8 + 8 * (n + 1)
+        addresses = []
+        for _ in range(n):
+            hlen, port = struct.unpack_from("<Hq", body, pos)
+            pos += 10
+            host = body[pos : pos + hlen].decode("utf-8")
+            pos += hlen
+            addresses.append((host, int(port)))
+        return AddressedReply(
+            ConnectionReply(nranks_server=n, offsets=offsets), tuple(addresses)
+        )
+    if tag == TAG_HEARTBEAT:
+        (t,) = _HEARTBEAT.unpack_from(body)
+        return Heartbeat(sender=body[_HEARTBEAT.size :].decode("utf-8"), time=t)
+    if tag == TAG_HEARTBEAT_V2:
+        t, sender_len = _HEARTBEAT_V2.unpack_from(body)
+        pos = _HEARTBEAT_V2.size
+        sender = body[pos : pos + sender_len].decode("utf-8")
+        metrics = pickle.loads(body[pos + sender_len :])
+        return Heartbeat(sender=sender, time=t, metrics=metrics)
+    if tag == TAG_CREDIT:
+        (nbytes,) = _CREDIT.unpack(body)
+        return Credit(nbytes)
+    if tag == TAG_DOORBELL:
+        return Doorbell()
+    if tag == TAG_CONTROL:
+        return pickle.loads(body)
+    raise ProtocolError(f"unknown frame tag {tag!r}")
+
+
+# --------------------------------------------------------------------- #
 # socket I/O
 # --------------------------------------------------------------------- #
+def _wait_writable(sock: socket.socket, timeout: float = 0.05) -> None:
+    sel = selectors.DefaultSelector()
+    try:
+        sel.register(sock, selectors.EVENT_WRITE)
+        sel.select(timeout)
+    finally:
+        sel.close()
+
+
 def send_frame(sock: socket.socket, msg: Any) -> int:
-    """Write one frame with scatter-gather I/O; returns bytes written."""
+    """Write one frame with scatter-gather I/O; returns bytes written.
+
+    Works on blocking and non-blocking sockets alike: a would-block on a
+    non-blocking socket waits for writability and retries, matching the
+    blocking-socket semantics the callers rely on.
+    """
     parts = encode_frame(msg)
     total = sum(len(p) for p in parts)
     sent = 0
     while parts:
-        n = sock.sendmsg(parts)
+        try:
+            n = sock.sendmsg(parts)
+        except BlockingIOError:
+            _wait_writable(sock)
+            continue
         sent += n
         if sent == total:
             break
@@ -207,56 +333,156 @@ def recv_frame(sock: socket.socket) -> Any:
     if len(prefix) < _PREFIX.size:
         raise ConnectionLost("peer closed mid-prefix")
     (body_len,) = _PREFIX.unpack(prefix)
-    if not 1 <= body_len <= _MAX_FRAME:
-        raise ValueError(f"invalid frame length {body_len}")
+    check_body_len(body_len)
     tag = _recv_exact(sock, 1)
 
     if tag == TAG_FIELD:
         header = _recv_exact(sock, _FIELD_HEADER.size)
         group, member, step, lo, hi = _FIELD_HEADER.unpack(header)
-        data = np.empty(hi - lo, dtype=np.float64)
+        ncells = field_payload_cells(body_len, lo, hi)
+        data = np.empty(ncells, dtype=np.float64)
         _recv_exact_into(sock, memoryview(data).cast("B"))
         return FieldMessage(group, member, step, lo, hi, data)
     if tag == TAG_GROUP_FIELD:
         header = _recv_exact(sock, _GROUP_HEADER.size)
         group, step, lo, hi, nmembers = _GROUP_HEADER.unpack(header)
-        data = np.empty((nmembers, hi - lo), dtype=np.float64)
+        shape = group_payload_shape(body_len, lo, hi, nmembers)
+        data = np.empty(shape, dtype=np.float64)
         _recv_exact_into(sock, memoryview(data).cast("B"))
         return GroupFieldMessage(group, step, lo, hi, data)
 
     body = _recv_exact(sock, body_len - 1)
-    if tag == TAG_CONN_REQUEST:
-        group, ncells, nranks_client = _CONN_REQUEST.unpack(body)
-        return ConnectionRequest(group, ncells, nranks_client)
-    if tag == TAG_CONN_REPLY:
-        (n,) = struct.unpack_from("<q", body)
-        offsets = struct.unpack_from(f"<{n + 1}q", body, 8)
-        pos = 8 + 8 * (n + 1)
-        addresses = []
-        for _ in range(n):
-            hlen, port = struct.unpack_from("<Hq", body, pos)
-            pos += 10
-            host = body[pos : pos + hlen].decode("utf-8")
-            pos += hlen
-            addresses.append((host, int(port)))
-        return AddressedReply(
-            ConnectionReply(nranks_server=n, offsets=offsets), tuple(addresses)
-        )
-    if tag == TAG_HEARTBEAT:
-        (t,) = _HEARTBEAT.unpack_from(body)
-        return Heartbeat(sender=body[_HEARTBEAT.size :].decode("utf-8"), time=t)
-    if tag == TAG_HEARTBEAT_V2:
-        t, sender_len = _HEARTBEAT_V2.unpack_from(body)
-        pos = _HEARTBEAT_V2.size
-        sender = body[pos : pos + sender_len].decode("utf-8")
-        metrics = pickle.loads(body[pos + sender_len :])
-        return Heartbeat(sender=sender, time=t, metrics=metrics)
-    if tag == TAG_CREDIT:
-        (nbytes,) = _CREDIT.unpack(body)
-        return Credit(nbytes)
-    if tag == TAG_CONTROL:
-        return pickle.loads(body)
-    raise ValueError(f"unknown frame tag {tag!r}")
+    return decode_control_body(tag, body)
+
+
+# --------------------------------------------------------------------- #
+# incremental decoding for event-loop (non-blocking) sockets
+# --------------------------------------------------------------------- #
+class FrameReader:
+    """Incremental frame decoder for one non-blocking socket.
+
+    :meth:`pump` reads whatever the socket has buffered and returns the
+    list of frames completed by it; partial frames persist across calls.
+    Field payloads are still received straight into their preallocated
+    arrays with ``recv_into`` — multiplexing onto one event loop does
+    not give up the zero-copy receive path.
+
+    Raises :class:`ConnectionLost` on EOF and :class:`ProtocolError`
+    when a header contradicts the length prefix.
+    """
+
+    _HEAD, _BODY, _PAYLOAD = 0, 1, 2
+
+    def __init__(self):
+        self._buf = bytearray()
+        self._stage = self._HEAD
+        self._need = _PREFIX.size + 1
+        self._body_len = 0
+        self._tag = b""
+        self._payload: Optional[memoryview] = None
+        self._finish = None  # closure building the completed field message
+        self._eof: Optional[str] = None
+
+    def pump(self, sock: socket.socket, max_frames: int = 64) -> List[Any]:
+        """Drain readable bytes; returns completed frames (maybe []).
+
+        When the peer's final frames and its EOF arrive in one call, the
+        decoded frames are returned first and :class:`ConnectionLost` is
+        raised by the *next* pump — a goodbye frame riding the closing
+        segment (``bye``, ``rank_state``) must not be dropped.
+        """
+        if self._eof is not None:
+            raise ConnectionLost(self._eof)
+        frames: List[Any] = []
+        while len(frames) < max_frames:
+            try:
+                if self._stage == self._PAYLOAD:
+                    n = sock.recv_into(self._payload)
+                    if n == 0:
+                        self._eof = "peer closed mid-frame"
+                        break
+                    self._payload = self._payload[n:]
+                    if not len(self._payload):
+                        frames.append(self._finish())
+                        self._reset()
+                    continue
+                chunk = sock.recv(self._need - len(self._buf))
+            except BlockingIOError:
+                break
+            except ConnectionError as exc:
+                if frames:
+                    self._eof = str(exc)
+                    break
+                raise ConnectionLost(str(exc)) from exc
+            if not chunk:
+                self._eof = (
+                    "peer closed" if self._stage == self._HEAD and not self._buf
+                    else "peer closed mid-frame"
+                )
+                break
+            self._buf += chunk
+            if len(self._buf) < self._need:
+                continue
+            if self._stage == self._HEAD:
+                done = self._on_head(bytes(self._buf))
+                if done is not None:
+                    frames.append(done)
+            else:
+                body = bytes(self._buf)
+                tag = self._tag
+                self._reset()
+                frames.append(decode_control_body(tag, body))
+        if self._eof is not None and not frames:
+            raise ConnectionLost(self._eof)
+        return frames
+
+    def _reset(self) -> None:
+        self._buf.clear()
+        self._stage = self._HEAD
+        self._need = _PREFIX.size + 1
+        self._payload = None
+        self._finish = None
+
+    def _on_head(self, head: bytes) -> Optional[Any]:
+        if self._need == _PREFIX.size + 1:
+            # prefix + tag are in: route to the fixed field header, the
+            # raw control body, or complete a zero-body frame right here
+            (body_len,) = _PREFIX.unpack_from(head)
+            check_body_len(body_len)
+            self._body_len = body_len
+            self._tag = head[_PREFIX.size : _PREFIX.size + 1]
+            self._buf.clear()
+            if self._tag == TAG_FIELD:
+                self._need = _PREFIX.size + 1 + _FIELD_HEADER.size
+                self._buf += head  # stage completion is keyed off total need
+            elif self._tag == TAG_GROUP_FIELD:
+                self._need = _PREFIX.size + 1 + _GROUP_HEADER.size
+                self._buf += head
+            elif body_len == 1:
+                tag = self._tag
+                self._reset()
+                return decode_control_body(tag, b"")
+            else:
+                self._stage = self._BODY
+                self._need = body_len - 1
+            return None
+        # the fixed field header is complete
+        header = head[_PREFIX.size + 1 :]
+        body_len, tag = self._body_len, self._tag
+        if tag == TAG_FIELD:
+            group, member, step, lo, hi = _FIELD_HEADER.unpack(header)
+            ncells = field_payload_cells(body_len, lo, hi)
+            data = np.empty(ncells, dtype=np.float64)
+            self._finish = lambda: FieldMessage(group, member, step, lo, hi, data)
+        else:
+            group, step, lo, hi, nmembers = _GROUP_HEADER.unpack(header)
+            shape = group_payload_shape(body_len, lo, hi, nmembers)
+            data = np.empty(shape, dtype=np.float64)
+            self._finish = lambda: GroupFieldMessage(group, step, lo, hi, data)
+        self._buf.clear()
+        self._stage = self._PAYLOAD
+        self._payload = memoryview(data).cast("B")
+        return None
 
 
 # --------------------------------------------------------------------- #
@@ -280,6 +506,10 @@ class FrameConnection:
         self._sock = sock
         self._wlock = threading.Lock()
         self._closed = False
+        # registered once and reused: select.select would blow up on any
+        # fd >= FD_SETSIZE (1024), which a busy coordinator host reaches
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(sock, selectors.EVENT_READ)
 
     @property
     def peername(self) -> str:
@@ -304,8 +534,10 @@ class FrameConnection:
         """True when a frame prefix is readable within ``timeout``."""
         if self._closed:
             return False
-        readable, _, _ = select.select([self._sock], [], [], timeout)
-        return bool(readable)
+        try:
+            return bool(self._selector.select(timeout))
+        except (OSError, ValueError):
+            return False  # racing a concurrent close
 
     def recv(self, timeout: Optional[float] = None) -> Any:
         """Read one frame; ``TimeoutError`` if nothing arrives in time.
@@ -322,6 +554,10 @@ class FrameConnection:
 
     def close(self) -> None:
         self._closed = True
+        try:
+            self._selector.close()
+        except OSError:
+            pass
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:

@@ -147,6 +147,7 @@ def run_server_rank(
         host=data_host,
         port=data_port,
         recv_hwm_bytes=config.channel_capacity_bytes,
+        transport=getattr(config, "transport", "auto"),
     )
     ctrl = connect_with_retry(tuple(coordinator_address))
     sender = f"server-rank-{rank_idx}"

@@ -1,0 +1,507 @@
+"""Shared-memory ring transport for same-host data channels.
+
+``BENCH_transport.json`` put loopback TCP ~13x behind the in-memory
+queue — a tax every same-host rank<->worker channel pays even though the
+bytes never leave the machine.  This module closes that gap with a
+single-producer single-consumer byte ring in one
+:mod:`multiprocessing.shared_memory` segment per channel:
+
+* the **producer** (:class:`ShmChannel`, the worker side) packs frames —
+  the exact wire format of :mod:`repro.net.framing`, prefix + tag +
+  header + payload — into the ring and publishes the tail cursor only
+  after the frame is fully written, so every frame a consumer can see is
+  complete even if the producer was SIGKILLed mid-write;
+* the **consumer** (the rank's :class:`~repro.net.channel.DataListener`
+  event loop) decodes frames in place, moves them into the rank's inbox,
+  and advances the head cursor only *after* the inbox accepted the
+  message — ring-empty therefore means "everything I sent is at least in
+  the rank's inbox", which is exactly the guarantee
+  :meth:`ShmChannel.flush` (and thus ``GROUP_DONE``) is built on.
+
+The paper's dual high-water-mark suspension semantics (Sec. 4.1.3) carry
+over unchanged: the sender's budget is ``send_hwm_bytes`` of in-flight
+ring bytes (the analog of the TCP outbox + credit window), the
+receiver's budget is the rank inbox — when the inbox fills, the event
+loop stops draining, the ring fills, and ``try_send`` returns False:
+the group suspends, Fig. 6a/b style.
+
+The TCP control socket from channel negotiation stays open alongside the
+ring: it detects peer death (EOF), carries the doorbell wakeups that let
+the consumer's event loop sleep when every ring is idle, and is the
+fallback fabric when the segment cannot be attached (cross-host).
+
+Cursors are monotonically increasing u64s on separate cache lines,
+written only by their owning side; 8-byte aligned loads/stores are
+atomic on every platform CPython runs on.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.framing import (
+    _FIELD_HEADER,
+    _GROUP_HEADER,
+    _PREFIX,
+    ConnectionLost,
+    Doorbell,
+    ProtocolError,
+    TAG_FIELD,
+    TAG_GROUP_FIELD,
+    check_body_len,
+    decode_control_body,
+    encode_frame,
+    field_payload_cells,
+    frame_nbytes,
+    group_payload_shape,
+    recv_frame,
+    send_frame,
+)
+from repro.transport.channel import ChannelClosed, ChannelStats
+from repro.transport.message import FieldMessage, GroupFieldMessage
+
+_OFF_TAIL = 0  # producer cursor (u64, producer-written)
+_OFF_HEAD = 64  # consumer cursor (u64, consumer-written)
+_OFF_CAPACITY = 128  # data-region size (u64, creator-written, then constant)
+_OFF_PRODUCER_CLOSED = 136
+_OFF_CONSUMER_CLOSED = 137
+_OFF_CONSUMER_WAITING = 138  # consumer is about to sleep: ring the doorbell
+_DATA_OFFSET = 192
+
+DEFAULT_RING_BYTES = 1 << 20
+MIN_RING_BYTES = 1 << 16
+MAX_RING_BYTES = 1 << 30
+
+
+def _shared_memory():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+class ShmRing:
+    """SPSC byte ring over one shared-memory segment (frame-agnostic).
+
+    Positions are *logical* (monotonic); physical offsets are positions
+    modulo capacity.  The producer publishes ``tail`` after writing, the
+    consumer publishes ``head`` after consuming — no locks cross the
+    process boundary.
+    """
+
+    def __init__(self, shm, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._mv = memoryview(shm.buf)
+        self._tail = self._mv[_OFF_TAIL : _OFF_TAIL + 8].cast("Q")
+        self._head = self._mv[_OFF_HEAD : _OFF_HEAD + 8].cast("Q")
+        (self.capacity,) = struct.unpack_from("<Q", self._mv, _OFF_CAPACITY)
+        # one uint8 view over the data region: numpy-to-numpy slice
+        # copies release the GIL, letting producer, event loop, and the
+        # rank's fold thread overlap instead of serializing on copies
+        self._data = np.frombuffer(
+            shm.buf, dtype=np.uint8, count=self.capacity, offset=_DATA_OFFSET
+        )
+        # flat byte view for the write path: memoryview slice assignment
+        # is a straight C memcpy with no array-object churn per part
+        self._dmv = self._mv[_DATA_OFFSET : _DATA_OFFSET + self.capacity]
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, capacity: int) -> "ShmRing":
+        shared_memory = _shared_memory()
+        capacity = int(min(max(capacity, MIN_RING_BYTES), MAX_RING_BYTES))
+        shm = shared_memory.SharedMemory(
+            create=True, size=_DATA_OFFSET + capacity
+        )
+        struct.pack_into("<Q", shm.buf, _OFF_CAPACITY, capacity)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        shared_memory = _shared_memory()
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13: no track flag
+            shm = shared_memory.SharedMemory(name=name)
+            try:
+                from multiprocessing import resource_tracker
+
+                # attaching must not register the segment a second time:
+                # the creator's tracker owns cleanup, and a double
+                # registration yields double-unlink warnings at exit
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # ------------------------------------------------------------------ #
+    # cursors and flags
+    # ------------------------------------------------------------------ #
+    def used(self) -> int:
+        return int(self._tail[0] - self._head[0])
+
+    def free(self) -> int:
+        return self.capacity - self.used()
+
+    @property
+    def producer_closed(self) -> bool:
+        return bool(self._mv[_OFF_PRODUCER_CLOSED])
+
+    @property
+    def consumer_closed(self) -> bool:
+        return bool(self._mv[_OFF_CONSUMER_CLOSED])
+
+    def close_producer(self) -> None:
+        self._mv[_OFF_PRODUCER_CLOSED] = 1
+
+    def close_consumer(self) -> None:
+        self._mv[_OFF_CONSUMER_CLOSED] = 1
+
+    @property
+    def consumer_waiting(self) -> bool:
+        return bool(self._mv[_OFF_CONSUMER_WAITING])
+
+    def set_consumer_waiting(self, value: bool) -> None:
+        """Eventcount handshake closing the lost-doorbell race: the
+        consumer raises this before sleeping (then re-checks ``used``),
+        the producer rings and clears it whenever it publishes into a
+        waiting ring — not just on the empty->nonempty transition."""
+        self._mv[_OFF_CONSUMER_WAITING] = 1 if value else 0
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+    def write(self, parts: List[Any]) -> int:
+        """Copy ``parts`` in at the tail and publish; caller checked space."""
+        cap = self.capacity
+        dmv = self._dmv
+        pos = int(self._tail[0])
+        total = 0
+        for part in parts:
+            src = part if isinstance(part, memoryview) else memoryview(part)
+            n = src.nbytes
+            off = pos % cap
+            end = off + n
+            if end <= cap:
+                dmv[off:end] = src
+            else:
+                first = cap - off
+                dmv[off:] = src[:first]
+                dmv[: n - first] = src[first:]
+            pos += n
+            total += n
+        self._tail[0] = pos  # publish only after the full frame is in
+        return total
+
+    # ------------------------------------------------------------------ #
+    # consumer side
+    # ------------------------------------------------------------------ #
+    def peek(self, offset: int, nbytes: int) -> bytes:
+        """``nbytes`` starting ``offset`` bytes past the head (no consume)."""
+        off = (int(self._head[0]) + offset) % self.capacity
+        end = off + nbytes
+        if end <= self.capacity:  # hot path: no wrap, one allocation
+            return self._data[off:end].tobytes()
+        first = self.capacity - off
+        return (
+            self._data[off:].tobytes() + self._data[: nbytes - first].tobytes()
+        )
+
+    def copy_out(self, offset: int, dst: np.ndarray) -> None:
+        """Fill uint8 view ``dst`` from ``offset`` bytes past the head."""
+        nbytes = len(dst)
+        pos = int(self._head[0]) + offset
+        off = pos % self.capacity
+        first = min(nbytes, self.capacity - off)
+        dst[:first] = self._data[off : off + first]
+        if nbytes > first:
+            dst[first:] = self._data[: nbytes - first]
+
+    def advance(self, nbytes: int) -> None:
+        self._head[0] = int(self._head[0]) + nbytes
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Unmap this side's view of the segment (does not unlink)."""
+        if self._closed:
+            return
+        self._closed = True
+        # every exported view must be released before the mmap can close
+        self._data = None
+        self._dmv.release()
+        self._tail.release()
+        self._head.release()
+        self._mv.release()
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name (mappings live on until unmapped).
+
+        Safe to call from either side and more than once: whoever
+        notices the channel ending first removes the name, so a SIGKILL
+        of one end never leaks the segment past the surviving end.
+        """
+        # SharedMemory.unlink() unregisters from the resource tracker
+        # exactly when the handle is tracked (py<3.13: always; py3.13+:
+        # unless track=False).  Register first so that unregister always
+        # finds an entry — whatever attach/create did to the (set-
+        # semantics) tracker cache before us — and compensate when the
+        # peer already removed the name and unlink never unregisters.
+        tracked = getattr(self._shm, "_track", True)
+        name = getattr(self._shm, "_name", None)
+        resource_tracker = None
+        if tracked and name is not None:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.register(name, "shared_memory")
+            except Exception:
+                resource_tracker = None
+        try:
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):
+            if resource_tracker is not None:
+                try:
+                    resource_tracker.unregister(name, "shared_memory")
+                except Exception:
+                    pass
+
+
+def read_ring_frame(ring: ShmRing, offset: int = 0) -> Optional[Tuple[Any, int]]:
+    """Decode the complete frame ``offset`` bytes past the head without
+    consuming anything.
+
+    Returns ``(message, total_frame_bytes)`` or None when the ring holds
+    no complete frame there.  A non-zero ``offset`` lets the consumer
+    decode a batch of frames and advance the head once for all of them;
+    the head still only moves after the messages safely landed (inbox
+    accepted them) — see module docstring.
+    """
+    used = ring.used() - offset
+    head_len = _PREFIX.size + 1
+    if used < head_len:
+        return None
+    # single probe: prefix + tag + the fixed data header in one peek.  A
+    # data frame is only visible once fully published, so whenever the
+    # tag turns out to be F/G the probe is guaranteed to have covered
+    # the whole 45-byte head.
+    probe = head_len + _FIELD_HEADER.size
+    head = ring.peek(offset, probe if used >= probe else head_len)
+    (body_len,) = _PREFIX.unpack_from(head)
+    check_body_len(body_len)
+    total = _PREFIX.size + body_len
+    if used < total:
+        # producers publish whole frames, so this only happens when the
+        # producer died mid-write before publishing — never consume it
+        return None
+    tag = head[_PREFIX.size : head_len]
+    if tag == TAG_FIELD:
+        group, member, step, lo, hi = _FIELD_HEADER.unpack_from(head, head_len)
+        ncells = field_payload_cells(body_len, lo, hi)
+        data = np.empty(ncells, dtype=np.float64)
+        ring.copy_out(
+            offset + head_len + _FIELD_HEADER.size, data.view(np.uint8)
+        )
+        return FieldMessage(group, member, step, lo, hi, data), total
+    if tag == TAG_GROUP_FIELD:
+        group, step, lo, hi, nmembers = _GROUP_HEADER.unpack_from(head, head_len)
+        shape = group_payload_shape(body_len, lo, hi, nmembers)
+        data = np.empty(shape, dtype=np.float64)
+        ring.copy_out(
+            offset + head_len + _GROUP_HEADER.size,
+            data.reshape(-1).view(np.uint8),
+        )
+        return GroupFieldMessage(group, step, lo, hi, data), total
+    body = ring.peek(offset + head_len, body_len - 1)
+    return decode_control_body(tag, body), total
+
+
+def ring_bytes_for(
+    send_hwm_bytes: Optional[int], max_frame_hint: int = 0
+) -> int:
+    """Segment size request for one channel.
+
+    Large enough that (a) the logical send budget fits physically and
+    (b) any single frame the study can produce fits even when the
+    budget is smaller than one frame (BoundedChannel's oversized-message
+    rule admits such a frame into an empty channel — the ring must be
+    able to hold it).
+    """
+    return max(
+        DEFAULT_RING_BYTES,
+        2 * (send_hwm_bytes or 0),
+        2 * max_frame_hint,
+    )
+
+
+class ShmChannel:
+    """Producer end of one same-host (worker, server-rank) data channel.
+
+    Satisfies the :class:`~repro.transport.base.Channel` protocol with
+    the same suspension-stats accounting as the TCP
+    :class:`~repro.net.channel.SocketChannel`: ``send_blocks`` counts
+    would-blocks, ``blocked_seconds`` accumulates blocking-send waits,
+    ``high_water_bytes`` tracks peak in-flight ring bytes.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        ring: ShmRing,
+        send_hwm_bytes: Optional[int] = None,
+        name: str = "",
+    ):
+        self.name = name or f"shm://{ring.name}"
+        self._sock = sock
+        self._ring = ring
+        self._hwm = send_hwm_bytes
+        self.stats = ChannelStats()
+        self._lock = threading.Lock()  # serializes producers + doorbell
+        self._error: Optional[BaseException] = None
+        self._closed = False
+        # the negotiation socket doubles as the liveness probe: a killed
+        # rank resets it, which is how a blocked sender learns to stop
+        self._reader = threading.Thread(
+            target=self._watch_peer, name=f"{self.name}-reader", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def broken(self) -> bool:
+        return self._error is not None
+
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            raise ChannelClosed(f"{self.name}: connection failed") from self._error
+        if self._closed:
+            raise ChannelClosed(f"{self.name}: channel closed")
+
+    def _fits(self, nbytes: int) -> bool:
+        used = self._ring.used()
+        if used == 0:
+            # BoundedChannel's oversized rule: an idle channel admits any
+            # frame that physically fits, so it can ever be delivered
+            return nbytes <= self._ring.capacity
+        if self._hwm is not None and used + nbytes > self._hwm:
+            return False
+        return used + nbytes <= self._ring.capacity
+
+    def can_accept(self, nbytes: int) -> bool:
+        # raising (not False) on a dead channel mirrors SocketChannel:
+        # a silent "would block" would suspend the group forever instead
+        # of surfacing the rank death to the reconnect path
+        self._raise_pending()
+        return self._fits(int(nbytes))
+
+    def try_send(self, msg: Any) -> bool:
+        self._raise_pending()
+        nbytes = frame_nbytes(msg)
+        with self._lock:
+            if not self._fits(nbytes):
+                self.stats.send_blocks += 1
+                return False
+            self._publish(msg, nbytes)
+        return True
+
+    def send(self, msg: Any, timeout: Optional[float] = None) -> None:
+        self._raise_pending()
+        nbytes = frame_nbytes(msg)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            if not self._fits(nbytes):
+                self.stats.send_blocks += 1
+                start = time.monotonic()
+                spins = 0
+                while not self._fits(nbytes):
+                    self._raise_pending()
+                    if deadline is not None and time.monotonic() >= deadline:
+                        self.stats.blocked_seconds += time.monotonic() - start
+                        raise TimeoutError(f"send on {self.name} timed out")
+                    # the consumer may be another process, so there is
+                    # no condition to wait on: yield briefly, then back
+                    # off to micro-sleeps — long sleep(0) spinning would
+                    # steal the GIL from a same-process consumer thread
+                    spins += 1
+                    time.sleep(0 if spins < 4 else 0.00002)
+                self.stats.blocked_seconds += time.monotonic() - start
+            self._publish(msg, nbytes)
+
+    def _publish(self, msg: Any, nbytes: int) -> None:
+        was_empty = self._ring.used() == 0
+        self._ring.write(encode_frame(msg))
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += nbytes
+        used = self._ring.used()
+        if used > self.stats.high_water_bytes:
+            self.stats.high_water_bytes = used
+        if was_empty or self._ring.consumer_waiting:
+            # ding the consumer's event loop so it drains now instead of
+            # on its next safety-timeout tick; clearing the waiting flag
+            # first keeps a burst of publishes to one doorbell
+            self._ring.set_consumer_waiting(False)
+            try:
+                send_frame(self._sock, Doorbell())
+            except (OSError, ConnectionError):
+                pass  # peer death surfaces via the watcher thread
+
+    # ------------------------------------------------------------------ #
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until the consumer drained every frame into its inbox."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        spins = 0
+        while True:
+            self._raise_pending()
+            if not self._ring.used():
+                return
+            if self._ring.consumer_closed:
+                raise ChannelClosed(f"{self.name}: receiver closed")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{self.name}: {self._ring.used()} ring byte(s) not yet "
+                    f"drained by the receiver after {timeout}s"
+                )
+            spins += 1
+            time.sleep(0 if spins < 4 else 0.00002)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._ring.close_producer()
+        except (OSError, ValueError):
+            pass
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._ring.close()
+
+    # ------------------------------------------------------------------ #
+    def _watch_peer(self) -> None:
+        try:
+            while True:
+                recv_frame(self._sock)  # credits are not used on shm
+        except (ConnectionLost, OSError, ValueError) as exc:
+            if not self._closed and self._error is None:
+                self._error = exc
+                # the rank died holding the segment open: drop the name
+                # now so nothing leaks even if the creator's resource
+                # tracker never runs (SIGKILL); mappings are unaffected
+                self._ring.unlink()

@@ -27,7 +27,7 @@ import os
 import signal
 import time
 import traceback
-from typing import Dict, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro import telemetry as _telemetry
 from repro.faults import FaultPlan, parse_worker_fault
@@ -40,7 +40,7 @@ from repro.core.group import (
     SimulationGroup,
 )
 from repro.mesh.partition import BlockPartition
-from repro.net.channel import SocketChannel
+from repro.net.channel import open_data_channel
 from repro.transport.channel import ChannelClosed
 from repro.net.coordinator import study_fingerprint, study_id
 from repro.net.framing import (
@@ -114,11 +114,13 @@ class SocketRouter:
 
     ``connect`` performs the paper's rendezvous exactly once per worker:
     ask the rank-0 endpoint for the server partition, learn each rank's
-    data address, and from then on open one
-    :class:`~repro.net.channel.SocketChannel` per intersecting rank on
-    first use.  ``deliver`` splits along the server partition like every
-    other transport and applies the all-or-nothing probe so a retried
-    whole message cannot re-send chunks that already landed.
+    data address, and from then on open one data channel per
+    intersecting rank on first use — the fabric (shared-memory ring vs
+    TCP framing) is negotiated per channel by
+    :func:`~repro.net.channel.open_data_channel` according to
+    ``config.transport``.  ``deliver`` splits along the server partition
+    like every other transport and applies the all-or-nothing probe so a
+    retried whole message cannot re-send chunks that already landed.
     """
 
     def __init__(
@@ -135,7 +137,7 @@ class SocketRouter:
         self.server_partition: Optional[BlockPartition] = None
         self._reply: Optional[ConnectionReply] = None
         self._addresses: Optional[Tuple[Tuple[str, int], ...]] = None
-        self._channels: Dict[int, SocketChannel] = {}
+        self._channels: Dict[int, Any] = {}  # rank -> negotiated Channel
         self._connected: Set[int] = set()
 
     # ------------------------------------------------------------------ #
@@ -163,14 +165,19 @@ class SocketRouter:
         self._connected.discard(group_id)
 
     # ------------------------------------------------------------------ #
-    def _channel(self, rank: int) -> SocketChannel:
+    def _channel(self, rank: int):
         channel = self._channels.get(rank)
         if channel is None:
             try:
-                channel = SocketChannel(
+                # hint: the widest chunk this worker can push to one rank
+                # is a full group-field slab over the rank's cell slice
+                max_frame = 8 * self.config.group_size * self.config.ncells + 256
+                channel = open_data_channel(
                     self._addresses[rank],
+                    transport=getattr(self.config, "transport", "auto"),
                     send_hwm_bytes=self.config.channel_capacity_bytes,
                     name=f"{self.name}->rank{rank}",
+                    max_frame_hint=max_frame,
                 )
             except (OSError, TimeoutError) as exc:
                 # a stale address from before a rank respawn: surface it

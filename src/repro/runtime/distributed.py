@@ -35,6 +35,7 @@ Fault paths (Sec. 4.2):
 
 from __future__ import annotations
 
+import copy
 import multiprocessing as mp
 import threading
 from typing import List, Optional
@@ -89,6 +90,10 @@ class DistributedRuntime:
         :mod:`repro.faults`); group faults are rejected — they need the
         virtual-time driver.  Respawned/elastic replacement processes
         always run clean.
+    transport:
+        Convenience override of ``config.transport`` for this loopback
+        deployment: "auto" (negotiate shared memory per channel, fall
+        back to TCP), "tcp", or "shm".
 
     Scheduling: ``config.scheduling`` (a
     :class:`~repro.scheduler.policy.SchedulingConfig` or spec string)
@@ -116,9 +121,23 @@ class DistributedRuntime:
         metrics_file=None,
         metrics_port: Optional[int] = None,
         metrics_interval: float = 1.0,
+        transport: Optional[str] = None,
     ):
         if nworkers < 1:
             raise ValueError("nworkers must be >= 1")
+        if transport is not None:
+            # convenience override for loopback runs: the forked rank and
+            # worker processes inherit the config, so setting it here
+            # reaches both ends of every channel negotiation.  A shallow
+            # copy, not dataclasses.replace — __post_init__'s statistics
+            # resolution is not idempotent.
+            if transport not in ("auto", "tcp", "shm"):
+                raise ValueError(
+                    f"transport must be 'auto', 'tcp', or 'shm' — got "
+                    f"{transport!r}"
+                )
+            config = copy.copy(config)
+            config.transport = transport
         if fault_plan is not None and not fault_plan.socket_only:
             raise ValueError(
                 "the distributed runtime injects faults into its real "

@@ -9,24 +9,33 @@ SocketRouter -> frames -> DataListener -> rank inbox -> ServerRank.
 
 import random
 import socket
+import struct
 import threading
 import time
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import StudyConfig
 from repro.core.server import MelissaServer, ServerRank
 from repro.mesh.partition import BlockPartition
 from repro.net.channel import DataListener, SocketChannel
 from repro.net.framing import (
+    TAG_FIELD,
+    TAG_GROUP_FIELD,
     AddressedReply,
     ConnectionLost,
     Credit,
     DialTimeout,
+    Doorbell,
     FrameConnection,
+    FrameReader,
+    ProtocolError,
     backoff_intervals,
     connect_with_retry,
+    encode_frame,
     frame_nbytes,
     recv_frame,
     send_frame,
@@ -477,3 +486,245 @@ class TestBackoffAndDial:
                 accepted.close()
         finally:
             listener.close()
+
+
+# --------------------------------------------------------------------- #
+# hardened decoding: the length prefix is ground truth (ISSUE 9)
+# --------------------------------------------------------------------- #
+_FIELD_HEADER = struct.Struct("<qqqqq")
+_PREFIX = struct.Struct("<I")
+
+
+def _send_raw(parts):
+    """Write raw bytes to one end of a socketpair, return the other."""
+    a, b = socket.socketpair()
+    with a:
+        for part in parts:
+            a.sendall(part)
+    return b
+
+
+class TestHardenedDecoder:
+    """A header that contradicts the frame prefix must raise a named
+    ProtocolError instead of desynchronizing the stream or allocating
+    from attacker-controlled numbers."""
+
+    def test_zero_length_prefix_rejected(self):
+        with _send_raw([_PREFIX.pack(0) + b"X"]) as sock:
+            with pytest.raises(ProtocolError, match="invalid frame length"):
+                recv_frame(sock)
+
+    def test_oversized_prefix_rejected(self):
+        with _send_raw([_PREFIX.pack(0xFFFFFFFF)]) as sock:
+            with pytest.raises(ProtocolError, match="invalid frame length"):
+                recv_frame(sock)
+
+    def test_field_header_cell_count_must_match_prefix(self):
+        # header claims [0, 5) = 5 cells, prefix sized for 4 cells
+        header = _FIELD_HEADER.pack(0, 0, 0, 0, 5)
+        body_len = 1 + _FIELD_HEADER.size + 8 * 4
+        payload = b"\0" * (8 * 4)
+        raw = [_PREFIX.pack(body_len) + TAG_FIELD + header + payload]
+        with _send_raw(raw) as sock:
+            with pytest.raises(ProtocolError, match="claims 5 cells"):
+                recv_frame(sock)
+
+    def test_field_header_inverted_range_rejected(self):
+        header = _FIELD_HEADER.pack(0, 0, 0, 7, 3)
+        body_len = 1 + _FIELD_HEADER.size + 8
+        with _send_raw([_PREFIX.pack(body_len) + TAG_FIELD + header]) as sock:
+            with pytest.raises(ProtocolError, match="invalid cell range"):
+                recv_frame(sock)
+
+    def test_group_header_shape_must_match_prefix(self):
+        # header claims 2x4 cells, prefix sized for 2x3
+        header = _FIELD_HEADER.pack(0, 0, 0, 4, 2)  # group,step,lo,hi,nmembers
+        body_len = 1 + _FIELD_HEADER.size + 8 * 2 * 3
+        raw = [_PREFIX.pack(body_len) + TAG_GROUP_FIELD + header]
+        with _send_raw(raw) as sock:
+            with pytest.raises(ProtocolError, match="claims 2x4 cells"):
+                recv_frame(sock)
+
+    def test_group_header_inverted_range_rejected(self):
+        header = _FIELD_HEADER.pack(0, 0, 5, 2, 3)  # lo=5 > hi=2
+        body_len = 1 + _FIELD_HEADER.size + 8
+        raw = [_PREFIX.pack(body_len) + TAG_GROUP_FIELD + header]
+        with _send_raw(raw) as sock:
+            with pytest.raises(ProtocolError, match="invalid shape"):
+                recv_frame(sock)
+
+    def test_protocol_error_is_not_connection_lost(self):
+        assert issubclass(ProtocolError, ValueError)
+        assert not issubclass(ProtocolError, ConnectionError)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        lo=st.integers(min_value=-4, max_value=64),
+        hi=st.integers(min_value=-4, max_value=64),
+        ncells_claimed=st.integers(min_value=1, max_value=64),
+    )
+    def test_mismatched_field_frames_never_decode_garbage(
+        self, lo, hi, ncells_claimed
+    ):
+        """Any (lo, hi) header whose range disagrees with the prefix is
+        rejected; only a consistent frame decodes."""
+        header = _FIELD_HEADER.pack(1, 2, 3, lo, hi)
+        body_len = 1 + _FIELD_HEADER.size + 8 * ncells_claimed
+        payload = np.arange(ncells_claimed, dtype=np.float64).tobytes()
+        raw = [_PREFIX.pack(body_len) + TAG_FIELD + header + payload]
+        consistent = lo >= 0 and hi > lo and hi - lo == ncells_claimed
+        with _send_raw(raw) as sock:
+            if consistent:
+                msg = recv_frame(sock)
+                assert (msg.cell_lo, msg.cell_hi) == (lo, hi)
+                np.testing.assert_array_equal(
+                    msg.data, np.arange(ncells_claimed, dtype=np.float64)
+                )
+            else:
+                with pytest.raises(ProtocolError):
+                    recv_frame(sock)
+
+
+class TestFrameReader:
+    """Incremental decoder driving the selector event loops."""
+
+    @staticmethod
+    def _pair():
+        a, b = socket.socketpair()
+        b.setblocking(False)
+        return a, b
+
+    @staticmethod
+    def _pump_all(reader, sock, deadline=5.0):
+        frames = []
+        end = time.monotonic() + deadline
+        while time.monotonic() < end:
+            got = reader.pump(sock)
+            if not got:
+                return frames
+            frames.extend(got)
+        raise AssertionError("pump never drained")
+
+    def test_single_byte_trickle(self):
+        """Frames arrive intact even delivered one byte at a time."""
+        msg = FieldMessage(7, 1, 2, 3, 9, np.arange(3.0, 9.0))
+        wire = b"".join(bytes(p) for p in encode_frame(msg))
+        a, b = self._pair()
+        reader = FrameReader()
+        try:
+            frames = []
+            for i in range(len(wire)):
+                a.sendall(wire[i : i + 1])
+                time.sleep(0)  # let loopback deliver
+                frames.extend(self._pump_all(reader, b))
+            assert len(frames) == 1
+            out = frames[0]
+            assert (out.group_id, out.member, out.timestep) == (7, 1, 2)
+            np.testing.assert_array_equal(out.data, msg.data)
+        finally:
+            a.close()
+            b.close()
+
+    def test_coalesced_stream_decodes_every_frame(self):
+        msgs = [
+            Heartbeat(sender="w0", time=1.5),
+            FieldMessage(0, 0, 0, 0, 4, np.ones(4)),
+            Doorbell(),
+            GroupFieldMessage(2, 1, 0, 3, np.ones((2, 3))),
+            Credit(4096),
+        ]
+        wire = b"".join(
+            bytes(p) for m in msgs for p in encode_frame(m)
+        )
+        a, b = self._pair()
+        reader = FrameReader()
+        try:
+            a.sendall(wire)
+            frames = self._pump_all(reader, b)
+            assert [type(f).__name__ for f in frames] == [
+                "Heartbeat", "FieldMessage", "Doorbell",
+                "GroupFieldMessage", "Credit",
+            ]
+            assert frames[-1].nbytes == 4096
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_defers_until_buffered_frames_returned(self):
+        """A goodbye frame riding the closing segment is delivered; the
+        ConnectionLost surfaces on the *next* pump."""
+        bye = {"op": "bye", "worker": "w3"}
+        a, b = self._pair()
+        reader = FrameReader()
+        try:
+            for part in encode_frame(bye):
+                a.sendall(part)
+            a.close()
+            time.sleep(0.02)  # frame + EOF land in one readable window
+            frames = reader.pump(b)
+            assert frames == [bye]
+            with pytest.raises(ConnectionLost):
+                reader.pump(b)
+        finally:
+            b.close()
+
+    def test_bare_eof_raises_immediately(self):
+        a, b = self._pair()
+        reader = FrameReader()
+        try:
+            a.close()
+            with pytest.raises(ConnectionLost, match="peer closed"):
+                reader.pump(b)
+        finally:
+            b.close()
+
+    def test_corrupt_header_raises_protocol_error(self):
+        header = _FIELD_HEADER.pack(0, 0, 0, 0, 5)
+        body_len = 1 + _FIELD_HEADER.size + 8 * 4
+        a, b = self._pair()
+        reader = FrameReader()
+        try:
+            a.sendall(_PREFIX.pack(body_len) + TAG_FIELD + header)
+            time.sleep(0.01)
+            with pytest.raises(ProtocolError, match="claims 5 cells"):
+                reader.pump(b)
+        finally:
+            a.close()
+            b.close()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ncells=st.lists(st.integers(min_value=1, max_value=40), min_size=1,
+                        max_size=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_chunking_roundtrip(self, ncells, seed):
+        """Arbitrary TCP segmentation never corrupts or drops frames."""
+        rng = random.Random(seed)
+        msgs = [
+            FieldMessage(i, 0, 0, 0, n, np.arange(float(n)))
+            for i, n in enumerate(ncells)
+        ]
+        wire = b"".join(bytes(p) for m in msgs for p in encode_frame(m))
+        a, b = self._pair()
+        reader = FrameReader()
+        try:
+            frames = []
+            pos = 0
+            while pos < len(wire):
+                step = rng.randint(1, max(1, len(wire) // 3))
+                a.sendall(wire[pos : pos + step])
+                pos += step
+                time.sleep(0)
+                frames.extend(self._pump_all(reader, b))
+            deadline = time.monotonic() + 5.0
+            while len(frames) < len(msgs):
+                assert time.monotonic() < deadline
+                frames.extend(self._pump_all(reader, b))
+            assert len(frames) == len(msgs)
+            for sent, got in zip(msgs, frames):
+                assert got.group_id == sent.group_id
+                np.testing.assert_array_equal(got.data, sent.data)
+        finally:
+            a.close()
+            b.close()

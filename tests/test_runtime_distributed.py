@@ -83,12 +83,14 @@ def vector_factory(fn, ntimesteps=2, cls=VectorSim):
 
 
 class TestDistributedRuntime:
-    def test_loopback_parity_with_sequential(self):
-        """ISSUE 3 acceptance: >= 2 ranks x >= 2 workers over loopback TCP
-        reproduce the sequential statistics to rtol 1e-10."""
+    @pytest.mark.parametrize("transport", ["tcp", "shm"])
+    def test_loopback_parity_with_sequential(self, transport):
+        """ISSUE 3 acceptance: >= 2 ranks x >= 2 workers over loopback
+        reproduce the sequential statistics to rtol 1e-10 — on both the
+        TCP framing path and the negotiated shared-memory ring."""
         fn, config = make_config(24, server_ranks=2)
         distributed = DistributedRuntime(
-            config, vector_factory(fn), nworkers=2
+            config, vector_factory(fn), nworkers=2, transport=transport
         ).run(timeout=120.0)
         _, config2 = make_config(24, server_ranks=2)
         sequential = SequentialRuntime(config2, vector_factory(fn)).run()
@@ -122,13 +124,15 @@ class TestDistributedRuntime:
             distributed.total_order, sequential.total_order, rtol=1e-10, atol=1e-12
         )
 
-    def test_survives_killed_worker(self):
+    @pytest.mark.parametrize("transport", ["tcp", "shm"])
+    def test_survives_killed_worker(self, transport):
         """ISSUE 3 acceptance: SIGKILL a worker holding a group mid-study;
-        the coordinator resubmits it and results stay exact."""
+        the coordinator resubmits it and results stay exact — including
+        when the dead worker held shared-memory rings."""
         fn, config = make_config(12, server_ranks=2)
         runtime = DistributedRuntime(
             config, vector_factory(fn, cls=SlowVectorSim), nworkers=2,
-            fault_kill_after=2,
+            fault_kill_after=2, transport=transport,
         )
         distributed = runtime.run(timeout=120.0)
         assert runtime.coordinator.resubmitted, "no group was resubmitted"

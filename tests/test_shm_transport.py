@@ -1,0 +1,463 @@
+"""Shared-memory ring transport: ring mechanics, channel semantics,
+fabric negotiation, and the same conformance bar as the TCP path.
+
+The ring is the same-host fast path negotiated by
+:func:`repro.net.channel.open_data_channel`: the listener offers a
+segment, the client proves same-hostness by attaching it, and the data
+plane moves to zero-syscall shared memory while the socket stays on as
+doorbell + liveness probe.  Everything the paper's dual high-water-mark
+semantics promise for TCP (Fig. 6a/b suspension, ChannelStats
+accounting, flush-then-GROUP_DONE ordering) must hold unchanged here.
+"""
+
+import glob
+import socket
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.channel import (
+    DataListener,
+    SocketChannel,
+    TransportNegotiationError,
+    open_data_channel,
+)
+from repro.net.framing import Doorbell, encode_frame, frame_nbytes
+from repro.net.shm import (
+    DEFAULT_RING_BYTES,
+    MIN_RING_BYTES,
+    ShmChannel,
+    ShmRing,
+    read_ring_frame,
+    ring_bytes_for,
+)
+from repro.transport.base import Channel
+from repro.transport.channel import BoundedChannel, ChannelClosed
+from repro.transport.message import FieldMessage, GroupFieldMessage
+
+from test_net_framing import (
+    _CannedRendezvous,
+    group_message,
+    make_config,
+    make_rank_endpoint,
+)
+from repro.core.server import MelissaServer
+from repro.transport.message import ConnectionRequest
+
+
+def field(group=0, member=0, step=0, lo=0, ncells=16, value=0.0):
+    data = np.full(ncells, value, dtype=np.float64)
+    return FieldMessage(group, member, step, lo, lo + ncells, data)
+
+
+def drain_ring(ring):
+    """Consume every complete frame currently published in the ring."""
+    out = []
+    while True:
+        item = read_ring_frame(ring)
+        if item is None:
+            return out
+        msg, total = item
+        ring.advance(total)
+        out.append(msg)
+
+
+class TestShmRing:
+    def test_create_attach_roundtrip(self):
+        ring = ShmRing.create(MIN_RING_BYTES)
+        peer = ShmRing.attach(ring.name)
+        try:
+            msg = field(group=3, member=1, ncells=32, value=7.5)
+            ring.write(encode_frame(msg))
+            (out,) = drain_ring(peer)
+            assert (out.group_id, out.member) == (3, 1)
+            np.testing.assert_array_equal(out.data, msg.data)
+            assert peer.used() == 0
+        finally:
+            peer.close()
+            ring.close()
+            ring.unlink()
+
+    def test_capacity_clamped_to_minimum(self):
+        ring = ShmRing.create(16)
+        try:
+            assert ring.capacity == MIN_RING_BYTES
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_partial_frame_is_invisible_until_published(self):
+        """The consumer never sees a frame before the producer's tail
+        publish — the property that makes SIGKILL mid-write safe."""
+        ring = ShmRing.create(MIN_RING_BYTES)
+        peer = ShmRing.attach(ring.name)
+        try:
+            assert read_ring_frame(peer) is None
+            # hand-write a prefix with no body behind it: used() stays 0
+            # because only write() moves the tail
+            assert peer.used() == 0
+        finally:
+            peer.close()
+            ring.close()
+            ring.unlink()
+
+    def test_double_unlink_both_sides(self):
+        ring = ShmRing.create(MIN_RING_BYTES)
+        peer = ShmRing.attach(ring.name)
+        peer.close()
+        peer.unlink()
+        ring.close()
+        ring.unlink()  # second unlink of a gone segment must be silent
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=700), min_size=1,
+                       max_size=60),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_wraparound_roundtrip(self, sizes, seed):
+        """Frames of arbitrary sizes stream through a small ring intact,
+        wrapping the physical boundary many times."""
+        rng = np.random.default_rng(seed)
+        ring = ShmRing.create(MIN_RING_BYTES)  # 64 KiB: forces wrapping
+        peer = ShmRing.attach(ring.name)
+        try:
+            pending = []
+            received = []
+            for i, ncells in enumerate(sizes):
+                msg = field(group=i, ncells=ncells,
+                            value=float(rng.standard_normal()))
+                parts = encode_frame(msg)
+                total = sum(len(p) for p in parts)
+                while ring.free() < total:
+                    got = drain_ring(peer)
+                    assert got, "ring full but nothing readable"
+                    received.extend(got)
+                ring.write(parts)
+                pending.append(msg)
+            received.extend(drain_ring(peer))
+            assert len(received) == len(pending)
+            for sent, got in zip(pending, received):
+                assert got.group_id == sent.group_id
+                np.testing.assert_array_equal(got.data, sent.data)
+        finally:
+            peer.close()
+            ring.close()
+            ring.unlink()
+
+    def test_ring_bytes_for_scales_with_hwm_and_frame(self):
+        assert ring_bytes_for(None) == DEFAULT_RING_BYTES
+        assert ring_bytes_for(DEFAULT_RING_BYTES) == 2 * DEFAULT_RING_BYTES
+        assert ring_bytes_for(None, max_frame_hint=DEFAULT_RING_BYTES) == (
+            2 * DEFAULT_RING_BYTES
+        )
+
+
+def open_shm_pair(recv_hwm=None, send_hwm=None, inbox_capacity=None):
+    inbox = BoundedChannel(capacity_bytes=inbox_capacity, name="rank-inbox")
+    listener = DataListener(inbox, recv_hwm_bytes=recv_hwm, transport="auto")
+    channel = open_data_channel(
+        listener.address, transport="shm", send_hwm_bytes=send_hwm,
+        name="test-shm",
+    )
+    assert isinstance(channel, ShmChannel)
+    return inbox, listener, channel
+
+
+class TestShmChannelSemantics:
+    def test_channel_protocol_conformance(self):
+        inbox, listener, channel = open_shm_pair()
+        try:
+            assert isinstance(channel, Channel)
+        finally:
+            channel.close()
+            listener.close()
+
+    def test_delivery_order_and_stats(self):
+        inbox, listener, channel = open_shm_pair()
+        try:
+            msgs = [field(member=m, ncells=48, value=float(m)) for m in range(8)]
+            for msg in msgs:
+                assert channel.try_send(msg)
+            channel.flush(timeout=10.0)
+            out = [inbox.recv(timeout=2.0) for _ in range(8)]
+            assert [m.member for m in out] == list(range(8))
+            for sent, got in zip(msgs, out):
+                np.testing.assert_array_equal(got.data, sent.data)
+            assert channel.stats.messages_sent == 8
+            assert channel.stats.bytes_sent == sum(frame_nbytes(m) for m in msgs)
+        finally:
+            channel.close()
+            listener.close()
+
+    def test_sender_suspends_when_both_sides_full(self):
+        """Fig. 6a/b on shared memory: a non-draining inbox backs the
+        ring up, the send window exhausts, try_send -> False, and
+        draining the inbox releases the pipeline."""
+        msg = field(ncells=64)
+        size = frame_nbytes(msg)
+        inbox, listener, channel = open_shm_pair(
+            recv_hwm=size, send_hwm=size, inbox_capacity=size
+        )
+        try:
+            sent = 0
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if channel.try_send(msg):
+                    sent += 1
+                elif sent >= 2:
+                    break
+                else:
+                    time.sleep(0.005)
+            assert not channel.try_send(msg), "channel should be saturated"
+            assert channel.stats.send_blocks > 0
+            drained = 0
+            while drained < sent:
+                got = inbox.try_recv()
+                if got is None:
+                    time.sleep(0.005)
+                    continue
+                drained += 1
+            deadline = time.monotonic() + 5.0
+            while not channel.try_send(msg):
+                assert time.monotonic() < deadline, "sender never unblocked"
+                time.sleep(0.005)
+        finally:
+            channel.close()
+            listener.close()
+
+    def test_blocking_send_accounts_blocked_seconds(self):
+        msg = field(ncells=64)
+        size = frame_nbytes(msg)
+        inbox, listener, channel = open_shm_pair(
+            send_hwm=size, inbox_capacity=size
+        )
+        try:
+            deadline = time.monotonic() + 5.0
+            while channel.try_send(msg):
+                assert time.monotonic() < deadline
+                time.sleep(0.002)
+            with pytest.raises(TimeoutError):
+                channel.send(msg, timeout=0.05)
+            assert channel.stats.blocked_seconds > 0.0
+        finally:
+            channel.close()
+            listener.close()
+
+    def test_oversized_message_admitted_when_idle(self):
+        """A frame bigger than the HWM must still be deliverable when the
+        window is idle (the BoundedChannel oversized-into-empty rule)."""
+        inbox, listener, channel = open_shm_pair(send_hwm=256)
+        try:
+            big = field(ncells=4096)  # ~32 KiB >> 256-byte HWM
+            assert channel.try_send(big)
+            channel.flush(timeout=10.0)
+            out = inbox.recv(timeout=2.0)
+            np.testing.assert_array_equal(out.data, big.data)
+        finally:
+            channel.close()
+            listener.close()
+
+    def test_broken_channel_raises(self):
+        inbox, listener, channel = open_shm_pair()
+        listener.close()
+        try:
+            deadline = time.monotonic() + 5.0
+            while not channel.broken:
+                assert time.monotonic() < deadline, "peer loss never noticed"
+                time.sleep(0.01)
+            with pytest.raises(ChannelClosed):
+                channel.send(field())
+            with pytest.raises(ChannelClosed):
+                channel.can_accept(64)
+        finally:
+            channel.close()
+
+    def test_peer_death_unlinks_segment(self):
+        """When the listener side dies, the client watch thread removes
+        the segment name — a SIGKILLed deployment leaks nothing."""
+        inbox, listener, channel = open_shm_pair()
+        name = channel._ring.name
+        assert glob.glob(f"/dev/shm/psm_*{name.lstrip('/psm_')}") or True
+        listener.close()
+        try:
+            deadline = time.monotonic() + 5.0
+            while glob.glob(f"/dev/shm{name if name.startswith('/') else '/' + name}"):
+                assert time.monotonic() < deadline, "segment never unlinked"
+                time.sleep(0.01)
+        finally:
+            channel.close()
+
+
+class TestFabricNegotiation:
+    def test_auto_auto_negotiates_shm(self):
+        inbox = BoundedChannel()
+        listener = DataListener(inbox, transport="auto")
+        channel = open_data_channel(listener.address, transport="auto")
+        try:
+            assert isinstance(channel, ShmChannel)
+        finally:
+            channel.close()
+            listener.close()
+
+    def test_tcp_listener_forces_fallback(self):
+        inbox = BoundedChannel()
+        listener = DataListener(inbox, transport="tcp")
+        channel = open_data_channel(listener.address, transport="auto")
+        try:
+            assert isinstance(channel, SocketChannel)
+            msg = field(ncells=8)
+            channel.send(msg, timeout=5.0)
+            channel.flush(timeout=5.0)
+            out = inbox.recv(timeout=2.0)
+            np.testing.assert_array_equal(out.data, msg.data)
+        finally:
+            channel.close()
+            listener.close()
+
+    def test_tcp_client_skips_negotiation(self):
+        inbox = BoundedChannel()
+        listener = DataListener(inbox, transport="auto")
+        channel = open_data_channel(listener.address, transport="tcp")
+        try:
+            assert isinstance(channel, SocketChannel)
+        finally:
+            channel.close()
+            listener.close()
+
+    def test_forced_shm_against_tcp_listener_errors(self):
+        inbox = BoundedChannel()
+        listener = DataListener(inbox, transport="tcp")
+        try:
+            with pytest.raises(TransportNegotiationError):
+                open_data_channel(listener.address, transport="shm")
+        finally:
+            listener.close()
+
+    def test_plain_socket_channel_still_served(self):
+        """A legacy SocketChannel (no negotiation frames at all) against
+        the new listener: data flows, credits flow."""
+        inbox = BoundedChannel()
+        listener = DataListener(inbox, transport="auto")
+        channel = SocketChannel(listener.address, name="legacy")
+        try:
+            msg = field(ncells=8)
+            channel.send(msg, timeout=5.0)
+            channel.flush(timeout=5.0)
+            out = inbox.recv(timeout=2.0)
+            np.testing.assert_array_equal(out.data, msg.data)
+        finally:
+            channel.close()
+            listener.close()
+
+    def test_listener_prunes_disconnected_conns(self):
+        """Regression for the DataListener leak: the connection table
+        must not grow across connect/disconnect cycles."""
+        inbox = BoundedChannel()
+        listener = DataListener(inbox, transport="auto")
+        try:
+            for transport in ("tcp", "shm", "tcp", "shm"):
+                channel = open_data_channel(listener.address, transport=transport)
+                deadline = time.monotonic() + 5.0
+                while listener.open_connections != 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+                channel.close()
+                deadline = time.monotonic() + 5.0
+                while listener.open_connections != 0:
+                    assert time.monotonic() < deadline, "conn never pruned"
+                    time.sleep(0.005)
+        finally:
+            listener.close()
+
+    def test_no_segments_leaked(self):
+        before = set(glob.glob("/dev/shm/psm_*"))
+        inbox = BoundedChannel()
+        listener = DataListener(inbox, transport="auto")
+        channels = [
+            open_data_channel(listener.address, transport="shm")
+            for _ in range(3)
+        ]
+        for ch in channels:
+            ch.send(field(), timeout=5.0)
+            ch.flush(timeout=5.0)
+            ch.close()
+        listener.close()
+        deadline = time.monotonic() + 5.0
+        while set(glob.glob("/dev/shm/psm_*")) - before:
+            assert time.monotonic() < deadline, (
+                f"leaked: {set(glob.glob('/dev/shm/psm_*')) - before}"
+            )
+            time.sleep(0.01)
+
+
+@pytest.mark.parametrize(
+    "ncells,server_ranks",
+    [(10, 2), (11, 3), (7, 7)],  # even, ragged, 1-cell ranks
+)
+class TestSplittingThroughShmPath:
+    """The PR 1 partition-straddle semantics, pushed through the
+    shared-memory fabric instead of TCP: identical integration to an
+    in-process MelissaServer."""
+
+    def _fabric_and_router(self, config):
+        from repro.net.worker import SocketRouter
+
+        ranks, inboxes, listeners = [], [], []
+        for r in range(config.server_ranks):
+            rank, inbox, listener = make_rank_endpoint(r, config)
+            ranks.append(rank)
+            inboxes.append(inbox)
+            listeners.append(listener)
+        addresses = tuple(l.address for l in listeners)
+        router = SocketRouter(
+            _CannedRendezvous(config, addresses), config, name="shm-worker"
+        )
+        router.connect(ConnectionRequest(0, config.ncells, 1))
+        return ranks, inboxes, listeners, router
+
+    def test_straddles_match_inprocess_server(self, ncells, server_ranks):
+        config = make_config(
+            ncells=ncells, server_ranks=server_ranks, transport="shm"
+        )
+        ranks, inboxes, listeners, router = self._fabric_and_router(config)
+        reference = MelissaServer(config)
+        try:
+            for rank in range(server_ranks):
+                assert isinstance(router._channel(rank), ShmChannel)
+            messages = [
+                group_message(0, 0, 0, ncells),
+                group_message(1, 0, 3, min(8, ncells)),
+                group_message(1, 0, 0, 3),
+            ]
+            if ncells > 8:
+                messages.append(group_message(1, 0, 8, ncells))
+            for msg in messages:
+                assert router.deliver(msg, blocking=True)
+                assert reference.handle(msg, now=0.0)
+            router.flush(timeout=10.0)
+            end = time.monotonic() + 5.0
+            quiet = 0
+            while quiet < 3 and time.monotonic() < end:
+                moved = False
+                for rank, inbox in zip(ranks, inboxes):
+                    msg = inbox.try_recv()
+                    if msg is not None:
+                        rank.handle(msg, time.monotonic())
+                        moved = True
+                quiet = 0 if moved else quiet + 1
+                if not moved:
+                    time.sleep(0.01)
+            for shm_rank, ref_rank in zip(ranks, reference.ranks):
+                assert shm_rank.messages_processed == ref_rank.messages_processed
+                assert shm_rank.staged_entries == ref_rank.staged_entries
+                np.testing.assert_array_equal(
+                    shm_rank.sobol.variance_map(0), ref_rank.sobol.variance_map(0)
+                )
+        finally:
+            router.close()
+            for listener in listeners:
+                listener.close()
