@@ -107,6 +107,7 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     fn = IshigamiFunction()
     study = SensitivityStudy.for_function(
         fn, ngroups=args.groups, seed=args.seed, kernel=args.kernel,
+        fold_threads=args.fold_threads,
         **_stats_overrides(args),
     )
     results = study.run(runtime=args.runtime)
@@ -137,6 +138,7 @@ def _cmd_tube(args: argparse.Namespace) -> int:
         case, ngroups=args.groups, seed=args.seed,
         server_ranks=args.server_ranks, client_ranks=2,
         kernel=args.kernel,
+        fold_threads=args.fold_threads,
         **_stats_overrides(args),
     )
     kwargs = {"steps_per_tick": 4} if args.runtime == "sequential" else {}
@@ -273,6 +275,11 @@ def _resolved_study(args: argparse.Namespace):
     transport = getattr(args, "transport", None)
     if transport is not None:
         study.config.transport = transport
+    fold_threads = getattr(args, "fold_threads", None)
+    if fold_threads is not None:
+        from repro.kernels.parallel import validate_threads_spec
+
+        study.config.fold_threads = validate_threads_spec(fold_threads)
     return study
 
 
@@ -361,6 +368,8 @@ def _serve_respawn_command(args: argparse.Namespace, rank: int, address) -> List
     ]
     if args.kernel:
         cmd += ["--kernel", args.kernel]
+    if getattr(args, "fold_threads", None) is not None:
+        cmd += ["--fold-threads", str(args.fold_threads)]
     for spec in getattr(args, "stats", None) or []:
         cmd += ["--stats", spec]
     if args.checkpoint_interval is not None:
@@ -395,6 +404,8 @@ def _work_spawn_command(args: argparse.Namespace, index: int, address) -> List[s
     ]
     if args.kernel:
         cmd += ["--kernel", args.kernel]
+    if getattr(args, "fold_threads", None) is not None:
+        cmd += ["--fold-threads", str(args.fold_threads)]
     for spec in getattr(args, "stats", None) or []:
         cmd += ["--stats", spec]
     if getattr(args, "transport", None):
@@ -492,12 +503,15 @@ def _cmd_launch(args: argparse.Namespace) -> int:
             # spawned ON THIS HOST from the same study flags (multi-host
             # deployments respawn serve with their own process manager).
             # The fault env var is stripped: replacements run clean even
-            # when the original serve was env-injected to die.
-            clean_env = {k: v for k, v in os.environ.items() if k != FAULT_ENV}
+            # when the original serve was env-injected to die.  The env
+            # is computed at SPAWN time, not launch time, so fold-plan
+            # exports the coordinator absorbed mid-study
+            # ($REPRO_FOLD_AUTOTUNE) reach the replacement and it skips
+            # the autotune probe.
             coordinator.supervisor = RankSupervisor(
                 spawner=lambda rank: subprocess.Popen(
                     _serve_respawn_command(args, rank, coordinator.address),
-                    env=clean_env,
+                    env={k: v for k, v in os.environ.items() if k != FAULT_ENV},
                 ),
                 policy=RankRespawnPolicy(
                     nranks=study.config.server_ranks,
@@ -629,6 +643,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--kernel", choices=KERNEL_NAMES, default=None,
             help="co-moment fold backend (default: $REPRO_KERNEL, then "
                  "'auto' = autotune on the first fold)",
+        )
+        sp.add_argument(
+            "--fold-threads", metavar="N|auto", default=None,
+            help="fold-pool width per server rank: an int >= 1, or "
+                 "'auto' = probe 1/2/half/all cores on the first real "
+                 "fold, clamped by cpus // local_ranks (default: "
+                 "$REPRO_FOLD_THREADS, then 'auto')",
         )
 
     def add_stats_arg(sp):

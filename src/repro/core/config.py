@@ -51,6 +51,14 @@ class StudyConfig:
     #: "einsum", "blas", "cext", "numba"; None defers to the REPRO_KERNEL
     #: environment variable and then "auto"
     kernel: Optional[str] = None
+    #: fold-thread budget per server rank: "auto" (probe 1/2/half/all
+    #: cores on the first real fold, clamped by ``cpus // local_ranks``
+    #: so co-located ranks don't oversubscribe), an int >= 1 to pin the
+    #: pool size, or None to defer to $REPRO_FOLD_THREADS and then
+    #: "auto".  Pure execution policy — it cannot change any statistic
+    #: bit (shards are block-aligned disjoint cell windows) — so it is
+    #: deliberately NOT part of the study fingerprint or checkpoints.
+    fold_threads: Optional[object] = None
 
     # --- client shape ----------------------------------------------------
     client_ranks: int = 2  # ranks per simulation (the in-group partition)
@@ -127,8 +135,10 @@ class StudyConfig:
                 f"{self.transport!r}"
             )
         from repro.kernels import resolve_spec
+        from repro.kernels.parallel import validate_threads_spec
 
         resolve_spec(self.kernel)  # fail fast on unknown backend names
+        self.fold_threads = validate_threads_spec(self.fold_threads)
         self._resolve_statistics()  # fail fast on unknown statistic specs
         self._resolve_scheduling()  # fail fast on malformed scheduling specs
 

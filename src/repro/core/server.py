@@ -62,7 +62,13 @@ class _Staging:
 class ServerRank:
     """One MPI-rank's worth of Melissa Server state and logic."""
 
-    def __init__(self, rank: int, config: StudyConfig, partition: BlockPartition):
+    def __init__(
+        self,
+        rank: int,
+        config: StudyConfig,
+        partition: BlockPartition,
+        local_ranks: int = 1,
+    ):
         self.rank = rank
         self.config = config
         self.partition = partition
@@ -70,16 +76,23 @@ class ServerRank:
         self.ncells_local = self.cell_hi - self.cell_lo
         nmembers = config.group_size
         self.nmembers = nmembers
+        #: server ranks co-located on this host — the auto fold-thread
+        #: ladder is clamped by cpus // local_ranks to avoid oversubscribing
+        self.local_ranks = max(1, int(local_ranks))
         self.sobol = UbiquitousSobolField(
             nparams=config.nparams,
             ntimesteps=config.ntimesteps,
             ncells=self.ncells_local,
             kernel=config.kernel,
+            fold_threads=config.fold_threads,
+            local_ranks=self.local_ranks,
         )
         # the configured statistics catalog: one FieldStatistic instance
         # per (spec, timestep), driven generically.  Member statistics see
         # only the A and B members (the only independent inputs within a
         # group, Sec. 4.1); group statistics consume the whole buffer.
+        from repro.kernels import parallel as _parallel
+
         self.stats = StatisticsPipeline(
             config.statistics,
             StatContext(
@@ -88,6 +101,9 @@ class ServerRank:
                 parameter_names=tuple(config.space.names),
             ),
             config.ntimesteps,
+            fold_threads=_parallel.eager_threads(
+                config.fold_threads, local_ranks=self.local_ranks
+            ),
         )
         # fault-tolerance accounting (Sec. 4.2.1)
         self.last_integrated: Dict[int, int] = {}
@@ -273,7 +289,10 @@ class ServerRank:
         if (state["cell_lo"], state["cell_hi"]) != (self.cell_lo, self.cell_hi):
             raise ValueError("checkpoint partition mismatch")
         self.sobol = UbiquitousSobolField.from_state_dict(
-            state["sobol"], kernel=self.config.kernel
+            state["sobol"],
+            kernel=self.config.kernel,
+            fold_threads=self.config.fold_threads,
+            local_ranks=self.local_ranks,
         )
         self.last_integrated = {int(k): int(v) for k, v in state["last_integrated"].items()}
         self.finished_groups = set(state["finished_groups"])

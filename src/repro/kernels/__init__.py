@@ -25,6 +25,15 @@ unavailable optional backend falls back to the einsum baseline with a
 warning — studies never fail because a host lacks a toolchain.  Every
 backend computes the same mathematically exact formulas; the equivalence
 suite pins them all to the scalar reference at rtol 1e-10.
+
+Multicore folds: every backend here releases the GIL during its compute
+loops — the cext pipeline through ``ctypes.CDLL`` (which drops the GIL
+around every foreign call by construction), einsum/BLAS through NumPy's
+buffer-threshold GIL release, numba via ``nogil=True`` — so the
+:mod:`repro.kernels.parallel` layer can shard one fold across cell
+blocks onto a thread pool and actually run them concurrently.  Kernel
+instances own reusable scratch and are NOT thread-safe; the parallel
+layer builds one instance per worker thread.
 """
 
 from __future__ import annotations
@@ -204,6 +213,8 @@ class AutoKernel(CoMomentKernel):
         return best_kernel
 
 
+from repro.kernels import parallel  # noqa: E402  (needs _construct above)
+
 __all__ = [
     "CoMomentKernel",
     "AutoKernel",
@@ -213,6 +224,7 @@ __all__ = [
     "ENV_VAR",
     "available_backends",
     "make_kernel",
+    "parallel",
     "resolve_spec",
     "warm_compiled_backends",
 ]

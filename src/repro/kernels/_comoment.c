@@ -29,6 +29,13 @@
  * Built at first use by repro.kernels.cext with the system C compiler;
  * if no compiler is present the backend reports itself unavailable and
  * selection falls back to the einsum baseline.
+ *
+ * Threading: this file deliberately has NO Python API — no #include
+ * <Python.h>, no Py_BEGIN_ALLOW_THREADS — because it is loaded through
+ * ctypes.CDLL, which already releases the GIL around every foreign
+ * call.  Both entry points touch only their arguments and stack-local
+ * accumulators, so concurrent calls over disjoint [lo, lo+W) windows
+ * (the repro.kernels.parallel cell shards) are data-race-free.
  */
 
 #include <stddef.h>

@@ -13,6 +13,13 @@ On narrow machines the einsum baseline or the fused compiled kernel
 usually wins — which is exactly what ``kernel="auto"`` measures; this
 backend earns its keep on wide-BLAS hosts and documents the GEMM
 restructuring explicitly.
+
+GIL audit (multicore folds): the stacked ``np.matmul`` releases the GIL
+inside the BLAS call, as do the transpose copy and reductions, so cell
+shards overlap across threads.  Note the interaction budget: fold
+threads multiply with BLAS's own thread pool, which is one more reason
+the ``auto`` probe measures rather than assumes.  Instances are NOT
+thread-safe (``_zt``/``_gram`` scratch); one instance per thread.
 """
 
 from __future__ import annotations

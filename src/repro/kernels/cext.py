@@ -11,6 +11,16 @@ accumulators live in vector registers.
 
 On hosts without a working C compiler the backend reports itself
 unavailable and kernel selection falls back to the einsum baseline.
+
+GIL: the compute loops run WITHOUT the GIL — not via explicit
+``Py_BEGIN_ALLOW_THREADS`` in the C source (``_comoment.c`` has no
+Python API at all), but because ``ctypes.CDLL`` releases the GIL around
+every foreign call by construction.  The parallel fold layer
+(:mod:`repro.kernels.parallel`) relies on this: shards calling into the
+library on different threads genuinely overlap.  Instances are NOT
+thread-safe (``_sz``/``_gd``/``_gx`` scratch is per-instance); the
+parallel layer builds one instance per thread.  ``fold_apply`` uses only
+call-local state, so disjoint ``[lo, hi)`` windows are safe concurrently.
 """
 
 from __future__ import annotations

@@ -5,6 +5,12 @@ from one reduction, and three ``np.einsum`` contractions produce the
 diagonal and cross co-moments.  Kept as the always-available reference
 the other backends are autotuned against; ~4-6 GFLOP/s single core on
 the p=6 / 20k-cell hot path.
+
+GIL audit (multicore folds): ``np.einsum``, ``np.subtract`` into an out
+buffer, and the mean reduction all release the GIL for non-trivially
+sized operands, so shards running this backend on different threads
+overlap.  Instances are NOT thread-safe — ``_zx``/``_zc`` residual
+scratch is per-instance — so the parallel layer builds one per thread.
 """
 
 from __future__ import annotations

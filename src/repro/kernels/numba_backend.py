@@ -32,7 +32,10 @@ def available() -> bool:
 def _get_jit():  # pragma: no cover - requires numba
     global _fold_jit
     if _fold_jit is None:
-        @_numba.njit(cache=False, fastmath=False)
+        # nogil: the parallel fold layer shards cell windows across
+        # threads; without it the JIT'd loop would hold the GIL and
+        # serialize every shard
+        @_numba.njit(cache=False, fastmath=False, nogil=True)
         def fold(stack, nb, sz, gd, gx):
             m, w = sz.shape
             p = m - 2

@@ -39,6 +39,7 @@ import traceback
 
 from repro import telemetry as _telemetry
 from repro.core.checkpoint import CheckpointManager
+from repro.kernels import parallel as _parallel
 from repro.core.config import StudyConfig
 from repro.core.server import ServerRank
 from repro.faults import FaultPlan, parse_server_fault
@@ -112,6 +113,7 @@ def run_server_rank(
     fault_plan: FaultPlan = None,
     fault_spec: str = None,
     env_fault: bool = True,
+    local_ranks: int = 1,
 ) -> int:
     """Run one server rank to study completion; returns an exit code.
 
@@ -125,7 +127,7 @@ def run_server_rank(
     log = get_logger("serve", rank=rank_idx, study=study_id(config))
     fault = _resolve_fault_plan(fault_plan, fault_spec, rank_idx, env_fault)
     partition = BlockPartition(config.ncells, config.server_ranks)
-    rank = ServerRank(rank_idx, config, partition)
+    rank = ServerRank(rank_idx, config, partition, local_ranks=local_ranks)
     manager = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
     restore_seconds = None
     if manager is not None:
@@ -195,6 +197,11 @@ def run_server_rank(
             "live convergence scalar: widest Sobol confidence interval "
             "on this rank's partition",
         )
+        g_fold_threads = reg.gauge(
+            "repro_fold_threads",
+            "active fold-pool width per server rank (1 until the first "
+            "parallel fold resolves, e.g. after the auto probe)",
+        )
         h_checkpoint = reg.histogram(
             "repro_rank_checkpoint_seconds",
             "checkpoint save/restore seconds per rank",
@@ -219,8 +226,18 @@ def run_server_rank(
             nonlocal last_beat, last_snapshot, last_ci
             now = time.monotonic()
             if now - last_beat >= heartbeat_interval:
+                # autotune winners ride the beat cadence regardless of
+                # telemetry: the coordinator re-exports them so respawned
+                # / elastic processes skip the probe.  Old coordinators
+                # ignore unknown rank-frame ops, so this is safe to send.
+                new_plans = _parallel.consume_new_plans()
+                if new_plans:
+                    ctrl.send({"op": "autotune", "plans": new_plans})
                 payload = None
                 if telemetry_on:
+                    g_fold_threads.set(
+                        float(rank.sobol.active_fold_threads), rank=rank_label
+                    )
                     stats = inbox.stats
                     g_recv_blocks.set(stats.send_blocks, rank=rank_label)
                     g_recv_blocked.set(

@@ -335,6 +335,9 @@ class DistributedRuntime:
                 "heartbeat_interval": self.heartbeat_interval,
                 "fault_plan": fault_plan,
                 "env_fault": env_fault,
+                # loopback ranks all share this host: clamp auto fold
+                # threads so co-located ranks don't oversubscribe cores
+                "local_ranks": self.config.server_ranks,
             },
             name=f"repro-serve-{rank}",
             daemon=True,

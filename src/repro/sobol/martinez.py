@@ -32,6 +32,7 @@ on (Sec. 3.1).
 
 from __future__ import annotations
 
+import heapq
 import time as _time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -39,6 +40,7 @@ import numpy as np
 
 from repro import telemetry as _telemetry
 from repro.kernels import make_kernel
+from repro.kernels import parallel as _parallel
 from repro.sobol.confidence import (
     first_order_confidence_interval,
     total_order_confidence_interval,
@@ -334,6 +336,16 @@ class UbiquitousSobolField:
     property the asynchronous server relies on (Sec. 3.1) — and a fold of
     B=1 reduces to the classical iterative update, so arrival order only
     perturbs results at the reassociation level (~1e-13 relative).
+
+    Multicore folds: ``fold_threads`` shards each fold across disjoint,
+    block-aligned cell windows onto the persistent thread pool of
+    :mod:`repro.kernels.parallel` — per-thread kernel instances (scratch
+    isolation), no combine step (windows write disjoint state slices),
+    and therefore **bit-exact** results against ``fold_threads=1``.
+    ``"auto"`` (the default) measures 1/2/half/all cores on the first
+    real fold and picks ``(backend, nthreads, block_cells)`` jointly;
+    explicit integers are honored un-clamped.  Thread count is execution
+    policy, not statistics: checkpoints and fingerprints ignore it.
     """
 
     #: staged buffers per timestep before a fold is triggered
@@ -350,6 +362,8 @@ class UbiquitousSobolField:
         block_cells: int = DEFAULT_BLOCK,
         max_staged: Optional[int] = None,
         kernel: Optional[str] = None,
+        fold_threads=None,
+        local_ranks: int = 1,
     ):
         if nparams < 1:
             raise ValueError("nparams must be >= 1")
@@ -372,18 +386,39 @@ class UbiquitousSobolField:
         self._cxy = np.zeros((ntimesteps, 2, nparams, ncells))
         self._staged: List[List[np.ndarray]] = [[] for _ in range(ntimesteps)]
         self._staged_total = 0
+        # lazy max-heap of (-len(staged), t): overflow eviction pops the
+        # fullest timestep in O(log) instead of scanning all T timesteps
+        self._staged_heap: List[Tuple[int, int]] = []
         blk = min(self.block_cells, ncells)
         #: requested backend spec (None -> REPRO_KERNEL env -> "auto")
         self.kernel_spec = kernel
         self._kernel = make_kernel(kernel, nparams, self.batch_size, blk)
-        # preallocated rank-1 correction scratch
+        #: requested thread spec (explicit > $REPRO_FOLD_THREADS > "auto")
+        self.fold_threads_spec = fold_threads
+        self._threads = _parallel.resolve_threads(fold_threads)
+        self._local_ranks = max(1, int(local_ranks))
+        self._folder: Optional[_parallel.ParallelFolder] = None
+        # preallocated rank-1 correction scratch (sequential path)
         self._r1 = np.empty((2, nparams, blk))
 
     @property
     def kernel_name(self) -> str:
         """Concrete backend in use (``auto`` until its first tuned fold)."""
+        if self._folder is not None:
+            return self._folder.backend
         chosen = getattr(self._kernel, "chosen", None)
         return chosen if chosen is not None else self._kernel.name
+
+    @property
+    def active_fold_threads(self) -> int:
+        """Threads the sharded fold currently uses (1 until resolved)."""
+        return self._folder.nthreads if self._folder is not None else 1
+
+    @property
+    def fold_plan(self) -> Optional[Tuple[str, int, int]]:
+        """The active ``(backend, nthreads, block_cells)`` execution
+        plan, or None while folds still run on the sequential path."""
+        return self._folder.plan if self._folder is not None else None
 
     # ------------------------------------------------------------------ #
     # updates
@@ -411,9 +446,38 @@ class UbiquitousSobolField:
         self._staged_total += 1
         if len(staged) >= self.batch_size:
             self._fold(timestep)
-        elif self._staged_total > self.max_staged:
-            fullest = max(range(self.ntimesteps), key=lambda t: len(self._staged[t]))
-            self._fold(fullest)
+        else:
+            heapq.heappush(self._staged_heap, (-len(staged), timestep))
+            if len(self._staged_heap) > 4 * max(self.max_staged, self.ntimesteps):
+                # stale entries are popped lazily only on overflow; bound
+                # the heap by rebuilding it from the live counts once it
+                # outgrows the working set (amortized O(1) per adoption)
+                self._staged_heap = [
+                    (-len(s), t) for t, s in enumerate(self._staged) if s
+                ]
+                heapq.heapify(self._staged_heap)
+            if self._staged_total > self.max_staged:
+                self._fold(self._fullest_staged())
+
+    def _fullest_staged(self) -> int:
+        """The timestep with the most staged buffers, via the lazy heap.
+
+        Entries go stale when a timestep folds (its count drops to zero)
+        or when a later adoption pushed a larger count; both are detected
+        by comparing against the live count and popped on sight.
+        Amortized O(log) per adoption — each pushed entry is popped at
+        most once — versus the old O(ntimesteps) scan per overflow.
+        """
+        while self._staged_heap:
+            neg, t = self._staged_heap[0]
+            if -neg == len(self._staged[t]):
+                return t
+            heapq.heappop(self._staged_heap)
+        # unreachable while staged_total > 0 (every adoption pushes), but
+        # degrade gracefully rather than crash on a corrupt heap
+        return int(
+            max(range(self.ntimesteps), key=lambda t: len(self._staged[t]))
+        )
 
     def update_group_timestep(
         self,
@@ -457,48 +521,67 @@ class UbiquitousSobolField:
         if nb == 0:
             return
         na = int(self._counts[t])
-        n = na + nb
-        s0 = slabs[0]
-        kernel = self._kernel
         mean = self._mean[t]
         m2 = self._m2[t]
         cxy = self._cxy[t]
-        # fused fast path: a compiled backend may contract, center, AND
-        # Pebay-combine into the state in one pass over the slabs
-        if kernel.fold_into(slabs, 0, self.ncells, mean, m2, cxy, na):
-            self._counts[t] = n
-            self._staged_total -= nb
-            slabs.clear()
-            return
-        f = na * nb / n
-        wb = nb / n
-        blk = min(self.block_cells, self.ncells)
-        for lo in range(0, self.ncells, blk):
-            hi = min(self.ncells, lo + blk)
-            w = hi - lo
-            # the backend computes the centered batch statistics: means of
-            # the residuals z_b = y_b - y_0 (exact shift against the first
-            # staged buffer, Pebay-stable), diagonal second-moment sums,
-            # and the 2p cross co-moments
-            mz, gd, gx = kernel.fold_batch(slabs, lo, hi)
-            if na == 0:
-                mean[:, lo:hi] = s0[:, lo:hi] + mz
-                m2[:, lo:hi] = gd
-                cxy[:, :, lo:hi] = gx
-            else:
-                # exact pairwise combination (Pebay SAND2008-6212)
-                d = s0[:, lo:hi] + mz
-                d -= mean[:, lo:hi]
-                dx = d[:2]
-                dc = d[2:]
-                gd += f * d * d
-                m2[:, lo:hi] += gd
-                gx += kernel.merge_cross(dx, dc, f, out=self._r1[:, :, :w])
-                cxy[:, :, lo:hi] += gx
-                mean[:, lo:hi] += d * wb
-        self._counts[t] = n
+        folder = self._resolve_folder(slabs)
+        if folder is not None:
+            # sharded multicore fold: disjoint block-aligned cell windows
+            # onto per-thread kernels — bit-exact vs the sequential path
+            folder.fold(slabs, self.ncells, mean, m2, cxy, na)
+        else:
+            _parallel.fold_window(
+                self._kernel, slabs, 0, self.ncells,
+                mean, m2, cxy, na, self._r1,
+            )
+        self._counts[t] = na + nb
         self._staged_total -= nb
         slabs.clear()
+
+    def _resolve_folder(self, slabs) -> Optional[_parallel.ParallelFolder]:
+        """The sharded fold engine, built once its plan is known.
+
+        Returns None while folds must stay sequential: ``fold_threads=1``
+        (permanently), or ``auto`` still waiting for a concrete backend
+        (the kernel autotuner decides inside a sequential fold) or for a
+        measurable batch.  The threads dimension autotunes jointly with
+        ``block_cells`` on the first real fold and caches its winner per
+        shape key — in-process and via ``$REPRO_FOLD_AUTOTUNE`` — so
+        respawned ranks skip the probe (see :mod:`repro.kernels.parallel`).
+        """
+        if self._folder is not None or self._threads == 1:
+            return self._folder
+        blk = min(self.block_cells, self.ncells)
+        if self._threads != "auto":
+            backend = self.kernel_name
+            if backend == "auto":
+                return None  # backend autotune pending: fold sequentially
+            self._folder = _parallel.ParallelFolder(
+                backend, self.nparams, self.batch_size, blk,
+                int(self._threads),
+            )
+            return self._folder
+        key = _parallel.plan_key(
+            self.nparams, self.batch_size, blk,
+            str(self.kernel_spec or "auto").lower(),
+        )
+        plan = _parallel.cached_plan(key)
+        if plan is None:
+            backend = self.kernel_name
+            if backend == "auto" or len(slabs) < _parallel._TUNE_MIN_BATCH:
+                return None
+            candidates = _parallel.auto_thread_candidates(
+                local_ranks=self._local_ranks
+            )
+            plan = _parallel.tune_plan(
+                backend, self.nparams, self.batch_size, blk,
+                slabs, self.ncells, candidates,
+            )
+            _parallel.record_plan(key, plan)
+        self._folder = _parallel.ParallelFolder(
+            plan[0], self.nparams, self.batch_size, plan[2], plan[1]
+        )
+        return self._folder
 
     def flush(self, timestep: Optional[int] = None) -> None:
         """Fold staged buffers (one timestep, or all when ``None``)."""
@@ -690,11 +773,13 @@ class UbiquitousSobolField:
 
     @classmethod
     def from_state_dict(
-        cls, state: dict, kernel: Optional[str] = None
+        cls, state: dict, kernel: Optional[str] = None,
+        fold_threads=None, local_ranks: int = 1,
     ) -> "UbiquitousSobolField":
-        """Restore state; ``kernel`` picks the backend for the new field
-        (checkpoints are backend-agnostic — the state is pure statistics,
-        so a study may restore onto any host's fastest kernel)."""
+        """Restore state; ``kernel`` / ``fold_threads`` pick the backend
+        and thread policy for the new field (checkpoints are execution-
+        policy-agnostic — the state is pure statistics, so a study may
+        restore onto any host's fastest kernel at any thread count)."""
         if "estimators" in state:  # legacy per-timestep object forest
             return cls._from_legacy_state(state, kernel=kernel)
         obj = cls(
@@ -702,6 +787,8 @@ class UbiquitousSobolField:
             ntimesteps=int(state["ntimesteps"]),
             ncells=int(state["ncells"]),
             kernel=kernel,
+            fold_threads=fold_threads,
+            local_ranks=local_ranks,
         )
         obj._counts = np.asarray(state["counts"], dtype=np.int64).copy()
         obj._mean = np.asarray(state["mean"], dtype=np.float64).copy()

@@ -15,6 +15,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels import parallel as _parallel
 from repro.stats.protocol import (
     FieldStatistic,
     StatContext,
@@ -29,10 +30,20 @@ __all__ = ["StatisticsPipeline"]
 class StatisticsPipeline:
     """All configured statistics of one server rank, one row per spec."""
 
-    def __init__(self, specs: Sequence[str], ctx: StatContext, ntimesteps: int):
+    def __init__(
+        self,
+        specs: Sequence[str],
+        ctx: StatContext,
+        ntimesteps: int,
+        fold_threads: int = 1,
+    ):
         self.specs: Tuple[str, ...] = canonicalize_specs(specs)
         self.ctx = ctx
         self.ntimesteps = int(ntimesteps)
+        #: catalog rows folded concurrently on the shared fold pool when
+        #: > 1 — rows are disjoint FieldStatistic objects, so the only
+        #: ordering constraint is within a row, which each task preserves
+        self.fold_threads = max(1, int(fold_threads))
         self._rows: List[List[FieldStatistic]] = []
         seen: Dict[str, str] = {}
         for spec in self.specs:
@@ -71,8 +82,26 @@ class StatisticsPipeline:
         return all(row[0].exact_merge for row in self._rows)
 
     # ------------------------------------------------------------------ #
+    def _dispatch(self, tasks: List) -> None:
+        """Run row tasks, spread over at most ``fold_threads`` threads."""
+        nthreads = min(self.fold_threads, len(tasks))
+        if nthreads <= 1:
+            for task in tasks:
+                task()
+            return
+        _parallel.run_sharded([
+            (lambda chunk=tasks[i::nthreads]: [task() for task in chunk])
+            for i in range(nthreads)
+        ])
+
     def update(self, timestep: int, group_buffer: np.ndarray) -> None:
         """Fold one complete group buffer into every statistic at ``timestep``."""
+        if self.fold_threads > 1 and len(self._rows) > 1:
+            self._dispatch([
+                (lambda inst=row[timestep]: inst.update_group(group_buffer))
+                for row in self._rows
+            ])
+            return
         for row in self._rows:
             row[timestep].update_group(group_buffer)
 
@@ -87,10 +116,23 @@ class StatisticsPipeline:
         exists only when someone is watching.
         """
         perf = time.perf_counter
-        for row, observer in zip(self._rows, observers):
-            t0 = perf()
-            row[timestep].update_group(group_buffer)
-            observer.observe(perf() - t0)
+
+        def timed(inst, observer):
+            def run():
+                t0 = perf()
+                inst.update_group(group_buffer)
+                observer.observe(perf() - t0)
+            return run
+
+        tasks = [
+            timed(row[timestep], observer)
+            for row, observer in zip(self._rows, observers)
+        ]
+        if self.fold_threads > 1 and len(tasks) > 1:
+            self._dispatch(tasks)
+        else:
+            for task in tasks:
+                task()
 
     def merge(self, other: "StatisticsPipeline") -> None:
         """Absorb a disjoint pipeline (cross-rank / cross-shard reduction)."""
